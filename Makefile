@@ -1,0 +1,45 @@
+# FRIEDA build and reproduction targets. Stdlib-only Go; no external deps.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt reproduce ablations examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# One testing.B benchmark per paper table/figure series plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation (Table I, Fig 6a/6b, Fig 7a/7b).
+reproduce:
+	$(GO) run ./cmd/friedabench -exp all
+
+# The design-choice sweeps beyond the paper.
+ablations:
+	$(GO) run ./cmd/friedabench -exp ablations
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/imagepipeline
+	$(GO) run ./examples/blastfarm
+	$(GO) run ./examples/elastic
+	$(GO) run ./examples/faulttolerance
+	$(GO) run ./examples/federated
+
+clean:
+	$(GO) clean ./...

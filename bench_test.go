@@ -1,0 +1,238 @@
+// Benchmark harness regenerating the paper's evaluation (one benchmark per
+// table/figure series) plus this repository's ablations. Each iteration
+// executes the full experiment on the virtual-time simulator and reports
+// the measured virtual makespan as "vsec/run" next to the paper's published
+// value ("paper_vsec") where one exists, so `go test -bench=.` prints a
+// side-by-side reproduction.
+package frieda
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"frieda/internal/experiments"
+	"frieda/internal/simrun"
+	"frieda/internal/strategy"
+)
+
+// benchScale runs the paper-size workloads; virtual time makes this cheap.
+const benchScale = 1.0
+
+// reportRun attaches virtual-time metrics to a benchmark.
+func reportRun(b *testing.B, res simrun.Result, paperSec float64) {
+	b.Helper()
+	b.ReportMetric(res.MakespanSec, "vsec/run")
+	if paperSec > 0 {
+		b.ReportMetric(paperSec, "paper_vsec")
+	}
+	if res.BytesMoved > 0 {
+		b.ReportMetric(res.BytesMoved/1e9, "GB_moved")
+	}
+}
+
+// runBench executes one strategy/workload pair b.N times.
+func runBench(b *testing.B, cfg simrun.Config, wl simrun.Workload, paperSec float64) {
+	b.Helper()
+	var last simrun.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunStrategy(cfg, wl, 4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportRun(b, last, paperSec)
+}
+
+// --- Table I: Effect of Data Parallelization ---
+
+func BenchmarkTable1ALSSequential(b *testing.B) {
+	wl := experiments.ALSWorkload(benchScale)
+	var last simrun.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Sequential(wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportRun(b, last, 1258.80)
+}
+
+func BenchmarkTable1ALSPrePartition(b *testing.B) {
+	cfg := simrun.Config{Strategy: strategy.PrePartitionedRemote}
+	runBench(b, cfg, experiments.ALSWorkload(benchScale), 789.39)
+}
+
+func BenchmarkTable1ALSRealTime(b *testing.B) {
+	cfg := simrun.Config{Strategy: strategy.RealTimeRemote}
+	runBench(b, cfg, experiments.ALSWorkload(benchScale), 696.70)
+}
+
+func BenchmarkTable1BLASTSequential(b *testing.B) {
+	wl := experiments.BLASTWorkload(benchScale, 1)
+	var last simrun.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Sequential(wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportRun(b, last, 61200)
+}
+
+func BenchmarkTable1BLASTPrePartition(b *testing.B) {
+	strat := strategy.PrePartitionedRemote
+	strat.Assigner = experiments.AssignerFor("BLAST")
+	runBench(b, simrun.Config{Strategy: strat}, experiments.BLASTWorkload(benchScale, 1), 4131.07)
+}
+
+func BenchmarkTable1BLASTRealTime(b *testing.B) {
+	cfg := simrun.Config{Strategy: strategy.RealTimeRemote}
+	runBench(b, cfg, experiments.BLASTWorkload(benchScale, 1), 3794.90)
+}
+
+// --- Figure 6: Effect of Different Partitioning ---
+
+func benchFig6(b *testing.B, app, series string) {
+	b.Helper()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		bars, err := experiments.RunFig6(app, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bar := range bars {
+			if bar.Series == series {
+				total = bar.TotalSec
+			}
+		}
+	}
+	b.ReportMetric(total, "vsec/run")
+}
+
+func BenchmarkFig6aALSPreLocal(b *testing.B)   { benchFig6(b, "ALS", "pre-partitioned-local") }
+func BenchmarkFig6aALSPreRemote(b *testing.B)  { benchFig6(b, "ALS", "pre-partitioned-remote") }
+func BenchmarkFig6aALSRealTime(b *testing.B)   { benchFig6(b, "ALS", "real-time-remote") }
+func BenchmarkFig6bBLASTPreLocal(b *testing.B) { benchFig6(b, "BLAST", "pre-partitioned-local") }
+func BenchmarkFig6bBLASTPreRemote(b *testing.B) {
+	benchFig6(b, "BLAST", "pre-partitioned-remote")
+}
+func BenchmarkFig6bBLASTRealTime(b *testing.B) { benchFig6(b, "BLAST", "real-time-remote") }
+
+// --- Figure 7: Effect of Data Movement ---
+
+func benchFig7(b *testing.B, app, series string) {
+	b.Helper()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		bars, err := experiments.RunFig7(app, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, bar := range bars {
+			if bar.Series == series {
+				total = bar.TotalSec
+			}
+		}
+	}
+	b.ReportMetric(total, "vsec/run")
+}
+
+func BenchmarkFig7aALSDataToCompute(b *testing.B)   { benchFig7(b, "ALS", "data-to-computation") }
+func BenchmarkFig7aALSComputeToData(b *testing.B)   { benchFig7(b, "ALS", "computation-to-data") }
+func BenchmarkFig7bBLASTDataToCompute(b *testing.B) { benchFig7(b, "BLAST", "data-to-computation") }
+func BenchmarkFig7bBLASTComputeToData(b *testing.B) { benchFig7(b, "BLAST", "computation-to-data") }
+
+// --- Ablations beyond the paper ---
+
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPrefetch(0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBandwidth(0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationVariance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationVariance(0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationFailures(0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationElastic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationElastic(0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Real-runtime benchmark: end-to-end framework overhead ---
+
+func BenchmarkRealRuntimeRealTime(b *testing.B) {
+	files := map[string][]byte{}
+	for i := 0; i < 32; i++ {
+		files[fmt.Sprintf("bench%03d.dat", i)] = make([]byte, 4096)
+	}
+	prog := FuncProgram(func(ctx context.Context, task Task) (string, error) { return "ok", nil })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := Run(context.Background(), RunConfig{
+			Strategy: RealTimeRemote,
+			Dataset:  MemDataset(files),
+			Program:  prog,
+			Workers:  4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Succeeded != 32 {
+			b.Fatalf("report %+v", report)
+		}
+	}
+}
+
+func BenchmarkAblationFederated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationFederated(0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationStripes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationStripes(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationStorage(0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command frieda-controller is FRIEDA's control plane as a CLI: it
+// connects to a running frieda-master, installs the data-management
+// strategy and program template (START_MASTER), announces the expected
+// worker count (FORK_REMOTE_WORKERS), then waits for completion while
+// collecting worker errors.
+//
+//	frieda-controller -master datahost:7001 -workers 4 \
+//	    -mode real-time -grouping pairwise-adjacent \
+//	    -template 'compare "$inp1" "$inp2"'
+//
+// Elasticity: -remove drains a worker from a running deployment instead of
+// starting a run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"frieda/internal/cli"
+	"frieda/internal/core"
+	"frieda/internal/transport"
+)
+
+func main() {
+	fs := flag.NewFlagSet("frieda-controller", flag.ExitOnError)
+	master := fs.String("master", "127.0.0.1:7001", "master address")
+	workers := fs.Int("workers", 1, "worker count to wait for before execution starts")
+	template := fs.String("template", "", "program execution syntax, e.g. 'app arg1 $inp1' (required unless -remove)")
+	remove := fs.String("remove", "", "drain and release the named worker, then exit")
+	strategyOf := cli.StrategyFlags(fs)
+	fs.Parse(os.Args[1:])
+
+	strat, err := strategyOf()
+	if err != nil {
+		log.Fatalf("frieda-controller: %v", err)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	var argv []string
+	if *remove == "" {
+		if *template == "" {
+			fmt.Fprintln(os.Stderr, "frieda-controller: -template is required")
+			fs.Usage()
+			os.Exit(2)
+		}
+		argv, err = cli.SplitTemplate(*template)
+		if err != nil {
+			log.Fatalf("frieda-controller: %v", err)
+		}
+	}
+
+	ctl, err := core.NewController(core.ControllerConfig{
+		Strategy:   strat,
+		Template:   argv,
+		Transport:  transport.NewTCP(),
+		MasterAddr: *master,
+		Workers:    *workers,
+	})
+	if err != nil {
+		log.Fatalf("frieda-controller: %v", err)
+	}
+	if err := ctl.Start(ctx); err != nil {
+		log.Fatalf("frieda-controller: %v", err)
+	}
+
+	if *remove != "" {
+		if err := ctl.RemoveWorker(*remove); err != nil {
+			log.Fatalf("frieda-controller: remove %s: %v", *remove, err)
+		}
+		log.Printf("frieda-controller: worker %s draining", *remove)
+		return
+	}
+
+	log.Printf("frieda-controller: strategy %s installed on %s; waiting for %d worker(s)",
+		strat, *master, *workers)
+	report, err := ctl.Wait(ctx)
+	if err != nil {
+		log.Fatalf("frieda-controller: %v", err)
+	}
+	cli.PrintReport(os.Stdout, report)
+	if err := ctl.Shutdown(); err != nil {
+		log.Printf("frieda-controller: shutdown: %v", err)
+	}
+	if report.Failed > 0 {
+		os.Exit(1)
+	}
+}

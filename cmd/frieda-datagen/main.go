@@ -1,0 +1,101 @@
+// Command frieda-datagen synthesises the evaluation datasets on disk: a
+// series of beamline-like PGM frames (the ALS image set) or a protein
+// query directory plus database FASTA (the BLAST set). Together with
+// frieda-imgcmp and frieda-minblast it makes the paper's two pipelines
+// runnable end-to-end from a shell:
+//
+//	frieda-datagen -kind images -out /tmp/frames -n 16 -width 512
+//	frieda -input /tmp/frames -workers 4 -grouping pairwise-adjacent \
+//	    -template 'frieda-imgcmp $inp1 $inp2'
+//
+//	frieda-datagen -kind sequences -out /tmp/seqs -n 24 -db-size 60
+//	frieda -input /tmp/seqs -workers 4 -common nr.fasta \
+//	    -template 'frieda-minblast -db $inp1 -query $inp1'   # see README
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"frieda/internal/workload/blast"
+	"frieda/internal/workload/imagecmp"
+	"frieda/internal/workload/imggen"
+	"frieda/internal/workload/seqgen"
+)
+
+func main() {
+	fs := flag.NewFlagSet("frieda-datagen", flag.ExitOnError)
+	kind := fs.String("kind", "images", "dataset kind: images | sequences")
+	out := fs.String("out", "", "output directory (required)")
+	n := fs.Int("n", 16, "images or queries to generate")
+	seed := fs.Int64("seed", 42, "random seed")
+	width := fs.Int("width", 512, "image width/height (images)")
+	spots := fs.Int("spots", 24, "diffraction spots per frame (images)")
+	dbSize := fs.Int("db-size", 60, "database sequence count (sequences)")
+	fs.Parse(os.Args[1:])
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "frieda-datagen: -out is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("frieda-datagen: %v", err)
+	}
+	switch *kind {
+	case "images":
+		frames := imggen.Series(imggen.Params{
+			Width: *width, Height: *width, Seed: *seed, Spots: *spots,
+		}, *n)
+		for i, frame := range frames {
+			path := filepath.Join(*out, fmt.Sprintf("frame%05d.pgm", i))
+			if err := writePGM(path, frame); err != nil {
+				log.Fatalf("frieda-datagen: %v", err)
+			}
+		}
+		log.Printf("frieda-datagen: wrote %d %dx%d frames to %s", *n, *width, *width, *out)
+	case "sequences":
+		wl := seqgen.NewWorkload(seqgen.WorkloadParams{
+			Seed: *seed, Queries: *n, DBSequences: *dbSize, HomologFraction: 0.5,
+		})
+		if err := writeFASTA(filepath.Join(*out, "nr.fasta"), wl.Database); err != nil {
+			log.Fatalf("frieda-datagen: %v", err)
+		}
+		for _, q := range wl.Queries {
+			if err := writeFASTA(filepath.Join(*out, q.ID+".fa"), []blast.Sequence{q}); err != nil {
+				log.Fatalf("frieda-datagen: %v", err)
+			}
+		}
+		log.Printf("frieda-datagen: wrote %d queries + %d-sequence nr.fasta to %s", *n, *dbSize, *out)
+	default:
+		log.Fatalf("frieda-datagen: unknown -kind %q", *kind)
+	}
+}
+
+// writePGM saves one frame.
+func writePGM(path string, im *imagecmp.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := imagecmp.WritePGM(f, im); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeFASTA saves records to one file.
+func writeFASTA(path string, seqs []blast.Sequence) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := blast.WriteFASTA(f, seqs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,69 @@
+// Command frieda-imgcmp is the light-source image-comparison application of
+// the paper's ALS use case as a standalone binary: it compares two PGM
+// images and prints their similarity measures. FRIEDA farms it unmodified
+// with a two-input template:
+//
+//	frieda -input /data/frames -workers 4 \
+//	    -grouping pairwise-adjacent \
+//	    -template 'frieda-imgcmp -threshold 0.5 $inp1 $inp2'
+//
+// Exit status is 0 for similar pairs, 3 for different ones (errors use 1),
+// so shell pipelines can branch on the verdict.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"frieda/internal/workload/imagecmp"
+)
+
+func main() {
+	fs := flag.NewFlagSet("frieda-imgcmp", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.5, "NCC/SSIM similarity threshold")
+	quiet := fs.Bool("q", false, "print only the verdict")
+	fs.Parse(os.Args[1:])
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: frieda-imgcmp [-threshold T] a.pgm b.pgm")
+		os.Exit(1)
+	}
+	a, err := loadPGM(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "frieda-imgcmp: %v\n", err)
+		os.Exit(1)
+	}
+	b, err := loadPGM(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "frieda-imgcmp: %v\n", err)
+		os.Exit(1)
+	}
+	r, err := imagecmp.Compare(a, b)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "frieda-imgcmp: %v\n", err)
+		os.Exit(1)
+	}
+	similar := imagecmp.Similar(r, *threshold)
+	verdict := "DIFFERENT"
+	if similar {
+		verdict = "SIMILAR"
+	}
+	if *quiet {
+		fmt.Println(verdict)
+	} else {
+		fmt.Printf("%s %s vs %s: %s\n", verdict, fs.Arg(0), fs.Arg(1), r)
+	}
+	if !similar {
+		os.Exit(3)
+	}
+}
+
+// loadPGM reads one image file.
+func loadPGM(path string) (*imagecmp.Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return imagecmp.ReadPGM(f)
+}

@@ -1,0 +1,71 @@
+// Command frieda-worker runs one FRIEDA execution-plane worker: it
+// registers with the master, receives input files into a local work
+// directory, executes the program template the controller installed (once
+// per core under multicore), and reports task status.
+//
+//	frieda-worker -master datahost:7001 -name w0 -cores 4 -workdir /scratch/frieda
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"frieda/internal/core"
+	"frieda/internal/transport"
+)
+
+func main() {
+	fs := flag.NewFlagSet("frieda-worker", flag.ExitOnError)
+	master := fs.String("master", "127.0.0.1:7001", "master address")
+	name := fs.String("name", "", "worker name (default: hostname)")
+	cores := fs.Int("cores", 4, "core count announced to the master")
+	workdir := fs.String("workdir", "", "directory for received input files (default: temp dir)")
+	fs.Parse(os.Args[1:])
+
+	workerName := *name
+	if workerName == "" {
+		h, err := os.Hostname()
+		if err != nil {
+			log.Fatalf("frieda-worker: -name not set and hostname unavailable: %v", err)
+		}
+		workerName = h
+	}
+	dir := *workdir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "frieda-worker-")
+		if err != nil {
+			log.Fatalf("frieda-worker: %v", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	store, err := core.NewDirStore(dir)
+	if err != nil {
+		log.Fatalf("frieda-worker: %v", err)
+	}
+
+	w, err := core.NewWorker(core.WorkerConfig{
+		Name:       workerName,
+		Cores:      *cores,
+		Store:      store,
+		Transport:  transport.NewTCP(),
+		MasterAddr: *master,
+		DialRetry:  30 * time.Second,
+	})
+	if err != nil {
+		log.Fatalf("frieda-worker: %v", err)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	log.Printf("frieda-worker: %s (%d cores) joining %s, store %s", workerName, *cores, *master, dir)
+	if err := w.Run(ctx); err != nil {
+		log.Fatalf("frieda-worker: %v", err)
+	}
+	log.Printf("frieda-worker: %s done after %d task(s)", workerName, w.Executed())
+}

@@ -1,0 +1,174 @@
+// Command friedabench regenerates every table and figure of the FRIEDA
+// paper's evaluation (Section IV) on the simulated testbed, plus the
+// ablations this repository adds. Output is text tables with the published
+// numbers alongside the measured ones.
+//
+//	friedabench -exp all            # Table I, Fig 6a/6b, Fig 7a/7b
+//	friedabench -exp table1
+//	friedabench -exp fig6a -gantt   # plus a worker timeline
+//	friedabench -exp ablations      # prefetch / bandwidth / variance /
+//	                                # failures / elasticity sweeps
+//
+// -scale shrinks the workloads for quick runs (1.0 = paper size; the full
+// sweep takes well under a second of real time — virtual time does the
+// waiting).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"frieda/internal/experiments"
+	"frieda/internal/simrun"
+	"frieda/internal/strategy"
+	"frieda/internal/trace"
+)
+
+func main() {
+	fs := flag.NewFlagSet("friedabench", flag.ExitOnError)
+	exp := fs.String("exp", "all", "experiment: table1 | fig6a | fig6b | fig7a | fig7b | ablations | all")
+	scale := fs.Float64("scale", 1.0, "workload scale (1.0 = paper size)")
+	gantt := fs.Bool("gantt", false, "print a worker timeline for figure experiments")
+	fs.Parse(os.Args[1:])
+
+	run := func(name string) {
+		if err := runExperiment(name, *scale, *gantt); err != nil {
+			log.Fatalf("friedabench: %s: %v", name, err)
+		}
+	}
+	switch *exp {
+	case "all":
+		for _, name := range []string{"table1", "fig6a", "fig6b", "fig7a", "fig7b"} {
+			run(name)
+		}
+	case "ablations":
+		for _, name := range []string{"ablation-prefetch", "ablation-bandwidth", "ablation-variance",
+			"ablation-failures", "ablation-elastic", "ablation-federated", "ablation-stripes",
+			"ablation-storage"} {
+			run(name)
+		}
+	default:
+		run(*exp)
+	}
+}
+
+// runExperiment executes and prints one experiment.
+func runExperiment(name string, scale float64, gantt bool) error {
+	switch name {
+	case "table1":
+		rows, err := experiments.RunTable1(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable1(rows))
+		fmt.Println()
+	case "fig6a", "fig6b":
+		app := "ALS"
+		title := "Figure 6a: Effect of Different Partitioning — ALS (paper: local < real-time < pre-remote)"
+		if name == "fig6b" {
+			app = "BLAST"
+			title = "Figure 6b: Effect of Different Partitioning — BLAST (paper: near-parity, real-time best)"
+		}
+		bars, err := experiments.RunFig6(app, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderBars(title, bars))
+		fmt.Println()
+		if gantt {
+			return printGantt(app, scale)
+		}
+	case "fig7a", "fig7b":
+		app := "ALS"
+		title := "Figure 7a: Effect of Data Movement — ALS (paper: compute-to-data wins decisively)"
+		if name == "fig7b" {
+			app = "BLAST"
+			title = "Figure 7b: Effect of Data Movement — BLAST (paper: placement-insensitive)"
+		}
+		bars, err := experiments.RunFig7(app, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderBars(title, bars))
+		fmt.Println()
+	case "ablation-prefetch":
+		rows, err := experiments.AblationPrefetch(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSweep("Ablation: real-time prefetch window (ALS)", "prefetch", rows))
+		fmt.Println()
+	case "ablation-bandwidth":
+		rows, err := experiments.AblationBandwidth(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSweep("Ablation: provisioned bandwidth sweep (ALS)", "mbps", rows))
+		fmt.Println()
+	case "ablation-variance":
+		rows, err := experiments.AblationVariance(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSweep("Ablation: task-cost drift vs pre-partition penalty (BLAST)", "drift", rows))
+		fmt.Println()
+	case "ablation-failures":
+		rows, err := experiments.AblationFailures(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSweep("Ablation: VM failures — isolation (paper) vs recovery (future work)", "mtbf_sec", rows))
+		fmt.Println()
+	case "ablation-elastic":
+		rows, err := experiments.AblationElastic(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSweep("Ablation: elastic worker additions mid-run (BLAST)", "added", rows))
+		fmt.Println()
+	case "ablation-federated":
+		rows, err := experiments.AblationFederated(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSweep("Ablation: federated two-site placement over a 50 Mbps WAN (ALS)", "remote_workers", rows))
+		fmt.Println()
+	case "ablation-stripes":
+		rows, err := experiments.AblationStripes(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSweep("Ablation: GridFTP-style striping on a contended fabric", "stripes", rows))
+		fmt.Println()
+	case "ablation-storage":
+		rows, err := experiments.AblationStorage(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSweep("Ablation: worker storage tier at 1 Gbps (ALS; 0=local 1=block 2=networked)", "tier", rows))
+		fmt.Println()
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+// printGantt renders a real-time run's worker timeline.
+func printGantt(app string, scale float64) error {
+	var wl simrun.Workload
+	if app == "ALS" {
+		wl = experiments.ALSWorkload(scale)
+	} else {
+		wl = experiments.BLASTWorkload(scale, 1)
+	}
+	res, err := experiments.RunStrategy(simrun.Config{Strategy: strategy.RealTimeRemote}, wl, 4, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Print(trace.Gantt(res, 72))
+	fmt.Print(trace.Summary(res))
+	fmt.Println()
+	return nil
+}

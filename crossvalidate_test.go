@@ -1,0 +1,173 @@
+package frieda
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRealVsSimulatedByteAccounting cross-validates the two executors: for
+// the same dataset and strategy, the real runtime's payload byte count must
+// equal the simulator's — both implement the same replica-dedup semantics,
+// so any divergence means one of them moves data the other would not.
+func TestRealVsSimulatedByteAccounting(t *testing.T) {
+	const nFiles, fileSize = 18, 512
+	files := map[string][]byte{}
+	var simTasks []SimTask
+	for i := 0; i < nFiles; i++ {
+		name := fmt.Sprintf("f%03d", i)
+		files[name] = []byte(strings.Repeat("d", fileSize))
+		simTasks = append(simTasks, SimTask{
+			Index:      i,
+			Files:      []FileMeta{{Name: name, Size: fileSize}},
+			ComputeSec: 0.01,
+		})
+	}
+
+	for _, tc := range []struct {
+		name  string
+		strat Strategy
+	}{
+		{"real-time", RealTimeRemote},
+		{"pre-partition", PrePartitionedRemote},
+		{"no-partition", CommonData},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			real, err := Run(ctx, RunConfig{
+				Strategy: tc.strat,
+				Dataset:  MemDataset(files),
+				Program:  FuncProgram(func(context.Context, Task) (string, error) { return "ok", nil }),
+				Workers:  3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := Simulate(SimConfig{
+				Strategy:         tc.strat,
+				Workers:          3,
+				DisableDiskModel: true,
+			}, SimWorkload{Name: tc.name, Tasks: simTasks})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if real.Succeeded != nFiles || sim.Succeeded != nFiles {
+				t.Fatalf("completions differ: real %d, sim %d", real.Succeeded, sim.Succeeded)
+			}
+			if float64(real.BytesMoved) != sim.BytesMoved {
+				t.Fatalf("byte accounting diverged: real %d, sim %.0f", real.BytesMoved, sim.BytesMoved)
+			}
+		})
+	}
+}
+
+// TestRealVsSimulatedCommonFiles extends the cross-validation to a
+// database-style workload: the common file must be charged once per worker
+// in both executors.
+func TestRealVsSimulatedCommonFiles(t *testing.T) {
+	const nQueries, qSize, dbSize = 10, 64, 4096
+	files := map[string][]byte{"db.bin": []byte(strings.Repeat("D", dbSize))}
+	var simTasks []SimTask
+	for i := 0; i < nQueries; i++ {
+		name := fmt.Sprintf("q%02d", i)
+		files[name] = []byte(strings.Repeat("q", qSize))
+		simTasks = append(simTasks, SimTask{
+			Index:      i,
+			Files:      []FileMeta{{Name: name, Size: qSize}},
+			ComputeSec: 0.01,
+		})
+	}
+	strat := RealTimeRemote
+	strat.CommonFiles = []string{"db.bin"}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	real, err := Run(ctx, RunConfig{
+		Strategy: strat,
+		Dataset:  MemDataset(files),
+		Program:  FuncProgram(func(context.Context, Task) (string, error) { return "ok", nil }),
+		Workers:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(SimConfig{
+		Strategy:         strat,
+		Workers:          3,
+		DisableDiskModel: true,
+	}, SimWorkload{Name: "db", Tasks: simTasks, CommonBytes: dbSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(3*dbSize + nQueries*qSize)
+	if float64(real.BytesMoved) != want || sim.BytesMoved != want {
+		t.Fatalf("bytes: real %d, sim %.0f, want %.0f", real.BytesMoved, sim.BytesMoved, want)
+	}
+}
+
+// TestRealVsSimulatedGroupings extends the cross-validation to the paper's
+// pairwise and one-to-all groupings: both executors build the identical
+// partition plan from the same generator, so per-worker file dedup (the
+// pivot file of one-to-all in particular) must produce identical byte
+// accounting.
+func TestRealVsSimulatedGroupings(t *testing.T) {
+	const nFiles, fileSize = 12, 256
+	files := map[string][]byte{}
+	for i := 0; i < nFiles; i++ {
+		files[fmt.Sprintf("g-%05d", i)] = []byte(strings.Repeat("g", fileSize))
+	}
+	for _, grouping := range []string{"pairwise-adjacent", "one-to-all", "all-to-all"} {
+		t.Run(grouping, func(t *testing.T) {
+			strat := RealTimeRemote
+			strat.Grouping = grouping
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			real, err := Run(ctx, RunConfig{
+				Strategy: strat,
+				Dataset:  MemDataset(files),
+				Program:  FuncProgram(func(context.Context, Task) (string, error) { return "ok", nil }),
+				Workers:  3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wl, err := GroupedSimWorkload("g", grouping, nFiles, fileSize, 0.01)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Rename sim files to match nothing in particular — sizes and
+			// sharing structure are what matters, and those match by
+			// construction.
+			sim, err := Simulate(SimConfig{
+				Strategy:         strat,
+				Workers:          3,
+				DisableDiskModel: true,
+			}, wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if real.Groups != len(wl.Tasks) {
+				t.Fatalf("group counts differ: real %d, sim %d", real.Groups, len(wl.Tasks))
+			}
+			if real.Succeeded != sim.Succeeded {
+				t.Fatalf("completions differ: real %d, sim %d", real.Succeeded, sim.Succeeded)
+			}
+			// Dedup semantics are timing-dependent for shared files (which
+			// worker fetches a file first), so exact equality only holds per
+			// run; both executors must stay within the same bounds: at least
+			// one copy of every file, at most one copy per worker.
+			lo := float64(nFiles * fileSize)
+			hi := float64(3 * nFiles * fileSize)
+			for name, got := range map[string]float64{
+				"real": float64(real.BytesMoved), "sim": sim.BytesMoved,
+			} {
+				if got < lo || got > hi {
+					t.Fatalf("%s moved %.0f bytes outside [%.0f, %.0f]", name, got, lo, hi)
+				}
+			}
+		})
+	}
+}

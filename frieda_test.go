@@ -1,0 +1,293 @@
+package frieda
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func countingProgram() Program {
+	return FuncProgram(func(ctx context.Context, task Task) (string, error) {
+		total := 0
+		for _, name := range task.Inputs {
+			rc, err := task.Store.Open(name)
+			if err != nil {
+				return "", err
+			}
+			data, err := io.ReadAll(rc)
+			rc.Close()
+			if err != nil {
+				return "", err
+			}
+			total += len(data)
+		}
+		return fmt.Sprintf("%d", total), nil
+	})
+}
+
+func memFiles(n, size int) map[string][]byte {
+	files := map[string][]byte{}
+	for i := 0; i < n; i++ {
+		files[fmt.Sprintf("f%03d.dat", i)] = []byte(strings.Repeat("z", size))
+	}
+	return files
+}
+
+func TestRunRealTime(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	report, err := Run(ctx, RunConfig{
+		Strategy: RealTimeRemote,
+		Dataset:  MemDataset(memFiles(12, 64)),
+		Program:  countingProgram(),
+		Workers:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Succeeded != 12 || report.Failed != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	for _, res := range report.Results {
+		if res.Output != "64" {
+			t.Fatalf("task output = %q", res.Output)
+		}
+	}
+}
+
+func TestRunPrePartitionWithGrouping(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	strat := PrePartitionedRemote
+	strat.Grouping = "pairwise-adjacent"
+	report, err := Run(ctx, RunConfig{
+		Strategy: strat,
+		Dataset:  MemDataset(memFiles(10, 32)),
+		Program:  countingProgram(),
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Groups != 5 || report.Succeeded != 5 {
+		t.Fatalf("report = %+v", report)
+	}
+	for _, res := range report.Results {
+		if res.Output != "64" { // two 32-byte files per group
+			t.Fatalf("pair output = %q", res.Output)
+		}
+	}
+}
+
+func TestRunExternalTemplate(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	report, err := Run(ctx, RunConfig{
+		Strategy: RealTimeRemote,
+		Dataset:  MemDataset(map[string][]byte{"a.txt": []byte("alpha"), "b.txt": []byte("beta")}),
+		Template: []string{"cat", "$inp1"},
+		Workers:  2,
+		WorkDir:  t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Succeeded != 2 {
+		t.Fatalf("report = %+v (%v)", report, report.WorkerErrors)
+	}
+	got := map[string]bool{}
+	for _, res := range report.Results {
+		got[res.Output] = true
+	}
+	if !got["alpha"] || !got["beta"] {
+		t.Fatalf("outputs = %v", got)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, RunConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	ds := MemDataset(memFiles(1, 1))
+	if _, err := Run(ctx, RunConfig{Dataset: ds, Workers: 1}); err == nil {
+		t.Fatal("missing program accepted")
+	}
+	if _, err := Run(ctx, RunConfig{Dataset: ds, Workers: 1, Program: countingProgram(), Template: []string{"cat"}}); err == nil {
+		t.Fatal("both program and template accepted")
+	}
+	if _, err := Run(ctx, RunConfig{Dataset: ds, Workers: 0, Program: countingProgram()}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+func TestSimulateUniform(t *testing.T) {
+	res, err := Simulate(SimConfig{Strategy: RealTimeRemote},
+		UniformSimWorkload("u", 32, 1.0, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded != 32 {
+		t.Fatalf("result = %+v", res)
+	}
+	// 32 tasks / 16 slots ≈ 2 s + small I/O.
+	if res.MakespanSec < 2 || res.MakespanSec > 3 {
+		t.Fatalf("makespan = %.3f", res.MakespanSec)
+	}
+}
+
+func TestSimulateScriptedFailure(t *testing.T) {
+	res, err := Simulate(SimConfig{
+		Strategy:  RealTimeRemote,
+		FailAtSec: map[int]float64{0: 1.5},
+	}, UniformSimWorkload("f", 64, 1.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abandoned == 0 {
+		t.Fatal("scripted failure lost no work")
+	}
+	if res.Succeeded+res.Abandoned != 64 {
+		t.Fatalf("accounting: %+v", res)
+	}
+	// With recovery everything completes.
+	res2, err := Simulate(SimConfig{
+		Strategy:  RealTimeRemote,
+		FailAtSec: map[int]float64{0: 1.5},
+		Recover:   true, MaxRetries: 3,
+	}, UniformSimWorkload("f", 64, 1.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Succeeded != 64 {
+		t.Fatalf("recovery incomplete: %+v", res2)
+	}
+}
+
+func TestSimulateElasticAdd(t *testing.T) {
+	base, err := Simulate(SimConfig{Strategy: RealTimeRemote, Workers: 1},
+		UniformSimWorkload("e", 40, 1.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := Simulate(SimConfig{
+		Strategy: RealTimeRemote, Workers: 1,
+		AddWorkerAtSec: []float64{2.0},
+	}, UniformSimWorkload("e", 40, 1.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.MakespanSec >= base.MakespanSec {
+		t.Fatalf("elastic add did not help: %.2f vs %.2f", grown.MakespanSec, base.MakespanSec)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(SimConfig{Workers: -1}, UniformSimWorkload("x", 4, 1, 0)); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if _, err := Simulate(SimConfig{FailAtSec: map[int]float64{99: 1}}, UniformSimWorkload("x", 4, 1, 0)); err == nil {
+		t.Fatal("out-of-range failure index accepted")
+	}
+}
+
+func TestAdvise(t *testing.T) {
+	// ALS-like: transfer-bound -> real-time.
+	name, reason, cfg := Advise(8.75e9, 1250, 0.006, false, 4, 4, 100e6)
+	if cfg.Kind != RealTime {
+		t.Fatalf("ALS advice = %s (%s)", name, reason)
+	}
+	// Resident data -> compute-to-data.
+	_, _, cfg = Advise(8.75e9, 1250, 0, true, 4, 4, 100e6)
+	if cfg.Locality != Local {
+		t.Fatalf("resident advice = %+v", cfg)
+	}
+}
+
+func TestRunCollectsOutputs(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	sink := NewMemStore()
+	prog := FuncProgram(func(ctx context.Context, task Task) (string, error) {
+		rc, err := task.Store.Open(task.Inputs[0])
+		if err != nil {
+			return "", err
+		}
+		data, _ := io.ReadAll(rc)
+		rc.Close()
+		// Register a derived result file for return to the master.
+		result := strings.ToUpper(string(data))
+		if err := task.AddOutput(task.Inputs[0]+".result", strings.NewReader(result)); err != nil {
+			return "", err
+		}
+		return "ok", nil
+	})
+	files := map[string][]byte{}
+	for i := 0; i < 6; i++ {
+		files[fmt.Sprintf("in%02d.txt", i)] = []byte(fmt.Sprintf("payload-%d", i))
+	}
+	report, err := Run(ctx, RunConfig{
+		Strategy:   RealTimeRemote,
+		Dataset:    MemDataset(files),
+		Program:    prog,
+		Workers:    2,
+		OutputSink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Succeeded != 6 {
+		t.Fatalf("report = %+v", report)
+	}
+	if report.OutputBytes == 0 {
+		t.Fatal("no output bytes recorded")
+	}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("in%02d.txt.result", i)
+		data, ok := sink.Bytes(name)
+		if !ok {
+			t.Fatalf("output %s missing from sink", name)
+		}
+		if string(data) != fmt.Sprintf("PAYLOAD-%d", i) {
+			t.Fatalf("output %s = %q", name, data)
+		}
+	}
+}
+
+func TestRunWithoutSinkLeavesOutputsLocal(t *testing.T) {
+	// Without a sink (the paper's evaluated configuration), AddOutput keeps
+	// the file on the worker and nothing extra crosses the wire.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	prog := FuncProgram(func(ctx context.Context, task Task) (string, error) {
+		if err := task.AddOutput("result.bin", strings.NewReader(strings.Repeat("r", 1000))); err != nil {
+			return "", err
+		}
+		if !task.Store.Has("result.bin") {
+			return "", fmt.Errorf("output not stored locally")
+		}
+		return "ok", nil
+	})
+	report, err := Run(ctx, RunConfig{
+		Strategy: RealTimeRemote,
+		Dataset:  MemDataset(map[string][]byte{"a": []byte("xy")}),
+		Program:  prog,
+		Workers:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Succeeded != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	if report.OutputBytes != 0 {
+		t.Fatalf("outputs crossed the wire without a sink: %d bytes", report.OutputBytes)
+	}
+	// Only the 2-byte input moved.
+	if report.BytesMoved != 2 {
+		t.Fatalf("BytesMoved = %d", report.BytesMoved)
+	}
+}

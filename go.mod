@@ -1,0 +1,3 @@
+module frieda
+
+go 1.24

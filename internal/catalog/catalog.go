@@ -1,0 +1,289 @@
+// Package catalog provides file-metadata bookkeeping for FRIEDA: the list of
+// input files the partition generator groups into per-task inputs, the data
+// sources the master reads from, and the replica map that tracks which
+// worker holds which file after distribution.
+package catalog
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FileMeta describes one input file.
+type FileMeta struct {
+	// Name is the file's catalog-unique name (relative path for directory
+	// sources).
+	Name string
+	// Size is the file length in bytes.
+	Size int64
+}
+
+// Catalog is an ordered set of file metadata. Order matters: the paper's
+// pairwise-adjacent grouping is defined on the sorted input list.
+type Catalog struct {
+	files  []FileMeta
+	byName map[string]int
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{byName: make(map[string]int)}
+}
+
+// Add appends a file. Duplicate names are rejected.
+func (c *Catalog) Add(m FileMeta) error {
+	if m.Name == "" {
+		return fmt.Errorf("catalog: empty file name")
+	}
+	if m.Size < 0 {
+		return fmt.Errorf("catalog: negative size for %q", m.Name)
+	}
+	if _, dup := c.byName[m.Name]; dup {
+		return fmt.Errorf("catalog: duplicate file %q", m.Name)
+	}
+	c.byName[m.Name] = len(c.files)
+	c.files = append(c.files, m)
+	return nil
+}
+
+// MustAdd is Add for static test/experiment setup.
+func (c *Catalog) MustAdd(m FileMeta) {
+	if err := c.Add(m); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of files.
+func (c *Catalog) Len() int { return len(c.files) }
+
+// Files returns the files in insertion order. The slice is shared; callers
+// must not mutate it.
+func (c *Catalog) Files() []FileMeta { return c.files }
+
+// Get returns the metadata for name.
+func (c *Catalog) Get(name string) (FileMeta, bool) {
+	i, ok := c.byName[name]
+	if !ok {
+		return FileMeta{}, false
+	}
+	return c.files[i], true
+}
+
+// Names returns the file names in insertion order.
+func (c *Catalog) Names() []string {
+	out := make([]string, len(c.files))
+	for i, f := range c.files {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// TotalSize sums all file sizes.
+func (c *Catalog) TotalSize() int64 {
+	var n int64
+	for _, f := range c.files {
+		n += f.Size
+	}
+	return n
+}
+
+// Sort orders the catalog by name, the canonical order for adjacency-based
+// groupings.
+func (c *Catalog) Sort() {
+	sort.Slice(c.files, func(i, j int) bool { return c.files[i].Name < c.files[j].Name })
+	for i, f := range c.files {
+		c.byName[f.Name] = i
+	}
+}
+
+// Source supplies file contents to the master. Implementations must be safe
+// for concurrent use: the real-time strategy reads many files at once.
+type Source interface {
+	// Open returns a reader for the named file.
+	Open(name string) (io.ReadCloser, error)
+	// Catalog lists the source's files.
+	Catalog() (*Catalog, error)
+}
+
+// DirSource reads files from a directory tree, the way the paper's master
+// consumed an input directory.
+type DirSource struct {
+	root string
+}
+
+// NewDirSource returns a source over the directory root.
+func NewDirSource(root string) *DirSource { return &DirSource{root: root} }
+
+// Open opens the named file under the root. Path escapes are rejected.
+func (s *DirSource) Open(name string) (io.ReadCloser, error) {
+	clean := filepath.Clean(name)
+	if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+		return nil, fmt.Errorf("catalog: path %q escapes source root", name)
+	}
+	return os.Open(filepath.Join(s.root, clean))
+}
+
+// Catalog walks the root and lists regular files sorted by relative path.
+func (s *DirSource) Catalog() (*Catalog, error) {
+	c := New()
+	err := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(s.root, path)
+		if err != nil {
+			return err
+		}
+		return c.Add(FileMeta{Name: filepath.ToSlash(rel), Size: info.Size()})
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Sort()
+	return c, nil
+}
+
+// MemSource is an in-memory source for tests, examples and synthetic
+// workloads.
+type MemSource struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+	order []string
+}
+
+// NewMemSource returns an empty in-memory source.
+func NewMemSource() *MemSource {
+	return &MemSource{files: make(map[string][]byte)}
+}
+
+// Put stores a file, replacing any previous contents under the same name.
+func (s *MemSource) Put(name string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.files[name]; !exists {
+		s.order = append(s.order, name)
+	}
+	s.files[name] = data
+}
+
+// Open returns a reader over the stored bytes.
+func (s *MemSource) Open(name string) (io.ReadCloser, error) {
+	s.mu.RLock()
+	data, ok := s.files[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("catalog: no such file %q", name)
+	}
+	return io.NopCloser(strings.NewReader(string(data))), nil
+}
+
+// Bytes returns the stored contents directly.
+func (s *MemSource) Bytes(name string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.files[name]
+	return data, ok
+}
+
+// Catalog lists stored files sorted by name.
+func (s *MemSource) Catalog() (*Catalog, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := New()
+	names := append([]string(nil), s.order...)
+	sort.Strings(names)
+	for _, n := range names {
+		c.MustAdd(FileMeta{Name: n, Size: int64(len(s.files[n]))})
+	}
+	return c, nil
+}
+
+// Replicas tracks which nodes hold a copy of each file — the master's view
+// of data placement after distribution, and the basis for compute-to-data
+// scheduling.
+type Replicas struct {
+	mu  sync.RWMutex
+	loc map[string]map[string]struct{} // file -> set of node names
+}
+
+// NewReplicas returns an empty replica map.
+func NewReplicas() *Replicas {
+	return &Replicas{loc: make(map[string]map[string]struct{})}
+}
+
+// Add records that node holds file.
+func (r *Replicas) Add(file, node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set, ok := r.loc[file]
+	if !ok {
+		set = make(map[string]struct{})
+		r.loc[file] = set
+	}
+	set[node] = struct{}{}
+}
+
+// Remove forgets one replica (e.g. the node failed).
+func (r *Replicas) Remove(file, node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if set, ok := r.loc[file]; ok {
+		delete(set, node)
+		if len(set) == 0 {
+			delete(r.loc, file)
+		}
+	}
+}
+
+// DropNode forgets every replica on the node and returns the files that
+// lost a copy.
+func (r *Replicas) DropNode(node string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lost []string
+	for file, set := range r.loc {
+		if _, ok := set[node]; ok {
+			delete(set, node)
+			lost = append(lost, file)
+			if len(set) == 0 {
+				delete(r.loc, file)
+			}
+		}
+	}
+	sort.Strings(lost)
+	return lost
+}
+
+// Holders returns the nodes holding file, sorted.
+func (r *Replicas) Holders(file string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	set := r.loc[file]
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether node holds file.
+func (r *Replicas) Has(file, node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.loc[file][node]
+	return ok
+}

@@ -1,0 +1,192 @@
+package catalog
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogAddGet(t *testing.T) {
+	c := New()
+	if err := c.Add(FileMeta{Name: "a.img", Size: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(FileMeta{Name: "b.img", Size: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	m, ok := c.Get("b.img")
+	if !ok || m.Size != 20 {
+		t.Fatalf("Get(b.img) = %+v, %v", m, ok)
+	}
+	if _, ok := c.Get("zzz"); ok {
+		t.Fatal("Get of missing file succeeded")
+	}
+	if c.TotalSize() != 30 {
+		t.Fatalf("TotalSize = %d", c.TotalSize())
+	}
+}
+
+func TestCatalogRejectsBadMeta(t *testing.T) {
+	c := New()
+	if err := c.Add(FileMeta{Name: "", Size: 1}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := c.Add(FileMeta{Name: "x", Size: -1}); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	c.MustAdd(FileMeta{Name: "x", Size: 1})
+	if err := c.Add(FileMeta{Name: "x", Size: 2}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAdd did not panic on duplicate")
+		}
+	}()
+	c.MustAdd(FileMeta{Name: "x", Size: 2})
+}
+
+func TestCatalogSort(t *testing.T) {
+	c := New()
+	c.MustAdd(FileMeta{Name: "c", Size: 1})
+	c.MustAdd(FileMeta{Name: "a", Size: 2})
+	c.MustAdd(FileMeta{Name: "b", Size: 3})
+	c.Sort()
+	names := c.Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("names not sorted: %v", names)
+	}
+	// Index map must follow the sort.
+	m, ok := c.Get("a")
+	if !ok || m.Size != 2 {
+		t.Fatalf("Get(a) after sort = %+v, %v", m, ok)
+	}
+}
+
+func TestMemSource(t *testing.T) {
+	s := NewMemSource()
+	s.Put("q.fasta", []byte("MKV"))
+	s.Put("p.fasta", []byte("AA"))
+	s.Put("q.fasta", []byte("MKVL")) // replace
+	rc, err := s.Open("q.fasta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(data) != "MKVL" {
+		t.Fatalf("contents = %q", data)
+	}
+	if _, err := s.Open("missing"); err == nil {
+		t.Fatal("Open of missing file succeeded")
+	}
+	c, err := s.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := c.Names()
+	want := []string{"p.fasta", "q.fasta"}
+	if len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("catalog names = %v, want %v", names, want)
+	}
+	m, _ := c.Get("q.fasta")
+	if m.Size != 4 {
+		t.Fatalf("size = %d, want 4 (after replace)", m.Size)
+	}
+	if b, ok := s.Bytes("p.fasta"); !ok || string(b) != "AA" {
+		t.Fatalf("Bytes = %q, %v", b, ok)
+	}
+}
+
+func TestDirSource(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "set1")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b.img"), []byte("1234"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "a.img"), []byte("12"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewDirSource(dir)
+	c, err := s.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	rc, err := s.Open("set1/a.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(data) != "12" {
+		t.Fatalf("contents = %q", data)
+	}
+}
+
+func TestDirSourceRejectsEscapes(t *testing.T) {
+	s := NewDirSource(t.TempDir())
+	for _, bad := range []string{"../etc/passwd", "/etc/passwd", "a/../../x"} {
+		if _, err := s.Open(bad); err == nil {
+			t.Fatalf("escape %q accepted", bad)
+		}
+	}
+}
+
+func TestReplicas(t *testing.T) {
+	r := NewReplicas()
+	r.Add("f1", "w0")
+	r.Add("f1", "w1")
+	r.Add("f2", "w1")
+	if !r.Has("f1", "w0") || r.Has("f2", "w0") {
+		t.Fatal("Has wrong")
+	}
+	h := r.Holders("f1")
+	if len(h) != 2 || h[0] != "w0" || h[1] != "w1" {
+		t.Fatalf("Holders = %v", h)
+	}
+	r.Remove("f1", "w0")
+	if r.Has("f1", "w0") {
+		t.Fatal("Remove did not remove")
+	}
+	lost := r.DropNode("w1")
+	if len(lost) != 2 || lost[0] != "f1" || lost[1] != "f2" {
+		t.Fatalf("DropNode lost = %v", lost)
+	}
+	if len(r.Holders("f1")) != 0 {
+		t.Fatal("f1 still has holders")
+	}
+	// Removing from empty map is a no-op.
+	r.Remove("nope", "w9")
+}
+
+// Property: after adding n distinct files, Names has length n, preserves
+// insertion order, and TotalSize is the sum of sizes.
+func TestCatalogInvariantProperty(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		c := New()
+		var want int64
+		for i, s := range sizes {
+			name := string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
+			if err := c.Add(FileMeta{Name: name, Size: int64(s)}); err != nil {
+				return len(sizes) > 26*100 // only duplicates would fail
+			}
+			want += int64(s)
+		}
+		return c.Len() == len(sizes) && c.TotalSize() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

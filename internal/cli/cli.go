@@ -1,0 +1,132 @@
+// Package cli holds flag plumbing shared by the FRIEDA command-line tools:
+// strategy flags, template parsing and report rendering.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"frieda/internal/core"
+	"frieda/internal/strategy"
+)
+
+// StrategyFlags registers the strategy-selection flags on fs and returns a
+// function that resolves them into a validated configuration.
+func StrategyFlags(fs *flag.FlagSet) func() (strategy.Config, error) {
+	mode := fs.String("mode", "real-time", "partitioning mode: no-partition | pre-partition | real-time")
+	locality := fs.String("locality", "remote", "data locality at start: remote | local")
+	placement := fs.String("placement", "data-to-compute", "movement direction: data-to-compute | compute-to-data")
+	grouping := fs.String("grouping", "single", "input grouping: single | one-to-all | pairwise-adjacent | all-to-all | sliding-window")
+	assigner := fs.String("assigner", "round-robin", "pre-partition assignment: round-robin | blocked | size-balanced")
+	multicore := fs.Bool("multicore", true, "clone the program once per worker core")
+	prefetch := fs.Int("prefetch", 1, "real-time groups in flight per slot")
+	common := fs.String("common", "", "comma-separated files staged to every node (e.g. a database)")
+	return func() (strategy.Config, error) {
+		cfg := strategy.Config{
+			Grouping:  *grouping,
+			Assigner:  *assigner,
+			Multicore: *multicore,
+			Prefetch:  *prefetch,
+		}
+		switch *mode {
+		case "no-partition":
+			cfg.Kind = strategy.NoPartition
+		case "pre-partition":
+			cfg.Kind = strategy.PrePartition
+		case "real-time":
+			cfg.Kind = strategy.RealTime
+		default:
+			return cfg, fmt.Errorf("unknown -mode %q", *mode)
+		}
+		switch *locality {
+		case "remote":
+			cfg.Locality = strategy.Remote
+		case "local":
+			cfg.Locality = strategy.Local
+		default:
+			return cfg, fmt.Errorf("unknown -locality %q", *locality)
+		}
+		switch *placement {
+		case "data-to-compute":
+			cfg.Placement = strategy.DataToCompute
+		case "compute-to-data":
+			cfg.Placement = strategy.ComputeToData
+		default:
+			return cfg, fmt.Errorf("unknown -placement %q", *placement)
+		}
+		if *common != "" {
+			for _, f := range strings.Split(*common, ",") {
+				if f = strings.TrimSpace(f); f != "" {
+					cfg.CommonFiles = append(cfg.CommonFiles, f)
+				}
+			}
+		}
+		if err := cfg.Validate(); err != nil {
+			return cfg, err
+		}
+		return cfg, nil
+	}
+}
+
+// SplitTemplate parses a shell-ish template string into argv, honouring
+// simple double-quoted segments: `compare -v "$inp1" $inp2`.
+func SplitTemplate(s string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+		case r == ' ' && !inQuote:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote in template %q", s)
+	}
+	flush()
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty template")
+	}
+	return out, nil
+}
+
+// PrintReport renders a run report as text.
+func PrintReport(w io.Writer, r core.Report) {
+	fmt.Fprintf(w, "strategy:  %s\n", r.Strategy)
+	fmt.Fprintf(w, "groups:    %d (%d succeeded, %d failed)\n", r.Groups, r.Succeeded, r.Failed)
+	fmt.Fprintf(w, "makespan:  %.3fs\n", r.MakespanSec)
+	if r.TransferPhaseSec > 0 {
+		fmt.Fprintf(w, "staging:   %.3fs\n", r.TransferPhaseSec)
+	}
+	fmt.Fprintf(w, "moved:     %d bytes\n", r.BytesMoved)
+	byWorker := map[string]int{}
+	for _, res := range r.Results {
+		if res.OK {
+			byWorker[res.Worker]++
+		}
+	}
+	workers := make([]string, 0, len(byWorker))
+	for name := range byWorker {
+		workers = append(workers, name)
+	}
+	sort.Strings(workers)
+	for _, name := range workers {
+		fmt.Fprintf(w, "  %-10s %d tasks\n", name, byWorker[name])
+	}
+	for _, e := range r.WorkerErrors {
+		fmt.Fprintf(w, "worker error: %s\n", e)
+	}
+}

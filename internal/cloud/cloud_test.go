@@ -1,0 +1,332 @@
+package cloud
+
+import (
+	"testing"
+	"testing/quick"
+
+	"frieda/internal/netsim"
+	"frieda/internal/sim"
+	"frieda/internal/storage"
+)
+
+func TestC1XLargeMatchesPaper(t *testing.T) {
+	if C1XLarge.Cores != 4 {
+		t.Fatalf("cores = %d, want 4", C1XLarge.Cores)
+	}
+	if C1XLarge.MemBytes != 4e9 {
+		t.Fatalf("mem = %v, want 4 GB", C1XLarge.MemBytes)
+	}
+	if C1XLarge.UpBps != netsim.Mbps(100) || C1XLarge.DownBps != netsim.Mbps(100) {
+		t.Fatal("provisioned bandwidth must be 100 Mbps as in the paper")
+	}
+	if err := C1XLarge.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstanceTypeValidate(t *testing.T) {
+	bad := C1XLarge
+	bad.Cores = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero cores accepted")
+	}
+	bad = C1XLarge
+	bad.UpBps = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero uplink accepted")
+	}
+	bad = C1XLarge
+	bad.BootMaxSec = bad.BootMinSec - 1
+	if bad.Validate() == nil {
+		t.Fatal("inverted boot window accepted")
+	}
+}
+
+func TestProvisionBootsAsync(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Options{Seed: 1})
+	vms, err := c.Provision(3, C1XLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := 0
+	c.OnReady(func(*VM) { ready++ })
+	for _, vm := range vms {
+		if vm.State() != StateProvisioning {
+			t.Fatalf("state before boot = %v", vm.State())
+		}
+	}
+	eng.Run()
+	// OnReady registered after Provision still catches boots because boots
+	// are events; all must now be running.
+	if ready != 3 {
+		t.Fatalf("ready callbacks = %d, want 3", ready)
+	}
+	for _, vm := range vms {
+		if !vm.Running() {
+			t.Fatalf("%s not running", vm.Name())
+		}
+		b := float64(vm.BootedAt())
+		if b < C1XLarge.BootMinSec || b > C1XLarge.BootMaxSec {
+			t.Fatalf("%s booted at %v outside [%v,%v]", vm.Name(), b, C1XLarge.BootMinSec, C1XLarge.BootMaxSec)
+		}
+	}
+}
+
+func TestInstantBoot(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Options{Seed: 1, InstantBoot: true})
+	vms, _ := c.Provision(2, C1XLarge)
+	eng.RunUntil(0)
+	for _, vm := range vms {
+		if !vm.Running() || vm.BootedAt() != 0 {
+			t.Fatalf("%s: state=%v bootedAt=%v", vm.Name(), vm.State(), vm.BootedAt())
+		}
+	}
+}
+
+func TestDeterministicBootTimes(t *testing.T) {
+	boot := func(seed int64) []sim.Time {
+		eng := sim.NewEngine()
+		c := New(eng, Options{Seed: seed})
+		vms, _ := c.Provision(5, C1XLarge)
+		eng.Run()
+		out := make([]sim.Time, len(vms))
+		for i, vm := range vms {
+			out[i] = vm.BootedAt()
+		}
+		return out
+	}
+	a, b := boot(42), boot(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	c := boot(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical boot times")
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Options{Seed: 7, InstantBoot: true, FailureMTBFSec: 100})
+	vms, _ := c.Provision(4, C1XLarge)
+	failures := 0
+	c.OnFailure(func(vm *VM) {
+		failures++
+		if vm.State() != StateFailed {
+			t.Fatalf("failed VM in state %v", vm.State())
+		}
+	})
+	eng.RunUntil(10000)
+	if failures != 4 {
+		t.Fatalf("failures = %d, want all 4 within 100×MTBF", failures)
+	}
+	for _, vm := range vms {
+		if vm.Running() {
+			t.Fatalf("%s still running", vm.Name())
+		}
+		if vm.DiedAt() <= 0 {
+			t.Fatalf("%s has no death time", vm.Name())
+		}
+	}
+}
+
+func TestScriptedFail(t *testing.T) {
+	eng := sim.NewEngine()
+	c, vms := Default4VMCluster(eng, 1)
+	var failedAt sim.Time
+	c.OnFailure(func(vm *VM) { failedAt = eng.Now() })
+	eng.Schedule(50, func() { c.Fail(vms[2]) })
+	eng.Run()
+	if failedAt != 50 {
+		t.Fatalf("failure at %v, want 50", failedAt)
+	}
+	if got := len(c.RunningVMs()); got != 3 {
+		t.Fatalf("running VMs = %d, want 3", got)
+	}
+	// Failing again is a no-op.
+	c.Fail(vms[2])
+}
+
+func TestTerminateSuppressesFailureCallbacks(t *testing.T) {
+	eng := sim.NewEngine()
+	c, vms := Default4VMCluster(eng, 1)
+	c.OnFailure(func(*VM) { t.Fatal("terminate fired failure callback") })
+	c.Terminate(vms[0])
+	if vms[0].State() != StateTerminated {
+		t.Fatalf("state = %v", vms[0].State())
+	}
+	eng.Run()
+}
+
+func TestTerminateDuringBoot(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Options{Seed: 3})
+	vms, _ := c.Provision(1, C1XLarge)
+	c.Terminate(vms[0])
+	eng.Run()
+	if vms[0].State() != StateTerminated {
+		t.Fatalf("state = %v, want terminated (boot must not resurrect)", vms[0].State())
+	}
+}
+
+func TestAttachBlock(t *testing.T) {
+	eng := sim.NewEngine()
+	c, vms := Default4VMCluster(eng, 1)
+	v, err := c.AttachBlock(vms[0], storage.DefaultBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Spec().Class != storage.ClassBlock {
+		t.Fatalf("attached class = %v", v.Spec().Class)
+	}
+	if len(vms[0].BlockVolumes()) != 1 {
+		t.Fatal("volume not recorded")
+	}
+	if _, err := c.AttachBlock(vms[0], storage.Spec{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestVMTransfer(t *testing.T) {
+	eng := sim.NewEngine()
+	c, vms := Default4VMCluster(eng, 1)
+	var done sim.Time
+	// 12.5 MB at 100 Mbps = 1 s on the dedicated pair.
+	c.Transfer(vms[0], vms[1], 12.5e6, func(at sim.Time) { done = at })
+	eng.Run()
+	if d := float64(done); d < 0.999 || d > 1.001 {
+		t.Fatalf("transfer took %v, want ~1 s", d)
+	}
+}
+
+func TestProvisionRejectsBadArgs(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Options{})
+	if _, err := c.Provision(0, C1XLarge); err == nil {
+		t.Fatal("zero VMs accepted")
+	}
+	bad := C1XLarge
+	bad.Cores = 0
+	if _, err := c.Provision(1, bad); err == nil {
+		t.Fatal("invalid type accepted")
+	}
+}
+
+func TestVMStateString(t *testing.T) {
+	for s, want := range map[VMState]string{
+		StateProvisioning: "provisioning",
+		StateRunning:      "running",
+		StateFailed:       "failed",
+		StateTerminated:   "terminated",
+		VMState(9):        "VMState(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+// Property: with MTBF failures enabled, every VM that booted eventually has
+// exactly one failure, and failure times are strictly after boot times.
+func TestFailureAfterBootProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		eng := sim.NewEngine()
+		c := New(eng, Options{Seed: seed, FailureMTBFSec: 50})
+		vms, _ := c.Provision(3, C1XLarge)
+		failures := 0
+		c.OnFailure(func(*VM) { failures++ })
+		eng.RunUntil(1e6)
+		if failures != 3 {
+			return false
+		}
+		for _, vm := range vms {
+			if vm.DiedAt() <= vm.BootedAt() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnReadyOnce(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Options{Seed: 1})
+	vms, _ := c.Provision(1, C1XLarge)
+	fired := 0
+	c.OnReadyOnce(vms[0], func() { fired++ })
+	eng.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// Already-running VM: immediate.
+	immediate := 0
+	c.OnReadyOnce(vms[0], func() { immediate++ })
+	if immediate != 1 {
+		t.Fatalf("immediate = %d", immediate)
+	}
+	// A later VM booting must not re-fire the first hook.
+	c.Provision(1, C1XLarge)
+	eng.Run()
+	if fired != 1 {
+		t.Fatalf("hook re-fired: %d", fired)
+	}
+}
+
+func TestSiteAwarePaths(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Options{Seed: 1, InstantBoot: true, FabricBps: netsim.Mbps(10)})
+	vms, _ := c.Provision(3, C1XLarge)
+	eng.RunUntil(eng.Now())
+	a, b, far := vms[0], vms[1], vms[2]
+	c.SetSite(a, 1)
+	c.SetSite(b, 1)
+	c.SetSite(far, 2)
+	if a.Site() != 1 || far.Site() != 2 {
+		t.Fatal("Site not recorded")
+	}
+	// Same non-zero site: two links (no fabric).
+	if got := len(c.TransferPath(a, b)); got != 2 {
+		t.Fatalf("intra-site path length = %d, want 2", got)
+	}
+	// Cross-site: three links including the fabric.
+	if got := len(c.TransferPath(a, far)); got != 3 {
+		t.Fatalf("cross-site path length = %d, want 3", got)
+	}
+	// Default site 0 keeps the fabric (oversubscribed-core semantics).
+	d := New(eng, Options{Seed: 2, InstantBoot: true, FabricBps: netsim.Mbps(10)})
+	dv, _ := d.Provision(2, C1XLarge)
+	eng.RunUntil(eng.Now())
+	if got := len(d.TransferPath(dv[0], dv[1])); got != 3 {
+		t.Fatalf("site-0 path length = %d, want 3 (fabric included)", got)
+	}
+}
+
+func TestIntraSiteBypassSpeeds(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Options{Seed: 1, InstantBoot: true, FabricBps: netsim.Mbps(10)})
+	vms, _ := c.Provision(2, C1XLarge)
+	eng.RunUntil(eng.Now())
+	c.SetSite(vms[0], 1)
+	c.SetSite(vms[1], 1)
+	var done sim.Time
+	// 12.5 MB at the NIC's 100 Mbps (fabric bypassed) = 1 s; through the
+	// 10 Mbps fabric it would take 10 s.
+	c.Transfer(vms[0], vms[1], 12.5e6, func(at sim.Time) { done = at })
+	eng.Run()
+	if d := float64(done); d < 0.99 || d > 1.01 {
+		t.Fatalf("intra-site transfer took %v, want ~1 s", d)
+	}
+}

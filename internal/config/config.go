@@ -1,0 +1,176 @@
+// Package config defines FRIEDA's on-disk job specification: a JSON
+// document describing the dataset, program template, cluster shape and
+// data-management strategy of one run. The cmd tools accept it via
+// -config, so a job is a reviewable artefact rather than a flag soup.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"frieda/internal/strategy"
+)
+
+// Job is one run specification.
+type Job struct {
+	// Name labels logs and history records.
+	Name string `json:"name"`
+	// Input is the dataset directory.
+	Input string `json:"input"`
+	// Template is the program execution syntax with $inpN placeholders.
+	Template []string `json:"template"`
+	// Workers is the worker count; CoresPerWorker the per-node cores.
+	Workers        int `json:"workers"`
+	CoresPerWorker int `json:"cores_per_worker"`
+	// Strategy selects the data-management behaviour.
+	Strategy StrategySpec `json:"strategy"`
+	// WorkDir is the worker store root ("" = temp).
+	WorkDir string `json:"work_dir,omitempty"`
+	// ThrottleBytesPerSec emulates provisioned bandwidth in the in-process
+	// transport (0 = unthrottled).
+	ThrottleBytesPerSec float64 `json:"throttle_bytes_per_sec,omitempty"`
+	// Recover enables lost-work requeue; MaxRetries bounds attempts.
+	Recover    bool `json:"recover,omitempty"`
+	MaxRetries int  `json:"max_retries,omitempty"`
+}
+
+// StrategySpec is the JSON shape of a strategy.
+type StrategySpec struct {
+	// Mode: "no-partition" | "pre-partition" | "real-time" (default).
+	Mode string `json:"mode"`
+	// Locality: "remote" (default) | "local".
+	Locality string `json:"locality,omitempty"`
+	// Placement: "data-to-compute" (default) | "compute-to-data".
+	Placement string `json:"placement,omitempty"`
+	// Grouping: "single" (default) | "one-to-all" | "pairwise-adjacent" |
+	// "all-to-all" | "sliding-window".
+	Grouping string `json:"grouping,omitempty"`
+	// Assigner: "round-robin" (default) | "blocked" | "size-balanced".
+	Assigner string `json:"assigner,omitempty"`
+	// Multicore clones the program per core.
+	Multicore bool `json:"multicore,omitempty"`
+	// Prefetch is the real-time pipeline depth per slot (default 1).
+	Prefetch int `json:"prefetch,omitempty"`
+	// Common lists files staged to every node.
+	Common []string `json:"common,omitempty"`
+}
+
+// Resolve converts the spec into a validated strategy configuration.
+func (s StrategySpec) Resolve() (strategy.Config, error) {
+	cfg := strategy.Config{
+		Grouping:    s.Grouping,
+		Assigner:    s.Assigner,
+		Multicore:   s.Multicore,
+		Prefetch:    s.Prefetch,
+		CommonFiles: s.Common,
+	}
+	switch s.Mode {
+	case "no-partition":
+		cfg.Kind = strategy.NoPartition
+	case "pre-partition":
+		cfg.Kind = strategy.PrePartition
+	case "real-time", "":
+		cfg.Kind = strategy.RealTime
+	default:
+		return cfg, fmt.Errorf("config: unknown strategy mode %q", s.Mode)
+	}
+	switch s.Locality {
+	case "remote", "":
+		cfg.Locality = strategy.Remote
+	case "local":
+		cfg.Locality = strategy.Local
+	default:
+		return cfg, fmt.Errorf("config: unknown locality %q", s.Locality)
+	}
+	switch s.Placement {
+	case "data-to-compute", "":
+		cfg.Placement = strategy.DataToCompute
+	case "compute-to-data":
+		cfg.Placement = strategy.ComputeToData
+	default:
+		return cfg, fmt.Errorf("config: unknown placement %q", s.Placement)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// Validate checks the job for completeness.
+func (j *Job) Validate() error {
+	if j.Input == "" {
+		return fmt.Errorf("config: job %q has no input directory", j.Name)
+	}
+	if len(j.Template) == 0 {
+		return fmt.Errorf("config: job %q has no template", j.Name)
+	}
+	if j.Workers < 1 {
+		return fmt.Errorf("config: job %q has %d workers", j.Name, j.Workers)
+	}
+	if j.CoresPerWorker == 0 {
+		j.CoresPerWorker = 4
+	}
+	if j.CoresPerWorker < 1 {
+		return fmt.Errorf("config: job %q has %d cores per worker", j.Name, j.CoresPerWorker)
+	}
+	if j.ThrottleBytesPerSec < 0 {
+		return fmt.Errorf("config: job %q has negative throttle", j.Name)
+	}
+	if j.MaxRetries < 0 {
+		return fmt.Errorf("config: job %q has negative max_retries", j.Name)
+	}
+	if _, err := j.Strategy.Resolve(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Read parses and validates a job from JSON. Unknown fields are rejected:
+// a typo in a job spec must not silently become a default.
+func Read(r io.Reader) (*Job, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var j Job
+	if err := dec.Decode(&j); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Load reads a job file.
+func Load(path string) (*Job, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Write renders the job as indented JSON.
+func (j *Job) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+// Example returns a documented template job, printed by `frieda -config-example`.
+func Example() *Job {
+	return &Job{
+		Name:           "image-comparison",
+		Input:          "/data/beamline/run42",
+		Template:       []string{"compare", "-quiet", "$inp1", "$inp2"},
+		Workers:        4,
+		CoresPerWorker: 4,
+		Strategy: StrategySpec{
+			Mode:      "real-time",
+			Grouping:  "pairwise-adjacent",
+			Multicore: true,
+		},
+	}
+}

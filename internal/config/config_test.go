@@ -1,0 +1,120 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"frieda/internal/strategy"
+)
+
+const goodJob = `{
+  "name": "als",
+  "input": "/data/images",
+  "template": ["compare", "$inp1", "$inp2"],
+  "workers": 4,
+  "cores_per_worker": 4,
+  "strategy": {
+    "mode": "real-time",
+    "grouping": "pairwise-adjacent",
+    "multicore": true
+  }
+}`
+
+func TestReadGoodJob(t *testing.T) {
+	j, err := Read(strings.NewReader(goodJob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Name != "als" || j.Workers != 4 || len(j.Template) != 3 {
+		t.Fatalf("job = %+v", j)
+	}
+	cfg, err := j.Strategy.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Kind != strategy.RealTime || cfg.Grouping != "pairwise-adjacent" || !cfg.Multicore {
+		t.Fatalf("strategy = %+v", cfg)
+	}
+}
+
+func TestReadRejectsUnknownFields(t *testing.T) {
+	bad := strings.Replace(goodJob, `"name"`, `"nmae"`, 1)
+	if _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Fatal("typo field accepted")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []func(*Job){
+		func(j *Job) { j.Input = "" },
+		func(j *Job) { j.Template = nil },
+		func(j *Job) { j.Workers = 0 },
+		func(j *Job) { j.CoresPerWorker = -1 },
+		func(j *Job) { j.ThrottleBytesPerSec = -5 },
+		func(j *Job) { j.MaxRetries = -1 },
+		func(j *Job) { j.Strategy.Mode = "bogus" },
+		func(j *Job) { j.Strategy.Locality = "bogus" },
+		func(j *Job) { j.Strategy.Placement = "bogus" },
+		func(j *Job) { j.Strategy.Grouping = "bogus" },
+		func(j *Job) { j.Strategy.Assigner = "bogus" },
+	}
+	for i, mutate := range cases {
+		j, err := Read(strings.NewReader(goodJob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(j)
+		if j.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestValidateDefaultsCores(t *testing.T) {
+	j, _ := Read(strings.NewReader(goodJob))
+	j.CoresPerWorker = 0
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if j.CoresPerWorker != 4 {
+		t.Fatalf("cores default = %d", j.CoresPerWorker)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := Example()
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.Strategy.Grouping != orig.Strategy.Grouping {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestExampleIsValid(t *testing.T) {
+	if err := Example().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveDefaults(t *testing.T) {
+	cfg, err := (StrategySpec{}).Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Kind != strategy.RealTime || cfg.Locality != strategy.Remote {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/job.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"context"
+
+	"sync"
+	"testing"
+	"time"
+
+	"frieda/internal/protocol"
+	"frieda/internal/strategy"
+	"frieda/internal/transport"
+)
+
+// recordingTransport wraps a transport and logs every message type each
+// connection carries, tagged by direction, so tests can assert the paper's
+// Figure 4 event sequence.
+type recordingTransport struct {
+	inner transport.Transport
+	mu    sync.Mutex
+	log   []string
+}
+
+func (r *recordingTransport) record(ev string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.log = append(r.log, ev)
+}
+
+func (r *recordingTransport) events() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.log...)
+}
+
+func (r *recordingTransport) Listen(addr string) (transport.Listener, error) {
+	return r.inner.Listen(addr)
+}
+
+func (r *recordingTransport) Dial(addr string) (transport.Conn, error) {
+	c, err := r.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &recordingConn{Conn: c, tr: r}, nil
+}
+
+type recordingConn struct {
+	transport.Conn
+	tr *recordingTransport
+}
+
+func (c *recordingConn) Send(m *protocol.Message) error {
+	c.tr.record("send:" + m.Type.String())
+	return c.Conn.Send(m)
+}
+
+func (c *recordingConn) Recv() (*protocol.Message, error) {
+	m, err := c.Conn.Recv()
+	if err == nil {
+		c.tr.record("recv:" + m.Type.String())
+	}
+	return m, err
+}
+
+// TestProtocolSequenceMatchesFigure4 runs one real-time deployment and
+// asserts the component-interaction sequence of the paper's Figure 4:
+// initialise/register, connection acknowledgement, data request, data send,
+// execution, status — in that order.
+func TestProtocolSequenceMatchesFigure4(t *testing.T) {
+	rec := &recordingTransport{inner: transport.NewMem(nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	ctl, err := NewController(ControllerConfig{
+		Strategy:        strategy.Config{Kind: strategy.RealTime},
+		Transport:       rec,
+		MasterAddr:      "master",
+		InProcessMaster: true,
+		Master:          MasterConfig{Source: sourceWithFiles(3, 16)},
+		Workers:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.SpawnWorker(ctx, WorkerConfig{
+		Name: "w0", Cores: 1,
+		Program: FuncProgram(func(context.Context, Task) (string, error) { return "ok", nil }),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctl.Shutdown()
+
+	events := rec.events()
+	// Note: the recorder sees the DIALER side of every connection — the
+	// controller's control channel and the worker's channel. Master-side
+	// sends appear as worker recvs.
+	first := func(ev string) int {
+		for i, e := range events {
+			if e == ev {
+				return i
+			}
+		}
+		return -1
+	}
+	order := []string{
+		"send:START_MASTER",        // controller initialises the master
+		"recv:ACK",                 // master acknowledges
+		"send:FORK_REMOTE_WORKERS", // controller announces workers
+		"send:REGISTER",            // worker initialises and registers
+		"send:REQUEST_DATA",        // worker requests data
+		"recv:FILE_DATA",           // master sends data
+		"recv:EXECUTE",             // execution order
+		"send:TASK_STATUS",         // worker returns status
+	}
+	prev := -1
+	for _, ev := range order {
+		idx := first(ev)
+		if idx < 0 {
+			t.Fatalf("event %s never observed in %v", ev, events)
+		}
+		if idx <= prev {
+			t.Fatalf("event %s out of order (index %d after %d):\n%v", ev, idx, prev, events)
+		}
+		prev = idx
+	}
+	// And the worker-side causality: data precedes execution precedes
+	// status for the first task.
+	if !(first("recv:FILE_DATA") < first("recv:EXECUTE") &&
+		first("recv:EXECUTE") < first("send:TASK_STATUS")) {
+		t.Fatalf("data/execute/status causality broken:\n%v", events)
+	}
+	// Run closure: both channels deliver their end-of-run message after the
+	// last status (their order relative to each other is cross-connection
+	// and unordered).
+	lastStatus := -1
+	for i, e := range events {
+		if e == "send:TASK_STATUS" {
+			lastStatus = i
+		}
+	}
+	for _, ev := range []string{"recv:NO_MORE_DATA", "recv:MASTER_DONE"} {
+		idx := first(ev)
+		if idx < 0 {
+			t.Fatalf("event %s never observed:\n%v", ev, events)
+		}
+		if idx < lastStatus {
+			t.Fatalf("%s before the last TASK_STATUS:\n%v", ev, events)
+		}
+	}
+}
+
+// TestProtocolSequencePrePartition asserts the pre-partitioning variant:
+// the partition announcement (DISTRIBUTE_FILES) and all payloads precede
+// any EXECUTE (the strict two-phase of Section II-C).
+func TestProtocolSequencePrePartition(t *testing.T) {
+	rec := &recordingTransport{inner: transport.NewMem(nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	ctl, err := NewController(ControllerConfig{
+		Strategy:        strategy.Config{Kind: strategy.PrePartition},
+		Transport:       rec,
+		MasterAddr:      "master",
+		InProcessMaster: true,
+		Master:          MasterConfig{Source: sourceWithFiles(4, 16)},
+		Workers:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.SpawnWorker(ctx, WorkerConfig{
+		Name: "w0", Cores: 1,
+		Program: FuncProgram(func(context.Context, Task) (string, error) { return "ok", nil }),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctl.Shutdown()
+
+	events := rec.events()
+	sawDistribute := false
+	payloads := 0
+	for _, e := range events {
+		switch e {
+		case "recv:DISTRIBUTE_FILES":
+			sawDistribute = true
+		case "recv:FILE_DATA":
+			if !sawDistribute {
+				t.Fatalf("payload before DISTRIBUTE_FILES:\n%v", events)
+			}
+			payloads++
+		case "recv:EXECUTE":
+			if payloads < 4 {
+				t.Fatalf("EXECUTE before all 4 payloads arrived (%d):\n%v", payloads, events)
+			}
+		}
+	}
+	if !sawDistribute {
+		t.Fatalf("no DISTRIBUTE_FILES observed:\n%v", events)
+	}
+}

@@ -1,0 +1,1111 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"frieda/internal/catalog"
+	"frieda/internal/partition"
+	"frieda/internal/protocol"
+	"frieda/internal/strategy"
+	"frieda/internal/transport"
+)
+
+// DefaultChunkSize is the file-transfer chunk size. 256 KiB balances framing
+// overhead against scheduling granularity, like scp's internal buffering in
+// the paper's prototype.
+const DefaultChunkSize = 256 << 10
+
+// MasterConfig configures the execution-plane master.
+type MasterConfig struct {
+	// Strategy is the data-management strategy. The controller may override
+	// it at start or run time (PARTITION_TYPE).
+	Strategy strategy.Config
+	// Template is the execution syntax sent to workers that have no
+	// in-process Program.
+	Template []string
+	// Source supplies input files. The master must run close to the source
+	// (paper, Section II-B); in this implementation it IS the source
+	// endpoint.
+	Source catalog.Source
+	// Transport and Addr is where the master listens.
+	Transport transport.Transport
+	Addr      string
+	// ExpectedWorkers, when > 0, starts execution once that many workers
+	// registered (the controller's FORK_REMOTE_WORKERS can set it too).
+	ExpectedWorkers int
+	// ChunkSize overrides DefaultChunkSize.
+	ChunkSize int
+	// Recover enables the paper's future-work extension: failed tasks and
+	// the in-flight work of dead workers are requeued (up to MaxRetries per
+	// group) instead of abandoned.
+	Recover bool
+	// MaxRetries bounds per-group retries under Recover (default 2).
+	MaxRetries int
+	// OutputSink, when set, collects result files the programs register
+	// via Task.AddOutput — the paper's "results transferred to the master"
+	// option. Nil leaves outputs on the workers (the evaluated setup).
+	OutputSink Store
+	// Logf, when set, receives diagnostic log lines.
+	Logf func(format string, args ...any)
+}
+
+// masterWorker is the master's bookkeeping for one registered worker.
+type masterWorker struct {
+	name        string
+	conn        transport.Conn
+	cores       int
+	slots       int
+	backlog     []int        // assigned, not yet dispatched (pre-partition)
+	outstanding map[int]bool // dispatched, not yet reported
+	dead        bool
+	draining    bool
+}
+
+// Master is the execution-plane coordinator: it partitions input data,
+// transfers payloads and farms out executions according to the strategy the
+// controller selected.
+type Master struct {
+	cfg MasterConfig
+
+	mu          sync.Mutex
+	strat       strategy.Config
+	expected    int
+	workers     map[string]*masterWorker
+	order       []string
+	catalogue   *catalog.Catalog
+	groups      []partition.Group
+	queue       []int // pending groups (real-time) or requeues
+	inflight    map[int]string
+	retries     map[int]int
+	terminal    int
+	results     []protocol.TaskResult
+	workerErrs  []string
+	replicas    *catalog.Replicas
+	controller  transport.Conn
+	started     bool
+	planning    bool // true between start and initial work distribution
+	startedAt   time.Time
+	finishedAt  time.Time
+	transfers   float64 // pre-partition transfer-phase wall seconds
+	bytesMoved  int64
+	outputBytes int64
+
+	listener transport.Listener
+	ctx      context.Context
+	done     chan struct{}
+	doneOnce sync.Once
+	wg       sync.WaitGroup
+
+	// configured is closed once the master knows its strategy/template —
+	// either at construction (library mode presets) or when the controller
+	// sends START_MASTER. Worker admission waits on it so that a worker
+	// racing ahead of the controller is not initialised with an empty
+	// execution syntax.
+	configured     chan struct{}
+	configuredOnce sync.Once
+}
+
+// NewMaster validates the configuration.
+func NewMaster(cfg MasterConfig) (*Master, error) {
+	if cfg.Source == nil {
+		return nil, errors.New("core: master needs a source")
+	}
+	if cfg.Transport == nil || cfg.Addr == "" {
+		return nil, errors.New("core: master needs a transport address")
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = DefaultChunkSize
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 2
+	}
+	strat := cfg.Strategy
+	if err := strat.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Master{
+		cfg:        cfg,
+		strat:      strat,
+		expected:   cfg.ExpectedWorkers,
+		workers:    make(map[string]*masterWorker),
+		inflight:   make(map[int]string),
+		retries:    make(map[int]int),
+		replicas:   catalog.NewReplicas(),
+		done:       make(chan struct{}),
+		configured: make(chan struct{}),
+	}
+	if len(cfg.Template) > 0 || cfg.ExpectedWorkers > 0 {
+		// Library mode: everything a worker needs is preset.
+		m.markConfigured()
+	}
+	return m, nil
+}
+
+// markConfigured releases worker admission.
+func (m *Master) markConfigured() {
+	m.configuredOnce.Do(func() { close(m.configured) })
+}
+
+// logf writes a diagnostic line when logging is configured.
+func (m *Master) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf("master: "+format, args...)
+	}
+}
+
+// Addr returns the bound listen address once Serve has started.
+func (m *Master) Addr() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.listener == nil {
+		return m.cfg.Addr
+	}
+	return m.listener.Addr()
+}
+
+// Done is closed when every group reached a terminal state.
+func (m *Master) Done() <-chan struct{} { return m.done }
+
+// Serve listens and coordinates until all work completes and the listener
+// closes, or ctx is cancelled. Call it on its own goroutine; use Done to
+// learn completion.
+func (m *Master) Serve(ctx context.Context) error {
+	l, err := m.cfg.Transport.Listen(m.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.listener = l
+	m.ctx = ctx
+	m.mu.Unlock()
+	go func() {
+		select {
+		case <-ctx.Done():
+			l.Close()
+		case <-m.done:
+			// Keep serving control connections until shutdown; workers are
+			// gone but the controller may still fetch reports. The listener
+			// closes on ctx cancel or TShutdown.
+		}
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			m.wg.Wait()
+			if ctx.Err() != nil || errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn classifies a new connection by its first message.
+func (m *Master) handleConn(conn transport.Conn) {
+	first, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch first.Type {
+	case protocol.TStartMaster:
+		m.handleController(conn, first)
+	case protocol.TRegister:
+		m.handleWorker(conn, first)
+	default:
+		m.logf("rejecting connection opening with %s", first.Type)
+		conn.Close()
+	}
+}
+
+// --- Controller side ---
+
+// handleController runs the control-channel loop. The open channel lets the
+// controller re-configure the master at run time without restart
+// (Section II-D).
+func (m *Master) handleController(conn transport.Conn, start *protocol.Message) {
+	m.mu.Lock()
+	m.controller = conn
+	if start.Strategy.Kind != "" {
+		if s, err := strategyFromInfo(start.Strategy); err == nil {
+			m.strat = s
+		} else {
+			m.mu.Unlock()
+			conn.Send(&protocol.Message{Type: protocol.TAck, Error: err.Error(), Seq: start.Seq})
+			conn.Close()
+			return
+		}
+	}
+	if len(start.Template) > 0 {
+		m.cfg.Template = start.Template
+	}
+	m.mu.Unlock()
+	m.markConfigured()
+	conn.Send(&protocol.Message{Type: protocol.TAck, Seq: start.Seq})
+
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			m.mu.Lock()
+			if m.controller == conn {
+				m.controller = nil
+			}
+			m.mu.Unlock()
+			return
+		}
+		switch msg.Type {
+		case protocol.TForkWorkers:
+			m.mu.Lock()
+			m.expected = msg.Workers
+			m.mu.Unlock()
+			conn.Send(&protocol.Message{Type: protocol.TAck, Seq: msg.Seq})
+			m.maybeStart()
+		case protocol.TPartitionType:
+			var errStr string
+			m.mu.Lock()
+			if m.started {
+				errStr = "execution already started; strategy is immutable mid-run"
+			} else if s, err := strategyFromInfo(msg.Strategy); err != nil {
+				errStr = err.Error()
+			} else {
+				m.strat = s
+			}
+			m.mu.Unlock()
+			conn.Send(&protocol.Message{Type: protocol.TAck, Error: errStr, Seq: msg.Seq})
+		case protocol.TRemoveWorker:
+			err := m.RemoveWorker(msg.Worker)
+			errStr := ""
+			if err != nil {
+				errStr = err.Error()
+			}
+			conn.Send(&protocol.Message{Type: protocol.TAck, Error: errStr, Seq: msg.Seq})
+		case protocol.TShutdown:
+			conn.Send(&protocol.Message{Type: protocol.TAck, Seq: msg.Seq})
+			m.mu.Lock()
+			l := m.listener
+			m.mu.Unlock()
+			if l != nil {
+				l.Close()
+			}
+			return
+		default:
+			conn.Send(&protocol.Message{Type: protocol.TAck, Error: "unexpected " + msg.Type.String(), Seq: msg.Seq})
+		}
+	}
+}
+
+// --- Worker side ---
+
+// handleWorker admits a worker and runs its message loop.
+func (m *Master) handleWorker(conn transport.Conn, reg *protocol.Message) {
+	// Wait for the controller's START_MASTER so the registration ack
+	// carries the real strategy and template (workers may race ahead of
+	// the controller at deployment time).
+	m.mu.Lock()
+	ctx := m.ctx
+	m.mu.Unlock()
+	select {
+	case <-m.configured:
+	case <-m.done:
+		conn.Close()
+		return
+	case <-ctx.Done():
+		conn.Close()
+		return
+	}
+	m.mu.Lock()
+	if _, dup := m.workers[reg.Worker]; dup || reg.Worker == "" {
+		m.mu.Unlock()
+		conn.Send(&protocol.Message{Type: protocol.TAck, Error: "duplicate or empty worker name"})
+		conn.Close()
+		return
+	}
+	slots := 1
+	if m.strat.Multicore && reg.Cores > 1 {
+		slots = reg.Cores
+	}
+	w := &masterWorker{
+		name:        reg.Worker,
+		conn:        conn,
+		cores:       reg.Cores,
+		slots:       slots,
+		outstanding: make(map[int]bool),
+	}
+	m.workers[w.name] = w
+	m.order = append(m.order, w.name)
+	template := m.cfg.Template
+	common := m.strat.CommonFiles
+	m.mu.Unlock()
+
+	if err := conn.Send(&protocol.Message{
+		Type: protocol.TAck, Cores: slots, Template: template,
+		ReturnOutputs: m.cfg.OutputSink != nil,
+	}); err != nil {
+		m.workerDied(w, err)
+		return
+	}
+	m.logf("worker %s registered (%d cores, %d slots)", w.name, reg.Cores, slots)
+
+	// Stage common files (e.g. the BLAST database) before any dispatch to
+	// this worker. Local-data strategies skip network staging.
+	if len(common) > 0 && m.strat.Locality == strategy.Remote {
+		for _, name := range common {
+			if err := m.streamFile(w, name); err != nil {
+				m.workerDied(w, fmt.Errorf("staging common file %s: %w", name, err))
+				return
+			}
+		}
+	}
+
+	m.maybeStart()
+	m.dispatch(w)
+
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			m.workerDied(w, err)
+			return
+		}
+		switch msg.Type {
+		case protocol.TRequestData:
+			m.dispatch(w)
+		case protocol.TTaskStatus:
+			m.completeTask(w, msg.Result)
+		case protocol.TFileData:
+			if m.cfg.OutputSink == nil {
+				m.logf("worker %s returned output %s but no sink is configured", w.name, msg.FileName)
+				continue
+			}
+			if err := m.cfg.OutputSink.Append(msg.FileName, msg.Offset, msg.Data); err != nil {
+				m.logf("storing output %s from %s: %v", msg.FileName, w.name, err)
+				continue
+			}
+			m.mu.Lock()
+			m.outputBytes += int64(len(msg.Data))
+			m.mu.Unlock()
+		default:
+			m.logf("worker %s sent unexpected %s", w.name, msg.Type)
+		}
+	}
+}
+
+// maybeStart begins execution once the strategy is known and the expected
+// worker count has registered.
+func (m *Master) maybeStart() {
+	m.mu.Lock()
+	if m.started || m.expected <= 0 || len(m.workers) < m.expected {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.planning = true
+	m.startedAt = time.Now()
+	m.mu.Unlock()
+	go m.runStrategy()
+}
+
+// runStrategy builds the partition plan and drives the strategy's data
+// movement.
+func (m *Master) runStrategy() {
+	cat, err := m.cfg.Source.Catalog()
+	if err != nil {
+		m.fatal(fmt.Errorf("cataloguing source: %w", err))
+		return
+	}
+	m.mu.Lock()
+	strat := m.strat
+	m.mu.Unlock()
+
+	// Common files are staged separately; exclude them from partitioning.
+	commonSet := make(map[string]bool, len(strat.CommonFiles))
+	for _, c := range strat.CommonFiles {
+		commonSet[c] = true
+	}
+	inputs := catalog.New()
+	for _, f := range cat.Files() {
+		if !commonSet[f.Name] {
+			inputs.MustAdd(f)
+		}
+	}
+
+	gen, err := strat.Generator()
+	if err != nil {
+		m.fatal(err)
+		return
+	}
+	groups, err := gen.Generate(inputs)
+	if err != nil {
+		m.fatal(err)
+		return
+	}
+
+	m.mu.Lock()
+	m.catalogue = cat
+	m.groups = groups
+	workers := m.liveWorkersLocked()
+	m.mu.Unlock()
+	m.logf("execution starts: %d groups, %d workers, strategy %s", len(groups), len(workers), strat)
+
+	switch strat.Kind {
+	case strategy.PrePartition:
+		m.runPrePartition(strat, groups, workers)
+	case strategy.NoPartition:
+		m.runNoPartition(groups, workers)
+	case strategy.RealTime:
+		m.mu.Lock()
+		for i := range groups {
+			m.queue = append(m.queue, i)
+		}
+		m.planning = false
+		m.mu.Unlock()
+		for _, w := range workers {
+			m.dispatch(w)
+		}
+	}
+	m.checkDone()
+}
+
+// liveWorkersLocked snapshots live workers sorted by name (deterministic
+// assignment regardless of registration races).
+func (m *Master) liveWorkersLocked() []*masterWorker {
+	out := make([]*masterWorker, 0, len(m.workers))
+	for _, w := range m.workers {
+		if !w.dead && !w.draining {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// runPrePartition implements the two sequential phases of Section II-C:
+// transfer everything first, then execute.
+func (m *Master) runPrePartition(strat strategy.Config, groups []partition.Group, workers []*masterWorker) {
+	assigner, err := strategy.AssignerByName(strat.Assigner)
+	if err != nil {
+		m.fatal(err)
+		return
+	}
+	assignment, err := assigner.Assign(groups, len(workers))
+	if err != nil {
+		m.fatal(err)
+		return
+	}
+	per := assignment.PerWorker()
+
+	transferStart := time.Now()
+	if strat.Locality == strategy.Remote {
+		var wg sync.WaitGroup
+		for wi, w := range workers {
+			wg.Add(1)
+			go func(w *masterWorker, groupIdx []int) {
+				defer wg.Done()
+				// Announce the partition, then stream its unique files.
+				var infos []protocol.FileInfo
+				seen := map[string]bool{}
+				for _, gi := range groupIdx {
+					for _, f := range groups[gi].Files {
+						if !seen[f.Name] {
+							seen[f.Name] = true
+							infos = append(infos, protocol.FileInfo{Name: f.Name, Size: f.Size})
+						}
+					}
+				}
+				if w.conn.Send(&protocol.Message{Type: protocol.TDistribute, Files: infos, Groups: groupIdx}) != nil {
+					return
+				}
+				for _, info := range infos {
+					if err := m.streamFile(w, info.Name); err != nil {
+						m.workerDied(w, err)
+						return
+					}
+				}
+			}(w, per[wi])
+		}
+		wg.Wait()
+	}
+	m.mu.Lock()
+	m.transfers = time.Since(transferStart).Seconds()
+	// Queue each worker's backlog; dispatch paces executions per slot.
+	for wi, w := range workers {
+		if w.dead {
+			// Its partition is lost; treat like a death with backlog.
+			continue
+		}
+		w.backlog = append(w.backlog, per[wi]...)
+	}
+	// Groups assigned to workers that died during transfer must be
+	// accounted: requeue under Recover, abandon otherwise.
+	for wi, w := range workers {
+		if !w.dead {
+			continue
+		}
+		m.reassignLocked(w, per[wi])
+	}
+	m.planning = false
+	m.mu.Unlock()
+	m.logf("pre-partition transfer phase done in %.3fs", m.transfers)
+	for _, w := range workers {
+		m.dispatch(w)
+	}
+}
+
+// runNoPartition replicates the complete dataset to every node, then farms
+// tasks real-time (no further data movement is needed).
+func (m *Master) runNoPartition(groups []partition.Group, workers []*masterWorker) {
+	transferStart := time.Now()
+	m.mu.Lock()
+	files := m.catalogue.Files()
+	locality := m.strat.Locality
+	m.mu.Unlock()
+	if locality == strategy.Remote {
+		var wg sync.WaitGroup
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *masterWorker) {
+				defer wg.Done()
+				for _, f := range files {
+					if err := m.streamFile(w, f.Name); err != nil {
+						m.workerDied(w, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	m.mu.Lock()
+	m.transfers = time.Since(transferStart).Seconds()
+	for i := range groups {
+		m.queue = append(m.queue, i)
+	}
+	m.planning = false
+	m.mu.Unlock()
+	for _, w := range workers {
+		m.dispatch(w)
+	}
+}
+
+// dispatchAction is one reserved group dispatch, performed outside the lock.
+type dispatchAction struct {
+	group partition.Group
+	send  bool // stream files (remote real-time dispatch)
+}
+
+// dispatch hands the worker as much work as its slots (× prefetch) allow.
+func (m *Master) dispatch(w *masterWorker) {
+	m.mu.Lock()
+	if !m.started || w.dead || w.draining {
+		m.mu.Unlock()
+		return
+	}
+	limit := w.slots
+	if m.strat.Kind == strategy.RealTime && m.strat.Prefetch > 1 {
+		limit = w.slots * m.strat.Prefetch
+	}
+	var actions []dispatchAction
+	for len(w.outstanding) < limit {
+		gi, ok := m.nextGroupLocked(w)
+		if !ok {
+			break
+		}
+		w.outstanding[gi] = true
+		m.inflight[gi] = w.name
+		needsTransfer := m.strat.Locality == strategy.Remote && m.strat.Kind != strategy.PrePartition
+		actions = append(actions, dispatchAction{group: m.groups[gi], send: needsTransfer})
+	}
+	conn := w.conn
+	m.mu.Unlock()
+	if len(actions) == 0 {
+		return
+	}
+	go func() {
+		for _, a := range actions {
+			if a.send {
+				for _, f := range a.group.Files {
+					if err := m.streamFile(w, f.Name); err != nil {
+						m.workerDied(w, err)
+						return
+					}
+				}
+			}
+			infos := make([]protocol.FileInfo, len(a.group.Files))
+			for i, f := range a.group.Files {
+				infos[i] = protocol.FileInfo{Name: f.Name, Size: f.Size}
+			}
+			if err := conn.Send(&protocol.Message{Type: protocol.TExecute, GroupIndex: a.group.Index, Files: infos}); err != nil {
+				m.workerDied(w, err)
+				return
+			}
+		}
+	}()
+}
+
+// nextGroupLocked picks the next group for w: the worker's own backlog
+// first (pre-partition), then the shared queue. Under compute-to-data
+// placement the queue is scanned for a group whose files already reside on
+// the worker before falling back to FIFO.
+func (m *Master) nextGroupLocked(w *masterWorker) (int, bool) {
+	if len(w.backlog) > 0 {
+		gi := w.backlog[0]
+		w.backlog = w.backlog[1:]
+		return gi, true
+	}
+	if len(m.queue) == 0 {
+		return 0, false
+	}
+	pick := 0
+	if m.strat.Placement == strategy.ComputeToData {
+		for qi, gi := range m.queue {
+			all := true
+			for _, f := range m.groups[gi].Files {
+				if !m.replicas.Has(f.Name, w.name) {
+					all = false
+					break
+				}
+			}
+			if all {
+				pick = qi
+				break
+			}
+		}
+	}
+	gi := m.queue[pick]
+	m.queue = append(m.queue[:pick], m.queue[pick+1:]...)
+	return gi, true
+}
+
+// streamFile sends one source file to a worker in chunks, deduplicating
+// against the replica map.
+func (m *Master) streamFile(w *masterWorker, name string) error {
+	m.mu.Lock()
+	if m.replicas.Has(name, w.name) {
+		m.mu.Unlock()
+		return nil
+	}
+	// Claim before streaming so a concurrent dispatch does not double-send;
+	// the worker-side readiness gate orders execution after arrival.
+	m.replicas.Add(name, w.name)
+	chunk := m.cfg.ChunkSize
+	m.mu.Unlock()
+
+	rc, err := m.cfg.Source.Open(name)
+	if err != nil {
+		m.replicas.Remove(name, w.name)
+		return fmt.Errorf("open %s: %w", name, err)
+	}
+	defer rc.Close()
+	buf := make([]byte, chunk)
+	var offset int64
+	for {
+		n, rerr := rc.Read(buf)
+		if n > 0 {
+			last := errors.Is(rerr, io.EOF)
+			msg := &protocol.Message{
+				Type:     protocol.TFileData,
+				FileName: name,
+				Offset:   offset,
+				Data:     append([]byte(nil), buf[:n]...),
+				Last:     last,
+			}
+			if err := w.conn.Send(msg); err != nil {
+				m.replicas.Remove(name, w.name)
+				return err
+			}
+			offset += int64(n)
+			m.mu.Lock()
+			m.bytesMoved += int64(n)
+			m.mu.Unlock()
+		}
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				if n == 0 && offset == 0 {
+					// Empty file: a single empty last chunk announces it.
+					if err := w.conn.Send(&protocol.Message{Type: protocol.TFileData, FileName: name, Last: true}); err != nil {
+						m.replicas.Remove(name, w.name)
+						return err
+					}
+				} else if n == 0 {
+					// Already sent everything but without Last; finish.
+					if err := w.conn.Send(&protocol.Message{Type: protocol.TFileData, FileName: name, Offset: offset, Last: true}); err != nil {
+						m.replicas.Remove(name, w.name)
+						return err
+					}
+				}
+				return nil
+			}
+			m.replicas.Remove(name, w.name)
+			return rerr
+		}
+	}
+}
+
+// completeTask records a task outcome and re-dispatches.
+func (m *Master) completeTask(w *masterWorker, res protocol.TaskResult) {
+	if res.GroupIndex < 0 {
+		m.mu.Lock()
+		m.workerErrs = append(m.workerErrs, fmt.Sprintf("%s: %s", w.name, res.Error))
+		m.mu.Unlock()
+		m.notifyController(res.Error, w.name)
+		return
+	}
+	m.mu.Lock()
+	if owner, ok := m.inflight[res.GroupIndex]; !ok || owner != w.name {
+		// Stale or duplicate status (e.g. after a drain or reassignment).
+		m.mu.Unlock()
+		return
+	}
+	delete(w.outstanding, res.GroupIndex)
+	delete(m.inflight, res.GroupIndex)
+	if res.OK {
+		m.terminal++
+		m.results = append(m.results, res)
+	} else {
+		m.retries[res.GroupIndex]++
+		if m.cfg.Recover && m.retries[res.GroupIndex] <= m.cfg.MaxRetries {
+			m.queue = append(m.queue, res.GroupIndex)
+			m.logf("group %d failed on %s (attempt %d), requeued: %s",
+				res.GroupIndex, w.name, m.retries[res.GroupIndex], res.Error)
+		} else {
+			m.terminal++
+			m.results = append(m.results, res)
+		}
+	}
+	m.mu.Unlock()
+	m.dispatch(w)
+	m.checkDone()
+}
+
+// workerDied isolates a dead worker: it receives no further data or tasks
+// (the paper's automatic isolation), its replicas are forgotten, its
+// unfinished groups are requeued under Recover or abandoned otherwise, and
+// the controller is informed.
+func (m *Master) workerDied(w *masterWorker, cause error) {
+	m.mu.Lock()
+	if w.dead {
+		m.mu.Unlock()
+		return
+	}
+	// A disconnect after the run finished is a graceful departure (the
+	// worker read NO_MORE_DATA and exited), not a failure.
+	if m.groups != nil && m.terminal >= len(m.groups) {
+		w.dead = true
+		m.mu.Unlock()
+		w.conn.Close()
+		return
+	}
+	w.dead = true
+	lost := make([]int, 0, len(w.outstanding)+len(w.backlog))
+	for gi := range w.outstanding {
+		lost = append(lost, gi)
+	}
+	sort.Ints(lost)
+	lost = append(lost, w.backlog...)
+	w.outstanding = make(map[int]bool)
+	w.backlog = nil
+	m.reassignLocked(w, lost)
+	m.replicas.DropNode(w.name)
+	m.workerErrs = append(m.workerErrs, fmt.Sprintf("%s: %v", w.name, cause))
+	others := m.liveWorkersLocked()
+	m.mu.Unlock()
+	w.conn.Close()
+	m.logf("worker %s died: %v (%d groups affected)", w.name, cause, len(lost))
+	m.notifyController(fmt.Sprintf("%v", cause), w.name)
+	for _, o := range others {
+		m.dispatch(o)
+	}
+	m.checkDone()
+}
+
+// reassignLocked requeues or abandons the given groups of a dead/draining
+// worker. Caller holds m.mu.
+func (m *Master) reassignLocked(w *masterWorker, groups []int) {
+	for _, gi := range groups {
+		delete(m.inflight, gi)
+		if m.cfg.Recover {
+			m.retries[gi]++
+			if m.retries[gi] <= m.cfg.MaxRetries {
+				m.queue = append(m.queue, gi)
+				continue
+			}
+		}
+		m.terminal++
+		m.results = append(m.results, protocol.TaskResult{
+			GroupIndex: gi, Worker: w.name, OK: false,
+			Error: "worker lost; task not restarted",
+		})
+	}
+}
+
+// RemoveWorker drains a worker (elastic scale-in): no new groups are
+// dispatched, outstanding work finishes, then the worker is shut down.
+func (m *Master) RemoveWorker(name string) error {
+	m.mu.Lock()
+	w, ok := m.workers[name]
+	if !ok || w.dead {
+		m.mu.Unlock()
+		return fmt.Errorf("core: no live worker %q", name)
+	}
+	w.draining = true
+	// Backlogged (undispatched) groups return to the pool immediately.
+	backlog := w.backlog
+	w.backlog = nil
+	for _, gi := range backlog {
+		m.queue = append(m.queue, gi)
+	}
+	others := m.liveWorkersLocked()
+	m.mu.Unlock()
+	for _, o := range others {
+		m.dispatch(o)
+	}
+	// checkDone releases the worker once its outstanding set drains.
+	m.checkDone()
+	return nil
+}
+
+// finishDrain completes a drain once the worker has no outstanding work.
+func (m *Master) finishDrain(w *masterWorker) {
+	w.conn.Send(&protocol.Message{Type: protocol.TShutdown})
+	m.logf("worker %s drained and released", w.name)
+}
+
+// notifyController forwards a worker error on the control channel.
+func (m *Master) notifyController(errStr, worker string) {
+	m.mu.Lock()
+	c := m.controller
+	m.mu.Unlock()
+	if c != nil {
+		c.Send(&protocol.Message{Type: protocol.TWorkerError, Worker: worker, Error: errStr})
+	}
+}
+
+// checkDone finishes the run when every group is terminal.
+func (m *Master) checkDone() {
+	m.mu.Lock()
+	// Drain completion: a draining worker with no outstanding work is
+	// released even before the run completes.
+	for _, w := range m.workers {
+		if w.draining && !w.dead && len(w.outstanding) == 0 {
+			w.dead = true
+			go m.finishDrain(w)
+		}
+	}
+	if m.groups == nil || m.planning {
+		m.mu.Unlock()
+		return
+	}
+	if m.terminal < len(m.groups) {
+		// Stall detection: when no live worker can ever pick up the
+		// remaining work, abandon it so the run terminates with failures
+		// instead of hanging.
+		if m.stalledLocked() {
+			m.abandonRemainingLocked()
+		}
+		if m.terminal < len(m.groups) {
+			m.mu.Unlock()
+			return
+		}
+	}
+	m.finishedAt = time.Now()
+	workers := m.liveWorkersLocked()
+	controller := m.controller
+	results := append([]protocol.TaskResult(nil), m.results...)
+	bytesMoved := m.bytesMoved
+	makespan := m.finishedAt.Sub(m.startedAt).Seconds()
+	m.mu.Unlock()
+
+	m.doneOnce.Do(func() {
+		for _, w := range workers {
+			w.conn.Send(&protocol.Message{Type: protocol.TNoMoreData})
+		}
+		if controller != nil {
+			controller.Send(&protocol.Message{
+				Type:        protocol.TMasterDone,
+				Results:     results,
+				BytesMoved:  bytesMoved,
+				MakespanSec: makespan,
+			})
+		}
+		m.logf("all %d groups terminal", len(m.groups))
+		close(m.done)
+	})
+}
+
+// stalledLocked reports whether undone groups can no longer make progress:
+// either some groups are unaccounted (not terminal, queued, in flight, or
+// backlogged — only possible after unrecovered worker loss), or queued work
+// remains with no live worker to take it and nothing in flight.
+func (m *Master) stalledLocked() bool {
+	pending := len(m.queue) + len(m.inflight)
+	for _, w := range m.workers {
+		if !w.dead {
+			pending += len(w.backlog)
+		}
+	}
+	if m.terminal+pending < len(m.groups) {
+		return true
+	}
+	if len(m.inflight) > 0 || len(m.queue) == 0 {
+		return false
+	}
+	for _, w := range m.workers {
+		if !w.dead && !w.draining {
+			return false
+		}
+	}
+	return true
+}
+
+// abandonRemainingLocked marks every unreachable group failed.
+func (m *Master) abandonRemainingLocked() {
+	done := make(map[int]bool, m.terminal)
+	for _, r := range m.results {
+		done[r.GroupIndex] = true
+	}
+	for gi := range m.inflight {
+		done[gi] = true // still in flight; let it finish
+	}
+	for _, w := range m.workers {
+		for _, gi := range w.backlog {
+			done[gi] = true
+		}
+	}
+	for gi := range m.groups {
+		if !done[gi] {
+			m.terminal++
+			m.results = append(m.results, protocol.TaskResult{
+				GroupIndex: gi, OK: false, Error: "no live workers; abandoned",
+			})
+		}
+	}
+	m.queue = nil
+}
+
+// fatal aborts the run: every group is marked failed and the run finishes.
+func (m *Master) fatal(err error) {
+	m.logf("fatal: %v", err)
+	m.mu.Lock()
+	m.workerErrs = append(m.workerErrs, "master: "+err.Error())
+	if m.groups == nil {
+		m.groups = []partition.Group{}
+	}
+	m.planning = false
+	m.mu.Unlock()
+	m.notifyController(err.Error(), "")
+	m.checkDone()
+}
+
+// Report summarises a finished run.
+type Report struct {
+	// Strategy is the effective strategy description.
+	Strategy string
+	// Groups is the total group count.
+	Groups int
+	// Succeeded and Failed partition the terminal outcomes.
+	Succeeded, Failed int
+	// Results holds every terminal task result.
+	Results []protocol.TaskResult
+	// WorkerErrors lists worker failures observed by the master.
+	WorkerErrors []string
+	// MakespanSec is wall time from execution start to completion.
+	MakespanSec float64
+	// TransferPhaseSec is the pre-partition/no-partition staging phase wall
+	// time (0 for real-time, where transfer interleaves execution).
+	TransferPhaseSec float64
+	// BytesMoved counts payload bytes the master streamed.
+	BytesMoved int64
+	// OutputBytes counts result bytes workers returned (OutputSink mode).
+	OutputBytes int64
+}
+
+// Report returns the run summary; valid once Done is closed.
+func (m *Master) Report() Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := Report{
+		Strategy:         m.strat.String(),
+		Groups:           len(m.groups),
+		Results:          append([]protocol.TaskResult(nil), m.results...),
+		WorkerErrors:     append([]string(nil), m.workerErrs...),
+		TransferPhaseSec: m.transfers,
+		BytesMoved:       m.bytesMoved,
+		OutputBytes:      m.outputBytes,
+	}
+	for _, res := range m.results {
+		if res.OK {
+			r.Succeeded++
+		} else {
+			r.Failed++
+		}
+	}
+	if !m.finishedAt.IsZero() {
+		r.MakespanSec = m.finishedAt.Sub(m.startedAt).Seconds()
+	}
+	return r
+}
+
+// strategyToInfo converts a strategy config for the wire.
+func strategyToInfo(c strategy.Config) protocol.StrategyInfo {
+	return protocol.StrategyInfo{
+		Kind:      c.Kind.String(),
+		Locality:  c.Locality.String(),
+		Placement: c.Placement.String(),
+		Grouping:  c.Grouping,
+		Assigner:  c.Assigner,
+		Multicore: c.Multicore,
+		Prefetch:  c.Prefetch,
+		Common:    c.CommonFiles,
+	}
+}
+
+// strategyFromInfo parses a wire strategy.
+func strategyFromInfo(i protocol.StrategyInfo) (strategy.Config, error) {
+	c := strategy.Config{
+		Grouping:    i.Grouping,
+		Assigner:    i.Assigner,
+		Multicore:   i.Multicore,
+		Prefetch:    i.Prefetch,
+		CommonFiles: i.Common,
+	}
+	switch i.Kind {
+	case "no-partition":
+		c.Kind = strategy.NoPartition
+	case "pre-partition":
+		c.Kind = strategy.PrePartition
+	case "real-time", "":
+		c.Kind = strategy.RealTime
+	default:
+		return c, fmt.Errorf("core: unknown strategy kind %q", i.Kind)
+	}
+	switch i.Locality {
+	case "remote", "":
+		c.Locality = strategy.Remote
+	case "local":
+		c.Locality = strategy.Local
+	default:
+		return c, fmt.Errorf("core: unknown locality %q", i.Locality)
+	}
+	switch i.Placement {
+	case "data-to-compute", "":
+		c.Placement = strategy.DataToCompute
+	case "compute-to-data":
+		c.Placement = strategy.ComputeToData
+	default:
+		return c, fmt.Errorf("core: unknown placement %q", i.Placement)
+	}
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}

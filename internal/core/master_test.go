@@ -1,0 +1,280 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"frieda/internal/catalog"
+	"frieda/internal/protocol"
+	"frieda/internal/strategy"
+	"frieda/internal/transport"
+)
+
+func TestStrategyInfoRoundTrip(t *testing.T) {
+	cases := []strategy.Config{
+		strategy.PrePartitionedLocal,
+		strategy.PrePartitionedRemote,
+		strategy.RealTimeRemote,
+		strategy.CommonData,
+		{Kind: strategy.RealTime, Grouping: "all-to-all", Prefetch: 4, CommonFiles: []string{"db"}},
+	}
+	for _, in := range cases {
+		cfg := in
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		out, err := strategyFromInfo(strategyToInfo(cfg))
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if out.Kind != cfg.Kind || out.Locality != cfg.Locality || out.Placement != cfg.Placement {
+			t.Fatalf("round trip mangled %s -> %s", cfg, out)
+		}
+		if out.Grouping != cfg.Grouping || out.Multicore != cfg.Multicore || out.Prefetch != cfg.Prefetch {
+			t.Fatalf("round trip mangled fields: %+v vs %+v", out, cfg)
+		}
+		if len(out.CommonFiles) != len(cfg.CommonFiles) {
+			t.Fatalf("common files lost: %v", out.CommonFiles)
+		}
+	}
+}
+
+func TestStrategyFromInfoRejections(t *testing.T) {
+	bad := []protocol.StrategyInfo{
+		{Kind: "bogus"},
+		{Kind: "real-time", Locality: "bogus"},
+		{Kind: "real-time", Placement: "bogus"},
+		{Kind: "real-time", Grouping: "bogus"},
+		{Kind: "real-time", Locality: "local"}, // contradiction
+	}
+	for i, info := range bad {
+		if _, err := strategyFromInfo(info); err == nil {
+			t.Errorf("case %d accepted: %+v", i, info)
+		}
+	}
+	// Empty fields default sanely.
+	cfg, err := strategyFromInfo(protocol.StrategyInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Kind != strategy.RealTime || cfg.Locality != strategy.Remote {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+// startMaster spins up a master over the in-memory transport and returns a
+// dialer.
+func startMaster(t *testing.T, cfg MasterConfig) (*Master, *transport.Mem, context.CancelFunc) {
+	t.Helper()
+	tr := transport.NewMem(nil)
+	cfg.Transport = tr
+	cfg.Addr = "m"
+	if cfg.Source == nil {
+		src := catalog.NewMemSource()
+		for i := 0; i < 4; i++ {
+			src.Put(fmt.Sprintf("f%d", i), []byte("data"))
+		}
+		cfg.Source = src
+	}
+	m, err := NewMaster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go m.Serve(ctx)
+	// Wait for the listener.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if c, err := tr.Dial("m"); err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("master never listened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return m, tr, cancel
+}
+
+func TestMasterRejectsUnknownFirstMessage(t *testing.T) {
+	m, tr, cancel := startMaster(t, MasterConfig{Strategy: strategy.RealTimeRemote, ExpectedWorkers: 1})
+	defer cancel()
+	_ = m
+	conn, err := tr.Dial("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Send(&protocol.Message{Type: protocol.TRequestData})
+	if _, err := conn.Recv(); err == nil {
+		t.Fatal("master kept a connection that opened with REQUEST_DATA")
+	}
+}
+
+func TestMasterRejectsBadStrategyFromController(t *testing.T) {
+	m, tr, cancel := startMaster(t, MasterConfig{Strategy: strategy.RealTimeRemote, ExpectedWorkers: 1})
+	defer cancel()
+	_ = m
+	conn, err := tr.Dial("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Send(&protocol.Message{
+		Type:     protocol.TStartMaster,
+		Strategy: protocol.StrategyInfo{Kind: "bogus"},
+		Seq:      1,
+	})
+	ack, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Error == "" {
+		t.Fatal("bogus strategy accepted")
+	}
+}
+
+func TestMasterControlProtocol(t *testing.T) {
+	m, tr, cancel := startMaster(t, MasterConfig{Strategy: strategy.RealTimeRemote})
+	defer cancel()
+	conn, err := tr.Dial("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(msg *protocol.Message) *protocol.Message {
+		t.Helper()
+		if err := conn.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		ack, err := conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ack
+	}
+	if ack := send(&protocol.Message{Type: protocol.TStartMaster, Strategy: strategyToInfo(strategy.RealTimeRemote), Seq: 1}); ack.Error != "" {
+		t.Fatalf("START_MASTER rejected: %s", ack.Error)
+	}
+	// Removing an unknown worker errors but keeps the channel alive.
+	if ack := send(&protocol.Message{Type: protocol.TRemoveWorker, Worker: "ghost", Seq: 2}); ack.Error == "" {
+		t.Fatal("ghost removal accepted")
+	}
+	// Unexpected control messages are acked with an error.
+	if ack := send(&protocol.Message{Type: protocol.TRequestData, Seq: 3}); !strings.Contains(ack.Error, "unexpected") {
+		t.Fatalf("unexpected message ack = %+v", ack)
+	}
+	// PARTITION_TYPE works before start.
+	if ack := send(&protocol.Message{Type: protocol.TPartitionType, Strategy: strategyToInfo(strategy.PrePartitionedRemote), Seq: 4}); ack.Error != "" {
+		t.Fatalf("PARTITION_TYPE rejected: %s", ack.Error)
+	}
+	// SHUTDOWN closes the listener.
+	if ack := send(&protocol.Message{Type: protocol.TShutdown, Seq: 5}); ack.Error != "" {
+		t.Fatalf("SHUTDOWN rejected: %s", ack.Error)
+	}
+	if _, err := tr.Dial("m"); err == nil {
+		t.Fatal("listener still up after SHUTDOWN")
+	}
+	_ = m
+}
+
+func TestMasterFatalOnBadGrouping(t *testing.T) {
+	// A grouping that cannot apply (pairwise on an odd file count) must
+	// fail the run, not hang it.
+	src := catalog.NewMemSource()
+	for i := 0; i < 3; i++ {
+		src.Put(fmt.Sprintf("f%d", i), []byte("x"))
+	}
+	strat := strategy.RealTimeRemote
+	strat.Grouping = "pairwise-adjacent"
+	m, tr, cancel := startMaster(t, MasterConfig{Strategy: strat, Source: src, ExpectedWorkers: 1})
+	defer cancel()
+	w, err := NewWorker(WorkerConfig{
+		Name: "w0", Cores: 1, Store: NewMemStore(),
+		Program:   FuncProgram(func(context.Context, Task) (string, error) { return "", nil }),
+		Transport: tr, MasterAddr: "m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Run(context.Background())
+	select {
+	case <-m.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("master hung on invalid grouping")
+	}
+	r := m.Report()
+	if len(r.WorkerErrors) == 0 {
+		t.Fatalf("no error surfaced: %+v", r)
+	}
+}
+
+func TestMasterReportBeforeDone(t *testing.T) {
+	m, _, cancel := startMaster(t, MasterConfig{Strategy: strategy.RealTimeRemote, ExpectedWorkers: 2})
+	defer cancel()
+	r := m.Report()
+	if r.Groups != 0 || r.MakespanSec != 0 {
+		t.Fatalf("pre-run report = %+v", r)
+	}
+}
+
+func TestMasterAddr(t *testing.T) {
+	m, _, cancel := startMaster(t, MasterConfig{Strategy: strategy.RealTimeRemote, ExpectedWorkers: 1})
+	defer cancel()
+	if m.Addr() != "m" {
+		t.Fatalf("Addr = %q", m.Addr())
+	}
+}
+
+func TestOneToAllPivotTransferredOnce(t *testing.T) {
+	// one-to-all pairs f0 with every other file; f0 must cross the wire to
+	// each worker at most once (replica dedup).
+	src := catalog.NewMemSource()
+	src.Put("f0", []byte(strings.Repeat("p", 1000)))
+	for i := 1; i <= 6; i++ {
+		src.Put(fmt.Sprintf("f%d", i), []byte(strings.Repeat("x", 10)))
+	}
+	strat := strategy.RealTimeRemote
+	strat.Grouping = "one-to-all"
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	tr := transport.NewMem(nil)
+	ctl, err := NewController(ControllerConfig{
+		Strategy:        strat,
+		Transport:       tr,
+		MasterAddr:      "master",
+		InProcessMaster: true,
+		Master:          MasterConfig{Source: src},
+		Workers:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	prog := FuncProgram(func(ctx context.Context, task Task) (string, error) {
+		if len(task.Inputs) != 2 || task.Inputs[0] != "f0" {
+			return "", fmt.Errorf("unexpected inputs %v", task.Inputs)
+		}
+		return "ok", nil
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := ctl.SpawnWorker(ctx, WorkerConfig{Name: fmt.Sprintf("w%d", i), Cores: 1, Program: prog}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := ctl.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Shutdown()
+	if r.Succeeded != 6 {
+		t.Fatalf("report = %+v", r)
+	}
+	// Upper bound: pivot once per worker (2×1000) + six smalls (60).
+	if r.BytesMoved > 2*1000+6*10 {
+		t.Fatalf("BytesMoved = %d; pivot re-sent", r.BytesMoved)
+	}
+}

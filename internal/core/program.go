@@ -1,0 +1,429 @@
+// Package core implements the FRIEDA framework itself: the control-plane
+// controller, the execution-plane master and workers, and the protocol
+// choreography between them (Figures 1–4 of the paper).
+//
+// The division of labour follows the paper exactly: the controller owns
+// policy (strategy selection, membership, failure bookkeeping, elasticity);
+// the master owns mechanism (partitioning the input list, moving file
+// payloads, dispatching executions); workers are symmetric task farmers
+// that receive data, run an unmodified program per input group, and report
+// status. FRIEDA never modifies application code — programs are invoked
+// through an execution-syntax template whose $inpN variables are bound to
+// received file locations at run time.
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"frieda/internal/protocol"
+)
+
+// Task is one unit of work: a group of input files resident on the worker.
+type Task struct {
+	// GroupIndex is the partition generator's group number.
+	GroupIndex int
+	// Inputs are the group's file names in template order.
+	Inputs []string
+	// Store gives access to the received file contents.
+	Store Store
+	// outputs collects result files the program registers for return to
+	// the master (nil unless the deployment enables output return).
+	outputs *outputSet
+}
+
+// AddOutput registers a result file for transfer back to the master after
+// the task completes. Without output return configured (the paper's
+// evaluation leaves results on the workers) the data is stored locally
+// under the same name and nothing crosses the network.
+func (t Task) AddOutput(name string, r io.Reader) error {
+	n, err := t.Store.Put(name, r)
+	if err != nil {
+		return err
+	}
+	if t.outputs != nil {
+		t.outputs.add(name, n)
+	}
+	return nil
+}
+
+// outputSet accumulates one task's registered outputs.
+type outputSet struct {
+	mu    sync.Mutex
+	files []protocol.FileInfo
+}
+
+func (o *outputSet) add(name string, size int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.files = append(o.files, protocol.FileInfo{Name: name, Size: size})
+}
+
+func (o *outputSet) list() []protocol.FileInfo {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]protocol.FileInfo(nil), o.files...)
+}
+
+// Program executes one task. Implementations must be safe for concurrent
+// use: multicore workers run one instance per core.
+type Program interface {
+	// Run executes the program against the task's inputs and returns a
+	// short output summary (bulk output stays on the worker, as in the
+	// paper's evaluation).
+	Run(ctx context.Context, task Task) (output string, err error)
+}
+
+// FuncProgram adapts a Go function to Program — the in-process analogue of
+// an installed application binary, used by the library API and tests.
+type FuncProgram func(ctx context.Context, task Task) (string, error)
+
+// Run implements Program.
+func (f FuncProgram) Run(ctx context.Context, task Task) (string, error) {
+	return f(ctx, task)
+}
+
+// ExecProgram runs an external command built from FRIEDA's execution-syntax
+// template: e.g. {"blastp", "-query", "$inp1", "-db", "nr"} has $inp1
+// replaced with the local path of the task's first input. $inpN (1-based)
+// and the aliases $input (= $inp1) are recognised anywhere in an argument.
+type ExecProgram struct {
+	// Template is the command and arguments with $inpN placeholders.
+	Template []string
+	// Dir is the working directory ("" = inherit).
+	Dir string
+	// Env appends to the inherited environment.
+	Env []string
+}
+
+// Run implements Program.
+func (p ExecProgram) Run(ctx context.Context, task Task) (string, error) {
+	if len(p.Template) == 0 {
+		return "", fmt.Errorf("core: empty execution template")
+	}
+	argv, err := BindTemplate(p.Template, task)
+	if err != nil {
+		return "", err
+	}
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	cmd.Dir = p.Dir
+	if len(p.Env) > 0 {
+		cmd.Env = append(os.Environ(), p.Env...)
+	}
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return out.String(), fmt.Errorf("core: %s: %w", argv[0], err)
+	}
+	// Keep the summary bounded; FRIEDA reports status, not bulk output.
+	const maxSummary = 4096
+	s := out.String()
+	if len(s) > maxSummary {
+		s = s[:maxSummary]
+	}
+	return s, nil
+}
+
+// BindTemplate substitutes placeholders with local file paths from the
+// task's store: $inpN (1-based) and $input (= $inp1) name the group's
+// inputs positionally; ${name} names any stored file by catalog name —
+// typically a common file such as the BLAST database
+// (e.g. "-db ${nr.fasta}"). Unknown placeholders and out-of-range indices
+// are errors; a template referencing $inp2 on a one-file group is a
+// configuration bug the user needs to see.
+func BindTemplate(template []string, task Task) ([]string, error) {
+	paths := make([]string, len(task.Inputs))
+	for i, name := range task.Inputs {
+		p, ok := task.Store.Path(name)
+		if !ok {
+			return nil, fmt.Errorf("core: input %q has no local path (store %T)", name, task.Store)
+		}
+		paths[i] = p
+	}
+	argv := make([]string, len(template))
+	for i, arg := range template {
+		bound, err := bindArg(arg, paths, task.Store)
+		if err != nil {
+			return nil, err
+		}
+		argv[i] = bound
+	}
+	return argv, nil
+}
+
+// bindArg replaces every $inpN / $input / ${name} occurrence inside one
+// argument.
+func bindArg(arg string, paths []string, store Store) (string, error) {
+	var b strings.Builder
+	for {
+		i := strings.IndexByte(arg, '$')
+		if i < 0 {
+			b.WriteString(arg)
+			return b.String(), nil
+		}
+		b.WriteString(arg[:i])
+		rest := arg[i+1:]
+		switch {
+		case strings.HasPrefix(rest, "{"):
+			end := strings.IndexByte(rest, '}')
+			if end < 0 {
+				return "", fmt.Errorf("core: unterminated ${...} in %q", arg)
+			}
+			name := rest[1:end]
+			if name == "" {
+				return "", fmt.Errorf("core: empty ${} placeholder in %q", arg)
+			}
+			p, ok := store.Path(name)
+			if !ok {
+				return "", fmt.Errorf("core: ${%s} is not in the worker store (is it a common file?)", name)
+			}
+			b.WriteString(p)
+			arg = rest[end+1:]
+		case strings.HasPrefix(rest, "input"):
+			if len(paths) < 1 {
+				return "", fmt.Errorf("core: template uses $input but group is empty")
+			}
+			b.WriteString(paths[0])
+			arg = rest[len("input"):]
+		case strings.HasPrefix(rest, "inp"):
+			numEnd := len("inp")
+			for numEnd < len(rest) && rest[numEnd] >= '0' && rest[numEnd] <= '9' {
+				numEnd++
+			}
+			if numEnd == len("inp") {
+				return "", fmt.Errorf("core: malformed placeholder in %q", arg)
+			}
+			n, err := strconv.Atoi(rest[len("inp"):numEnd])
+			if err != nil || n < 1 {
+				return "", fmt.Errorf("core: bad input index in %q", arg)
+			}
+			if n > len(paths) {
+				return "", fmt.Errorf("core: template uses $inp%d but group has %d file(s)", n, len(paths))
+			}
+			b.WriteString(paths[n-1])
+			arg = rest[numEnd:]
+		default:
+			return "", fmt.Errorf("core: unknown placeholder in %q (want $inpN)", arg)
+		}
+	}
+}
+
+// Store is a worker's local file repository for received inputs.
+type Store interface {
+	// Put stores the full contents read from r under name, replacing any
+	// existing entry, and returns the byte count.
+	Put(name string, r io.Reader) (int64, error)
+	// Append adds a chunk at the given offset; chunks arrive in order per
+	// file. A zero offset truncates/creates.
+	Append(name string, offset int64, data []byte) error
+	// Open reads a stored file.
+	Open(name string) (io.ReadCloser, error)
+	// Path returns a filesystem path for name when the store is
+	// disk-backed; ok=false means the store is memory-only (usable with
+	// FuncPrograms but not ExecPrograms).
+	Path(name string) (string, bool)
+	// Has reports whether name is stored.
+	Has(name string) bool
+	// Size returns the stored length of name, or -1.
+	Size(name string) int64
+}
+
+// MemStore is an in-memory Store for library-mode workers and tests.
+type MemStore struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// NewMemStore returns an empty memory store.
+func NewMemStore() *MemStore { return &MemStore{files: make(map[string][]byte)} }
+
+// Put implements Store.
+func (s *MemStore) Put(name string, r io.Reader) (int64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.files[name] = data
+	s.mu.Unlock()
+	return int64(len(data)), nil
+}
+
+// Append implements Store.
+func (s *MemStore) Append(name string, offset int64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.files[name]
+	if offset == 0 {
+		cur = nil
+	}
+	if int64(len(cur)) != offset {
+		return fmt.Errorf("core: out-of-order chunk for %q: have %d, offset %d", name, len(cur), offset)
+	}
+	s.files[name] = append(cur, data...)
+	return nil
+}
+
+// Open implements Store.
+func (s *MemStore) Open(name string) (io.ReadCloser, error) {
+	s.mu.RLock()
+	data, ok := s.files[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: %q not in store", name)
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
+}
+
+// Path implements Store; memory stores have no paths.
+func (s *MemStore) Path(string) (string, bool) { return "", false }
+
+// Has implements Store.
+func (s *MemStore) Has(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.files[name]
+	return ok
+}
+
+// Size implements Store.
+func (s *MemStore) Size(name string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if d, ok := s.files[name]; ok {
+		return int64(len(d))
+	}
+	return -1
+}
+
+// Bytes returns stored contents (test helper).
+func (s *MemStore) Bytes(name string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.files[name]
+	return d, ok
+}
+
+// DirStore is a disk-backed Store rooted at a directory — what a real
+// worker VM uses so ExecPrograms can open the files.
+type DirStore struct {
+	root string
+	mu   sync.Mutex
+}
+
+// NewDirStore creates (if needed) and wraps the root directory.
+func NewDirStore(root string) (*DirStore, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{root: root}, nil
+}
+
+// localPath maps a store name to a path under the root, rejecting escapes.
+func (s *DirStore) localPath(name string) (string, error) {
+	clean := filepath.Clean(name)
+	if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+		return "", fmt.Errorf("core: store name %q escapes root", name)
+	}
+	return filepath.Join(s.root, clean), nil
+}
+
+// Put implements Store.
+func (s *DirStore) Put(name string, r io.Reader) (int64, error) {
+	p, err := s.localPath(name)
+	if err != nil {
+		return 0, err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return 0, err
+	}
+	f, err := os.Create(p)
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(f, r)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// Append implements Store.
+func (s *DirStore) Append(name string, offset int64, data []byte) error {
+	p, err := s.localPath(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if offset == 0 {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(p, flags, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if offset != 0 && info.Size() != offset {
+		return fmt.Errorf("core: out-of-order chunk for %q: have %d, offset %d", name, info.Size(), offset)
+	}
+	_, err = f.WriteAt(data, offset)
+	return err
+}
+
+// Open implements Store.
+func (s *DirStore) Open(name string) (io.ReadCloser, error) {
+	p, err := s.localPath(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.Open(p)
+}
+
+// Path implements Store.
+func (s *DirStore) Path(name string) (string, bool) {
+	p, err := s.localPath(name)
+	if err != nil {
+		return "", false
+	}
+	if _, err := os.Stat(p); err != nil {
+		return "", false
+	}
+	return p, true
+}
+
+// Has implements Store.
+func (s *DirStore) Has(name string) bool {
+	_, ok := s.Path(name)
+	return ok
+}
+
+// Size implements Store.
+func (s *DirStore) Size(name string) int64 {
+	p, err := s.localPath(name)
+	if err != nil {
+		return -1
+	}
+	info, err := os.Stat(p)
+	if err != nil {
+		return -1
+	}
+	return info.Size()
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"frieda/internal/protocol"
+	"frieda/internal/transport"
+)
+
+// WorkerConfig configures one worker node.
+type WorkerConfig struct {
+	// Name is the worker's cluster-unique name.
+	Name string
+	// Cores is the node's core count; the master decides how many program
+	// instances to clone from it (multicore setting).
+	Cores int
+	// Store receives transferred input files. Required.
+	Store Store
+	// Program executes tasks. If nil, the worker builds an ExecProgram
+	// from the execution-syntax template the master sends at registration
+	// (the paper's unmodified-binary mode).
+	Program Program
+	// Transport connects to the master.
+	Transport transport.Transport
+	// MasterAddr is the master's address.
+	MasterAddr string
+	// DialRetry keeps retrying the initial connection for this long
+	// (components may start in any order in a real deployment). Zero means
+	// a single attempt.
+	DialRetry time.Duration
+}
+
+// Worker is the execution-plane node: it registers with the master,
+// receives data, executes program instances (one per granted slot) and
+// reports status. Workers are symmetric — identical logic, different data.
+type Worker struct {
+	cfg  WorkerConfig
+	conn transport.Conn
+
+	mu            sync.Mutex
+	ready         map[string]bool // file -> fully received
+	readyC        *sync.Cond
+	program       Program
+	tasks         chan Task
+	slots         int
+	executed      int
+	closed        bool
+	returnOutputs bool
+}
+
+// NewWorker validates the configuration.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("core: worker needs a name")
+	}
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("core: worker %q has %d cores", cfg.Name, cfg.Cores)
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("core: worker %q has no store", cfg.Name)
+	}
+	if cfg.Transport == nil || cfg.MasterAddr == "" {
+		return nil, fmt.Errorf("core: worker %q has no master endpoint", cfg.Name)
+	}
+	w := &Worker{cfg: cfg, ready: make(map[string]bool)}
+	w.readyC = sync.NewCond(&w.mu)
+	return w, nil
+}
+
+// Executed reports how many tasks this worker completed (either outcome).
+func (w *Worker) Executed() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.executed
+}
+
+// Run connects, registers and serves until the master says NO_MORE_DATA /
+// SHUTDOWN, the connection drops, or ctx is cancelled. It returns nil on a
+// clean shutdown.
+func (w *Worker) Run(ctx context.Context) error {
+	conn, err := w.cfg.Transport.Dial(w.cfg.MasterAddr)
+	if err != nil && w.cfg.DialRetry > 0 {
+		deadline := time.Now().Add(w.cfg.DialRetry)
+		for err != nil && time.Now().Before(deadline) && ctx.Err() == nil {
+			select {
+			case <-ctx.Done():
+			case <-time.After(250 * time.Millisecond):
+			}
+			conn, err = w.cfg.Transport.Dial(w.cfg.MasterAddr)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("core: worker %s dial: %w", w.cfg.Name, err)
+	}
+	w.conn = conn
+	defer conn.Close()
+
+	if err := conn.Send(&protocol.Message{Type: protocol.TRegister, Worker: w.cfg.Name, Cores: w.cfg.Cores}); err != nil {
+		return fmt.Errorf("core: worker %s register: %w", w.cfg.Name, err)
+	}
+	ack, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("core: worker %s registration ack: %w", w.cfg.Name, err)
+	}
+	if ack.Type != protocol.TAck {
+		return fmt.Errorf("core: worker %s expected ACK, got %s", w.cfg.Name, ack.Type)
+	}
+	if ack.Error != "" {
+		return fmt.Errorf("core: worker %s rejected: %s", w.cfg.Name, ack.Error)
+	}
+	w.slots = ack.Cores
+	if w.slots < 1 {
+		w.slots = 1
+	}
+	w.returnOutputs = ack.ReturnOutputs
+	w.program = w.cfg.Program
+	if w.program == nil {
+		if len(ack.Template) == 0 {
+			return fmt.Errorf("core: worker %s has neither Program nor template", w.cfg.Name)
+		}
+		w.program = ExecProgram{Template: ack.Template}
+	}
+
+	// Executor pool: one instance per granted slot, the paper's program
+	// cloning. The channel buffer absorbs master-side prefetch.
+	w.tasks = make(chan Task, 256)
+	execCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < w.slots; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.executor(execCtx)
+		}()
+	}
+	// Each idle slot asks for work once; further requests follow each
+	// completed task. In pre-partition mode the master ignores these.
+	for i := 0; i < w.slots; i++ {
+		if err := conn.Send(&protocol.Message{Type: protocol.TRequestData, Worker: w.cfg.Name}); err != nil {
+			break
+		}
+	}
+
+	// Unblock the message loop's Recv when the context is cancelled.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+
+	err = w.messageLoop(ctx)
+	w.mu.Lock()
+	w.closed = true
+	w.readyC.Broadcast()
+	w.mu.Unlock()
+	close(w.tasks)
+	wg.Wait()
+	return err
+}
+
+// messageLoop processes master messages until shutdown or error.
+func (w *Worker) messageLoop(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		m, err := w.conn.Recv()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("core: worker %s recv: %w", w.cfg.Name, err)
+		}
+		switch m.Type {
+		case protocol.TFileMetadata, protocol.TDistribute:
+			// Informational: sizes of incoming files / the assigned
+			// partition. Payloads and execute orders follow.
+		case protocol.TFileData:
+			if err := w.cfg.Store.Append(m.FileName, m.Offset, m.Data); err != nil {
+				w.conn.Send(&protocol.Message{
+					Type: protocol.TTaskStatus,
+					Result: protocol.TaskResult{
+						GroupIndex: -1, Worker: w.cfg.Name, OK: false,
+						Error: fmt.Sprintf("store %s: %v", m.FileName, err),
+					},
+				})
+				continue
+			}
+			if m.Last {
+				w.mu.Lock()
+				w.ready[m.FileName] = true
+				w.readyC.Broadcast()
+				w.mu.Unlock()
+			}
+		case protocol.TExecute:
+			inputs := make([]string, len(m.Files))
+			for i, f := range m.Files {
+				inputs[i] = f.Name
+			}
+			w.tasks <- Task{GroupIndex: m.GroupIndex, Inputs: inputs, Store: w.cfg.Store}
+		case protocol.TNoMoreData, protocol.TShutdown:
+			return nil
+		default:
+			return fmt.Errorf("core: worker %s unexpected %s", w.cfg.Name, m.Type)
+		}
+	}
+}
+
+// executor runs queued tasks on one slot.
+func (w *Worker) executor(ctx context.Context) {
+	for task := range w.tasks {
+		if ctx.Err() != nil {
+			return
+		}
+		res := w.runOne(ctx, task)
+		w.mu.Lock()
+		w.executed++
+		w.mu.Unlock()
+		if w.conn.Send(&protocol.Message{Type: protocol.TTaskStatus, Result: res}) != nil {
+			return
+		}
+		if w.conn.Send(&protocol.Message{Type: protocol.TRequestData, Worker: w.cfg.Name}) != nil {
+			return
+		}
+	}
+}
+
+// runOne waits for the task's inputs to be fully resident, executes the
+// program, streams any registered output files back (when the deployment
+// collects outputs), and builds the status report.
+func (w *Worker) runOne(ctx context.Context, task Task) protocol.TaskResult {
+	if err := w.waitInputs(ctx, task.Inputs); err != nil {
+		return protocol.TaskResult{
+			GroupIndex: task.GroupIndex, Worker: w.cfg.Name, OK: false, Error: err.Error(),
+		}
+	}
+	if w.returnOutputs {
+		task.outputs = &outputSet{}
+	}
+	start := time.Now()
+	out, err := w.program.Run(ctx, task)
+	res := protocol.TaskResult{
+		GroupIndex:  task.GroupIndex,
+		Worker:      w.cfg.Name,
+		OK:          err == nil,
+		DurationSec: time.Since(start).Seconds(),
+		Output:      out,
+	}
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	if task.outputs != nil {
+		// Outputs travel before the status so the master holds the data
+		// when it records the completion (per-connection FIFO).
+		for _, f := range task.outputs.list() {
+			if serr := w.sendOutput(f.Name); serr != nil {
+				res.OK = false
+				res.Error = "returning output " + f.Name + ": " + serr.Error()
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// sendOutput streams one stored file to the master as TFileData chunks.
+func (w *Worker) sendOutput(name string) error {
+	rc, err := w.cfg.Store.Open(name)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	buf := make([]byte, DefaultChunkSize)
+	var offset int64
+	for {
+		n, rerr := rc.Read(buf)
+		if n > 0 {
+			last := errors.Is(rerr, io.EOF)
+			if err := w.conn.Send(&protocol.Message{
+				Type: protocol.TFileData, Worker: w.cfg.Name, FileName: name,
+				Offset: offset, Data: append([]byte(nil), buf[:n]...), Last: last,
+			}); err != nil {
+				return err
+			}
+			offset += int64(n)
+		}
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				if n != 0 {
+					return nil
+				}
+				return w.conn.Send(&protocol.Message{
+					Type: protocol.TFileData, Worker: w.cfg.Name, FileName: name,
+					Offset: offset, Last: true,
+				})
+			}
+			return rerr
+		}
+	}
+}
+
+// waitInputs blocks until every input is fully received (or already present
+// in the store, as with pre-placed local data).
+func (w *Worker) waitInputs(ctx context.Context, inputs []string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, name := range inputs {
+		for !w.ready[name] && !w.cfg.Store.Has(name) {
+			if w.closed {
+				return fmt.Errorf("core: connection closed awaiting input %q", name)
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			w.readyC.Wait()
+		}
+	}
+	return nil
+}

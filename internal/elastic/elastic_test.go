@@ -1,0 +1,185 @@
+package elastic
+
+import (
+	"fmt"
+	"testing"
+
+	"frieda/internal/sim"
+)
+
+func TestPolicyValidateDefaults(t *testing.T) {
+	p := Policy{MinWorkers: 1, MaxWorkers: 4}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.HighQueuePerSlot != 2 || p.LowUtilisation != 0.3 || p.CooldownSec != 30 {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+}
+
+func TestPolicyValidateRejects(t *testing.T) {
+	cases := []Policy{
+		{MinWorkers: 0, MaxWorkers: 2},
+		{MinWorkers: 3, MaxWorkers: 2},
+		{MinWorkers: 1, MaxWorkers: 2, LowUtilisation: 1.5},
+		{MinWorkers: 1, MaxWorkers: 2, HighQueuePerSlot: -1},
+	}
+	for i, p := range cases {
+		p := p
+		if p.Validate() == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestDecide(t *testing.T) {
+	p := Policy{MinWorkers: 1, MaxWorkers: 4}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deep queue: scale up.
+	if d := p.Decide(Signal{QueuedTasks: 100, BusySlots: 8, TotalSlots: 8, Workers: 2}); d != ScaleUp {
+		t.Fatalf("deep queue -> %v", d)
+	}
+	// At max: hold even with deep queue.
+	if d := p.Decide(Signal{QueuedTasks: 100, BusySlots: 16, TotalSlots: 16, Workers: 4}); d != Hold {
+		t.Fatalf("at max -> %v", d)
+	}
+	// Idle with empty queue: scale down.
+	if d := p.Decide(Signal{QueuedTasks: 0, BusySlots: 0, TotalSlots: 8, Workers: 2}); d != ScaleDown {
+		t.Fatalf("idle -> %v", d)
+	}
+	// At min: hold.
+	if d := p.Decide(Signal{QueuedTasks: 0, BusySlots: 0, TotalSlots: 4, Workers: 1}); d != Hold {
+		t.Fatalf("at min -> %v", d)
+	}
+	// Busy, shallow queue: hold.
+	if d := p.Decide(Signal{QueuedTasks: 2, BusySlots: 7, TotalSlots: 8, Workers: 2}); d != Hold {
+		t.Fatalf("steady -> %v", d)
+	}
+	// Below min (failures): scale up.
+	if d := p.Decide(Signal{Workers: 0}); d != ScaleUp {
+		t.Fatalf("below min -> %v", d)
+	}
+}
+
+func TestUtilisationEmptyCluster(t *testing.T) {
+	if (Signal{}).Utilisation() != 1 {
+		t.Fatal("empty cluster utilisation should be 1 (forces scale-up path)")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Hold.String() != "hold" || ScaleUp.String() != "scale-up" || ScaleDown.String() != "scale-down" {
+		t.Fatal("decision strings wrong")
+	}
+	if Decision(9).String() == "" {
+		t.Fatal("unknown decision empty")
+	}
+}
+
+// fakeActions simulates a cluster whose queue drains as workers are added.
+type fakeActions struct {
+	queued  int
+	workers int
+	slots   int
+	adds    int
+	removes int
+	failAdd bool
+}
+
+func (f *fakeActions) Observe() Signal {
+	busy := f.workers * f.slots
+	if f.queued == 0 {
+		busy = 0
+	}
+	return Signal{QueuedTasks: f.queued, BusySlots: busy, TotalSlots: f.workers * f.slots, Workers: f.workers}
+}
+
+func (f *fakeActions) AddWorker() error {
+	if f.failAdd {
+		return fmt.Errorf("capacity")
+	}
+	f.adds++
+	f.workers++
+	return nil
+}
+
+func (f *fakeActions) RemoveWorker() error {
+	f.removes++
+	f.workers--
+	return nil
+}
+
+func TestAutoscalerScalesUpThenDown(t *testing.T) {
+	eng := sim.NewEngine()
+	fa := &fakeActions{queued: 200, workers: 1, slots: 4}
+	a, err := NewAutoscaler(eng, Policy{MinWorkers: 1, MaxWorkers: 4, CooldownSec: 10}, fa, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	// Queue drains over time.
+	eng.Schedule(40, func() { fa.queued = 0 })
+	eng.RunUntil(100)
+	a.Stop()
+	eng.Run()
+	if fa.adds == 0 {
+		t.Fatal("never scaled up under deep queue")
+	}
+	if fa.workers > 4 {
+		t.Fatalf("exceeded max: %d", fa.workers)
+	}
+	if fa.removes == 0 {
+		t.Fatal("never scaled down after drain")
+	}
+	if fa.workers < 1 {
+		t.Fatalf("below min: %d", fa.workers)
+	}
+	if len(a.Decisions) != fa.adds+fa.removes {
+		t.Fatalf("decision trace %d != actions %d", len(a.Decisions), fa.adds+fa.removes)
+	}
+}
+
+func TestAutoscalerCooldown(t *testing.T) {
+	eng := sim.NewEngine()
+	fa := &fakeActions{queued: 1000, workers: 1, slots: 1}
+	a, err := NewAutoscaler(eng, Policy{MinWorkers: 1, MaxWorkers: 10, CooldownSec: 50}, fa, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	eng.RunUntil(99)
+	a.Stop()
+	eng.Run()
+	// t=5 first add; cooldown 50 blocks until t=55; second add ~55.
+	if fa.adds != 2 {
+		t.Fatalf("adds = %d, want 2 under cooldown", fa.adds)
+	}
+}
+
+func TestAutoscalerToleratesProviderFailure(t *testing.T) {
+	eng := sim.NewEngine()
+	fa := &fakeActions{queued: 1000, workers: 1, slots: 1, failAdd: true}
+	a, err := NewAutoscaler(eng, Policy{MinWorkers: 1, MaxWorkers: 10, CooldownSec: 1}, fa, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	eng.RunUntil(50)
+	a.Stop()
+	eng.Run()
+	if fa.adds != 0 || len(a.Decisions) != 0 {
+		t.Fatal("failed adds recorded as decisions")
+	}
+}
+
+func TestAutoscalerValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewAutoscaler(eng, Policy{}, &fakeActions{}, 5); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+	if _, err := NewAutoscaler(eng, Policy{MinWorkers: 1, MaxWorkers: 2}, &fakeActions{}, 0); err == nil {
+		t.Fatal("zero poll interval accepted")
+	}
+}

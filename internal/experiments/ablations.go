@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"frieda/internal/catalog"
+	"frieda/internal/cloud"
+	"frieda/internal/netsim"
+	"frieda/internal/sim"
+	"frieda/internal/simrun"
+	"frieda/internal/strategy"
+)
+
+// RunStrategyBW is RunStrategy with a custom provisioned bandwidth (Mbps),
+// used by the bandwidth-sweep ablation.
+func RunStrategyBW(cfg simrun.Config, wl simrun.Workload, workers int, seed int64, mbps float64) (simrun.Result, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	inst := cloud.C1XLarge
+	inst.UpBps = netsim.Mbps(mbps)
+	inst.DownBps = netsim.Mbps(mbps)
+	eng := sim.NewEngine()
+	cluster := cloud.New(eng, cloud.Options{Seed: seed, InstantBoot: true})
+	vms, err := cluster.Provision(workers+1, inst)
+	if err != nil {
+		return simrun.Result{}, err
+	}
+	eng.RunUntil(eng.Now())
+	cfg.ModelDiskIO = true
+	r, err := simrun.NewRunner(cluster, vms[0], cfg, wl)
+	if err != nil {
+		return simrun.Result{}, err
+	}
+	for _, vm := range vms[1:] {
+		r.AddWorker(vm)
+	}
+	return r.Run()
+}
+
+// SweepRow is one point of an ablation sweep.
+type SweepRow struct {
+	Param  float64
+	Series map[string]float64
+}
+
+// AblationPrefetch sweeps the real-time prefetch window on the ALS
+// workload: 1 is the paper's strict request-one-get-one; larger windows
+// pipeline the next transfer behind the current computation.
+func AblationPrefetch(scale float64) ([]SweepRow, error) {
+	wl := ALSWorkload(scale)
+	var rows []SweepRow
+	for _, prefetch := range []int{1, 2, 4, 8} {
+		strat := strategy.RealTimeRemote
+		strat.Prefetch = prefetch
+		res, err := RunStrategy(simrun.Config{Strategy: strat}, wl, 4, 1)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Param:  float64(prefetch),
+			Series: map[string]float64{"makespan_sec": res.MakespanSec},
+		})
+	}
+	return rows, nil
+}
+
+// AblationBandwidth sweeps the provisioned link rate on the ALS workload
+// for both remote strategies, exposing the transfer-bound to compute-bound
+// crossover: at low bandwidth real-time's overlap dominates; at high
+// bandwidth the strategies converge to the compute bound.
+func AblationBandwidth(scale float64) ([]SweepRow, error) {
+	wl := ALSWorkload(scale)
+	var rows []SweepRow
+	for _, mbps := range []float64{25, 50, 100, 250, 500, 1000} {
+		pre, err := RunStrategyBW(preRemote("round-robin"), wl, 4, 1, mbps)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := RunStrategyBW(realTime(), wl, 4, 1, mbps)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Param: mbps,
+			Series: map[string]float64{
+				"pre-partition_sec": pre.MakespanSec,
+				"real-time_sec":     rt.MakespanSec,
+			},
+		})
+	}
+	return rows, nil
+}
+
+// AblationVariance sweeps per-task cost variability on a BLAST-like
+// workload and reports the pre-partitioning makespan penalty over
+// real-time — the quantitative version of the paper's load-balancing
+// argument.
+func AblationVariance(scale float64) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, amp := range []float64{0, 0.05, 0.1, 0.2, 0.4} {
+		wl := driftWorkload(scale, amp, 1)
+		pre, err := RunStrategy(preRemote("blocked"), wl, 4, 1)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := RunStrategy(realTime(), wl, 4, 1)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Param: amp,
+			Series: map[string]float64{
+				"pre-partition_sec": pre.MakespanSec,
+				"real-time_sec":     rt.MakespanSec,
+				"penalty_pct":       100 * (pre.MakespanSec/rt.MakespanSec - 1),
+			},
+		})
+	}
+	return rows, nil
+}
+
+// driftWorkload is the BLAST cost model with an explicit drift amplitude.
+func driftWorkload(scale, amp float64, seed int64) simrun.Workload {
+	n := scaled(BLASTQueries, scale)
+	rng := rand.New(rand.NewSource(seed))
+	tasks := make([]simrun.TaskSpec, n)
+	for i := range tasks {
+		drift := 1 + amp*math.Sin(2*math.Pi*float64(i)/float64(n))
+		noise := 1 + rng.NormFloat64()*BLASTNoiseSigma
+		if noise < 0.2 {
+			noise = 0.2
+		}
+		tasks[i] = simrun.TaskSpec{
+			Index:      i,
+			Files:      []catalog.FileMeta{{Name: fmt.Sprintf("q%06d.fa", i), Size: BLASTQueryBytes}},
+			ComputeSec: BLASTMeanSec * drift * noise,
+		}
+	}
+	return simrun.Workload{Name: "BLAST-var", Tasks: tasks, CommonBytes: BLASTDBBytes}
+}
+
+// AblationFailures sweeps the VM failure rate on a BLAST-like workload and
+// compares three robustness levels: the published isolation-only behaviour,
+// the future-work recovery extension (requeue lost work), and recovery plus
+// elastic replacement (the controller provisions a fresh VM for each dead
+// one, as its membership machinery allows). Reported: completion fraction
+// and makespan.
+func AblationFailures(scale float64) ([]SweepRow, error) {
+	wl := BLASTWorkload(scale, 1)
+	var rows []SweepRow
+	for _, mtbf := range []float64{0, 8000, 4000, 2000} {
+		row := SweepRow{Param: mtbf, Series: map[string]float64{}}
+		for _, mode := range []string{"isolate", "recover", "replace"} {
+			res, err := runWithFailures(wl, mtbf, mode)
+			if err != nil {
+				return nil, err
+			}
+			total := float64(res.Succeeded + res.Abandoned)
+			row.Series[mode+"_done_pct"] = 100 * float64(res.Succeeded) / total
+			row.Series[mode+"_makespan_s"] = res.MakespanSec
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runWithFailures runs real-time BLAST under exponential VM failures.
+// mode "isolate" matches the paper; "recover" requeues lost work;
+// "replace" additionally provisions a replacement VM per failure.
+func runWithFailures(wl simrun.Workload, mtbfSec float64, mode string) (simrun.Result, error) {
+	eng := sim.NewEngine()
+	cluster := cloud.New(eng, cloud.Options{Seed: 7, InstantBoot: true, FailureMTBFSec: mtbfSec})
+	vms, err := cluster.Provision(5, cloud.C1XLarge)
+	if err != nil {
+		return simrun.Result{}, err
+	}
+	eng.RunUntil(eng.Now())
+	r, err := simrun.NewRunner(cluster, vms[0], simrun.Config{
+		Strategy:    strategy.RealTimeRemote,
+		Recover:     mode != "isolate",
+		MaxRetries:  5,
+		ModelDiskIO: true,
+	}, wl)
+	if err != nil {
+		return simrun.Result{}, err
+	}
+	finished := false
+	var result simrun.Result
+	if mode == "replace" {
+		// The controller's remediation: each failure triggers a fresh
+		// provision that joins as soon as it is up. Replacement stops once
+		// the run is over (otherwise the failure/replace chain would churn
+		// forever on an idle cluster).
+		cluster.OnFailure(func(dead *cloud.VM) {
+			if finished || dead.Host() == vms[0].Host() {
+				return
+			}
+			fresh, err := cluster.Provision(1, cloud.C1XLarge)
+			if err != nil {
+				return
+			}
+			replacement := fresh[0]
+			cluster.OnReadyOnce(replacement, func() {
+				if !finished {
+					r.AddWorker(replacement)
+				}
+			})
+		})
+	}
+	// Only workers matter for failure handling; the source VM's failure
+	// clock has no registered worker (the paper's acknowledged single point
+	// of failure is out of scope for this sweep).
+	for _, vm := range vms[1:] {
+		r.AddWorker(vm)
+	}
+	if err := r.Start(func(res simrun.Result) {
+		result = res
+		finished = true
+	}); err != nil {
+		return simrun.Result{}, err
+	}
+	for !finished && eng.Step() {
+	}
+	if !finished {
+		return simrun.Result{}, fmt.Errorf("experiments: failure sweep deadlocked (%s, mtbf %.0f)", mode, mtbfSec)
+	}
+	return result, nil
+}
+
+// AblationElastic measures mid-run scale-out on the BLAST workload (the
+// compute-bound case where extra workers actually help; ALS is bound by the
+// source uplink, which elasticity cannot widen): workers added at one
+// quarter of the baseline makespan.
+func AblationElastic(scale float64) ([]SweepRow, error) {
+	wl := BLASTWorkload(scale, 1)
+	base, err := RunStrategy(realTime(), wl, 2, 1)
+	if err != nil {
+		return nil, err
+	}
+	rows := []SweepRow{{Param: 0, Series: map[string]float64{"makespan_sec": base.MakespanSec}}}
+	for _, adds := range []int{1, 2} {
+		res, err := runElastic(wl, 2, adds, base.MakespanSec/4)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Param:  float64(adds),
+			Series: map[string]float64{"makespan_sec": res.MakespanSec},
+		})
+	}
+	return rows, nil
+}
+
+// runElastic starts with `initial` workers and adds `adds` more at addAt.
+func runElastic(wl simrun.Workload, initial, adds int, addAt float64) (simrun.Result, error) {
+	eng := sim.NewEngine()
+	cluster := cloud.New(eng, cloud.Options{Seed: 1, InstantBoot: true})
+	vms, err := cluster.Provision(initial+adds+1, cloud.C1XLarge)
+	if err != nil {
+		return simrun.Result{}, err
+	}
+	eng.RunUntil(eng.Now())
+	r, err := simrun.NewRunner(cluster, vms[0], simrun.Config{
+		Strategy:    strategy.RealTimeRemote,
+		ModelDiskIO: true,
+	}, wl)
+	if err != nil {
+		return simrun.Result{}, err
+	}
+	for _, vm := range vms[1 : 1+initial] {
+		r.AddWorker(vm)
+	}
+	for _, vm := range vms[1+initial:] {
+		vm := vm
+		eng.At(sim.Time(addAt), func() { r.AddWorker(vm) })
+	}
+	return r.Run()
+}
+
+// RenderSweep formats sweep rows with a parameter column and one column per
+// series (sorted by name).
+func RenderSweep(title, param string, rows []SweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(rows) == 0 {
+		return b.String()
+	}
+	names := make([]string, 0, len(rows[0].Series))
+	for name := range rows[0].Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "%-14s", param)
+	for _, n := range names {
+		fmt.Fprintf(&b, " %20s", n)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14g", r.Param)
+		for _, n := range names {
+			fmt.Fprintf(&b, " %20.2f", r.Series[n])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Ablation tests run at reduced scale; they assert shapes, not values.
+const ablationScale = 0.1
+
+func TestAblationPrefetchRuns(t *testing.T) {
+	rows, err := AblationPrefetch(ablationScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Series["makespan_sec"] <= 0 {
+			t.Fatalf("prefetch %v makespan %v", r.Param, r.Series["makespan_sec"])
+		}
+	}
+}
+
+func TestAblationBandwidthMonotone(t *testing.T) {
+	rows, err := AblationBandwidth(ablationScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More bandwidth never slows either strategy down.
+	for i := 1; i < len(rows); i++ {
+		for _, series := range []string{"pre-partition_sec", "real-time_sec"} {
+			if rows[i].Series[series] > rows[i-1].Series[series]+1e-6 {
+				t.Fatalf("%s not monotone at %v Mbps: %.2f > %.2f",
+					series, rows[i].Param, rows[i].Series[series], rows[i-1].Series[series])
+			}
+		}
+	}
+	// At the lowest bandwidth the run is transfer-bound: both strategies
+	// close to the serialisation bound and to each other.
+	lo := rows[0]
+	if lo.Series["real-time_sec"] >= lo.Series["pre-partition_sec"] {
+		t.Fatalf("real-time should win at 25 Mbps: %v", lo.Series)
+	}
+}
+
+func TestAblationVariancePenaltyGrows(t *testing.T) {
+	rows, err := AblationVariance(ablationScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Series["penalty_pct"] < rows[i-1].Series["penalty_pct"]-0.5 {
+			t.Fatalf("penalty not increasing with drift: %v -> %v",
+				rows[i-1].Series["penalty_pct"], rows[i].Series["penalty_pct"])
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.Series["penalty_pct"] < 5 {
+		t.Fatalf("high drift penalty only %.1f%%", last.Series["penalty_pct"])
+	}
+}
+
+func TestAblationFailuresShape(t *testing.T) {
+	rows, err := AblationFailures(ablationScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		iso := r.Series["isolate_done_pct"]
+		rec := r.Series["recover_done_pct"]
+		rep := r.Series["replace_done_pct"]
+		if rec < iso-1e-9 {
+			t.Fatalf("mtbf %v: recovery (%.1f%%) below isolation (%.1f%%)", r.Param, rec, iso)
+		}
+		if rep < rec-1e-9 {
+			t.Fatalf("mtbf %v: replacement (%.1f%%) below recovery (%.1f%%)", r.Param, rep, rec)
+		}
+		if rep < 99.9 {
+			t.Fatalf("mtbf %v: replacement completed only %.1f%%", r.Param, rep)
+		}
+	}
+	// No failures: all three identical and 100%.
+	if rows[0].Series["isolate_done_pct"] != 100 {
+		t.Fatalf("baseline lost work: %v", rows[0].Series)
+	}
+}
+
+func TestAblationElasticHelps(t *testing.T) {
+	rows, err := AblationElastic(ablationScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	base := rows[0].Series["makespan_sec"]
+	one := rows[1].Series["makespan_sec"]
+	two := rows[2].Series["makespan_sec"]
+	if !(two < one && one < base) {
+		t.Fatalf("elastic additions did not help: base %.1f, +1 %.1f, +2 %.1f", base, one, two)
+	}
+}
+
+func TestRenderSweep(t *testing.T) {
+	rows := []SweepRow{
+		{Param: 1, Series: map[string]float64{"b_sec": 2, "a_sec": 1}},
+		{Param: 2, Series: map[string]float64{"b_sec": 4, "a_sec": 3}},
+	}
+	out := RenderSweep("Title", "p", rows)
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "a_sec") {
+		t.Fatalf("RenderSweep:\n%s", out)
+	}
+	// Columns sorted: a_sec before b_sec.
+	if strings.Index(out, "a_sec") > strings.Index(out, "b_sec") {
+		t.Fatalf("columns unsorted:\n%s", out)
+	}
+	if RenderSweep("Empty", "p", nil) != "Empty\n" {
+		t.Fatal("empty sweep rendering wrong")
+	}
+}
+
+func TestRunStrategyBW(t *testing.T) {
+	wl := ALSWorkload(0.02)
+	slow, err := RunStrategyBW(realTime(), wl, 4, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := RunStrategyBW(realTime(), wl, 4, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.MakespanSec >= slow.MakespanSec {
+		t.Fatalf("100x bandwidth did not help: %.2f vs %.2f", fast.MakespanSec, slow.MakespanSec)
+	}
+}
+
+func TestAblationFederatedShape(t *testing.T) {
+	rows, err := AblationFederated(ablationScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	allLocal := rows[0].Series["makespan_sec"]
+	half := rows[1].Series["makespan_sec"]
+	allRemote := rows[2].Series["makespan_sec"]
+	// The topology-aware finding: spilling half the workers across the WAN
+	// costs (almost) nothing while the source uplink remains the
+	// bottleneck...
+	ratio := half / allLocal
+	if ratio > 1.05 || ratio < 0.9 {
+		t.Fatalf("half-remote should match all-local: %.1f vs %.1f", half, allLocal)
+	}
+	// ...but an all-remote deployment is bottlenecked by the 50 Mbps WAN:
+	// ~2x the all-local makespan for this transfer-bound workload.
+	if allRemote < 1.5*allLocal {
+		t.Fatalf("WAN constraint too weak: local %.1f vs remote %.1f", allLocal, allRemote)
+	}
+}
+
+func TestSiteAwareFabricBypass(t *testing.T) {
+	// Direct check of the topology primitive: same-site transfers bypass
+	// the fabric, so a crippled 1 Mbps WAN must not affect a local-only run.
+	res, err := RunFederated(ALSWorkload(0.02), 2, 0, 1e6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All workers local: the 1 Mbps WAN must be irrelevant.
+	base, err := RunStrategy(realTime(), ALSWorkload(0.02), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.MakespanSec / base.MakespanSec
+	if ratio > 1.1 || ratio < 0.9 {
+		t.Fatalf("local-only federated run differs from plain run: %.2f vs %.2f", res.MakespanSec, base.MakespanSec)
+	}
+}
+
+func TestAblationStripesMonotone(t *testing.T) {
+	rows, err := AblationStripes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Series["completion_sec"] >= rows[i-1].Series["completion_sec"] {
+			t.Fatalf("striping not monotone: %v -> %v at %v stripes",
+				rows[i-1].Series["completion_sec"], rows[i].Series["completion_sec"], rows[i].Param)
+		}
+	}
+	// Quantitative check: with 4 background flows on 100 Mbps, a single
+	// flow gets 20 Mbps -> 50 MB takes ~20 s; 4 stripes get 50 Mbps -> ~8 s.
+	single := rows[0].Series["completion_sec"]
+	quad := rows[2].Series["completion_sec"]
+	if single < 18 || single > 22 {
+		t.Fatalf("single-stripe completion %.1f, want ~20", single)
+	}
+	if quad < 7 || quad > 9 {
+		t.Fatalf("4-stripe completion %.1f, want ~8", quad)
+	}
+}
+
+func TestAblationStorageShape(t *testing.T) {
+	rows, err := AblationStorage(ablationScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	local := rows[0].Series["makespan_sec"]
+	block := rows[1].Series["makespan_sec"]
+	// On a 1 Gbps network the block store's slower media must cost time
+	// relative to local disk (the paper's storage trade-off).
+	if block <= local {
+		t.Fatalf("block (%.1f) not slower than local (%.1f)", block, local)
+	}
+}

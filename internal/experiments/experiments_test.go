@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// withinFactor reports |got/want - 1| <= tol.
+func withinFactor(got, want, tol float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got/want-1) <= tol
+}
+
+func TestWorkloadCalibration(t *testing.T) {
+	als := ALSWorkload(1.0)
+	if len(als.Tasks) != 625 {
+		t.Fatalf("ALS tasks = %d, want 625 (1250 images pairwise)", len(als.Tasks))
+	}
+	if !withinFactor(als.TotalComputeSec(), 1250, 0.05) {
+		t.Fatalf("ALS total compute = %.1f, want ~1250", als.TotalComputeSec())
+	}
+	if !withinFactor(als.TotalInputBytes(), 1250*ALSImageBytes, 0.01) {
+		t.Fatalf("ALS bytes = %v", als.TotalInputBytes())
+	}
+
+	blast := BLASTWorkload(1.0, 1)
+	if len(blast.Tasks) != 7500 {
+		t.Fatalf("BLAST tasks = %d", len(blast.Tasks))
+	}
+	// Mean 8.16 s per task, drift and noise average out.
+	if !withinFactor(blast.TotalComputeSec(), 61200, 0.03) {
+		t.Fatalf("BLAST total compute = %.0f, want ~61200", blast.TotalComputeSec())
+	}
+	if blast.CommonBytes != BLASTDBBytes {
+		t.Fatalf("BLAST common bytes = %v", blast.CommonBytes)
+	}
+}
+
+func TestWorkloadScaling(t *testing.T) {
+	small := ALSWorkload(0.1)
+	if len(small.Tasks) >= 625 || len(small.Tasks) < 4 {
+		t.Fatalf("scaled ALS tasks = %d", len(small.Tasks))
+	}
+	tiny := BLASTWorkload(0.001, 1)
+	if len(tiny.Tasks) < 8 {
+		t.Fatalf("scale floor broken: %d", len(tiny.Tasks))
+	}
+}
+
+func TestTable1FullScaleShape(t *testing.T) {
+	rows, err := RunTable1(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Ordering: sequential > pre-partition > real-time, as published.
+		if !(r.SequentialSec > r.PreSec && r.PreSec > r.RealTimeSec) {
+			t.Errorf("%s ordering broken: seq %.0f pre %.0f rt %.0f",
+				r.App, r.SequentialSec, r.PreSec, r.RealTimeSec)
+		}
+		// Each measured cell within 15%% of the paper's value.
+		for _, pair := range [][2]float64{
+			{r.SequentialSec, r.PaperSequential},
+			{r.PreSec, r.PaperPre},
+			{r.RealTimeSec, r.PaperRealTime},
+		} {
+			if !withinFactor(pair[0], pair[1], 0.15) {
+				t.Errorf("%s: measured %.1f vs paper %.1f (off by %.1f%%)",
+					r.App, pair[0], pair[1], 100*math.Abs(pair[0]/pair[1]-1))
+			}
+		}
+	}
+	// Speedup factors: ~2x for ALS (transfer-bound), ~15-16x for BLAST.
+	als, blast := rows[0], rows[1]
+	if _, rt := als.Speedups(); rt < 1.5 || rt > 2.5 {
+		t.Errorf("ALS real-time speedup = %.2fx, paper ~1.8x", rt)
+	}
+	if _, rt := blast.Speedups(); rt < 13 || rt > 17 {
+		t.Errorf("BLAST real-time speedup = %.2fx, paper ~16x", rt)
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	bars, err := RunFig6("ALS", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Bar{}
+	for _, b := range bars {
+		byName[b.Series] = b
+	}
+	local := byName["pre-partitioned-local"]
+	remote := byName["pre-partitioned-remote"]
+	rt := byName["real-time-remote"]
+	// Paper: local reads fastest; pre-partitioned remote worst (sequential
+	// phases); real-time in between (overlap).
+	if !(local.TotalSec < rt.TotalSec && rt.TotalSec < remote.TotalSec) {
+		t.Fatalf("Fig6a ordering broken: local %.0f rt %.0f remote %.0f",
+			local.TotalSec, rt.TotalSec, remote.TotalSec)
+	}
+	// ALS is transfer-bound: the remote strategies move ~8.75 GB.
+	if remote.BytesMoved < 8e9 || rt.BytesMoved < 8e9 {
+		t.Fatalf("remote strategies moved %.0f / %.0f bytes", remote.BytesMoved, rt.BytesMoved)
+	}
+	if local.BytesMoved != 0 {
+		t.Fatalf("local strategy moved %.0f bytes", local.BytesMoved)
+	}
+	// For pre-remote the transfer phase dominates execution.
+	if remote.TransferSec < remote.ExecSec {
+		t.Fatalf("ALS transfer (%.0f) should dominate exec (%.0f)", remote.TransferSec, remote.ExecSec)
+	}
+}
+
+func TestFig6bShape(t *testing.T) {
+	bars, err := RunFig6("BLAST", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Bar{}
+	for _, b := range bars {
+		byName[b.Series] = b
+	}
+	local := byName["pre-partitioned-local"]
+	remote := byName["pre-partitioned-remote"]
+	rt := byName["real-time-remote"]
+	// Paper: execution dominates; strategy totals differ little; real-time
+	// best through load balancing.
+	if !(rt.TotalSec < remote.TotalSec) {
+		t.Fatalf("real-time (%.0f) should beat pre-remote (%.0f)", rt.TotalSec, remote.TotalSec)
+	}
+	if rt.TotalSec >= local.TotalSec {
+		t.Fatalf("real-time (%.0f) should beat pre-local (%.0f): balance dominates placement", rt.TotalSec, local.TotalSec)
+	}
+	// All three totals within 15% of each other: compute dominates.
+	lo := math.Min(local.TotalSec, math.Min(remote.TotalSec, rt.TotalSec))
+	hi := math.Max(local.TotalSec, math.Max(remote.TotalSec, rt.TotalSec))
+	if hi/lo > 1.15 {
+		t.Fatalf("BLAST strategies spread %.2fx; paper shows near-parity", hi/lo)
+	}
+	// Execution dwarfs transfer for all.
+	for name, b := range byName {
+		if b.ExecSec < 5*b.TransferSec {
+			t.Fatalf("%s: exec %.0f vs transfer %.0f — compute should dominate", name, b.ExecSec, b.TransferSec)
+		}
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	bars, err := RunFig7("ALS", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataToCompute, computeToData := bars[0], bars[1]
+	// Paper: moving computation to the data wins decisively for ALS.
+	if computeToData.TotalSec*2 > dataToCompute.TotalSec {
+		t.Fatalf("compute-to-data (%.0f) should be >=2x faster than data-to-compute (%.0f)",
+			computeToData.TotalSec, dataToCompute.TotalSec)
+	}
+}
+
+func TestFig7bShape(t *testing.T) {
+	bars, err := RunFig7("BLAST", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataToCompute, computeToData := bars[0], bars[1]
+	// Paper: BLAST is almost insensitive to placement.
+	ratio := dataToCompute.TotalSec / computeToData.TotalSec
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("BLAST placement sensitivity %.2fx; paper shows near-parity", ratio)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	rows, err := RunTable1(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTable1(rows)
+	for _, want := range []string{"Table I", "ALS", "BLAST", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RenderTable1 missing %q:\n%s", want, out)
+		}
+	}
+	bars, err := RunFig6("ALS", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := RenderBars("Fig 6a", bars)
+	if !strings.Contains(txt, "real-time-remote") || !strings.Contains(txt, "Transfer(s)") {
+		t.Fatalf("RenderBars output:\n%s", txt)
+	}
+}
+
+func TestUnknownApplication(t *testing.T) {
+	if _, err := RunFig6("nope", 1.0); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := RunFig7("nope", 1.0); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

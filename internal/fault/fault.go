@@ -1,0 +1,205 @@
+// Package fault implements FRIEDA's robustness machinery (Section V-A
+// "Robust"): heartbeat-based failure detection on virtual time, failure
+// bookkeeping, and recovery policies. The paper's prototype isolates failed
+// workers but cannot restart their tasks; the retry policies here implement
+// the announced future work, and the benches ablate isolation vs recovery.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"frieda/internal/sim"
+)
+
+// Policy decides what happens to work lost to a failure.
+type Policy int
+
+const (
+	// Isolate drops the failed worker and abandons its in-flight work —
+	// the published prototype's behaviour.
+	Isolate Policy = iota
+	// Retry requeues lost work up to a bounded number of attempts — the
+	// paper's future-work recovery extension.
+	Retry
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Isolate:
+		return "isolate"
+	case Retry:
+		return "retry"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// RetrySpec bounds recovery.
+type RetrySpec struct {
+	// Policy selects isolation or retry.
+	Policy Policy
+	// MaxAttempts is the per-task attempt bound under Retry (>= 1).
+	MaxAttempts int
+	// BackoffSec delays each requeue (0 = immediate).
+	BackoffSec float64
+}
+
+// Validate checks the spec.
+func (r RetrySpec) Validate() error {
+	if r.Policy == Retry && r.MaxAttempts < 1 {
+		return fmt.Errorf("fault: retry policy with MaxAttempts %d", r.MaxAttempts)
+	}
+	if r.BackoffSec < 0 {
+		return fmt.Errorf("fault: negative backoff")
+	}
+	return nil
+}
+
+// Allow reports whether another attempt is permitted after `attempts`
+// attempts so far.
+func (r RetrySpec) Allow(attempts int) bool {
+	return r.Policy == Retry && attempts < r.MaxAttempts
+}
+
+// Detector is a heartbeat failure detector on virtual time: each node must
+// heartbeat within Timeout or it is declared failed. The controller-master
+// channel of the paper carries exactly this liveness information.
+type Detector struct {
+	eng     *sim.Engine
+	timeout sim.Duration
+
+	nodes    map[string]*sim.Timer
+	onFail   func(node string)
+	declared map[string]bool
+}
+
+// NewDetector builds a detector declaring failure after timeout without a
+// heartbeat. onFail runs at declaration time.
+func NewDetector(eng *sim.Engine, timeout sim.Duration, onFail func(node string)) *Detector {
+	if timeout <= 0 {
+		panic("fault: non-positive detector timeout")
+	}
+	return &Detector{
+		eng:      eng,
+		timeout:  timeout,
+		nodes:    make(map[string]*sim.Timer),
+		onFail:   onFail,
+		declared: make(map[string]bool),
+	}
+}
+
+// Watch starts monitoring a node; the first deadline is one timeout from
+// now.
+func (d *Detector) Watch(node string) {
+	if _, ok := d.nodes[node]; ok {
+		return
+	}
+	t := sim.NewTimer(d.eng, func() { d.declare(node) })
+	d.nodes[node] = t
+	t.Reset(d.timeout)
+}
+
+// Heartbeat records life from a node, pushing its deadline out. Heartbeats
+// from declared or unknown nodes are ignored.
+func (d *Detector) Heartbeat(node string) {
+	t, ok := d.nodes[node]
+	if !ok || d.declared[node] {
+		return
+	}
+	t.Reset(d.timeout)
+}
+
+// Stop stops monitoring (graceful departure; no failure declared).
+func (d *Detector) Stop(node string) {
+	if t, ok := d.nodes[node]; ok {
+		t.Stop()
+		delete(d.nodes, node)
+	}
+}
+
+// Failed reports whether node was declared failed.
+func (d *Detector) Failed(node string) bool { return d.declared[node] }
+
+// declare marks the node failed and fires the callback.
+func (d *Detector) declare(node string) {
+	if d.declared[node] {
+		return
+	}
+	d.declared[node] = true
+	delete(d.nodes, node)
+	if d.onFail != nil {
+		d.onFail(node)
+	}
+}
+
+// Event is one recorded failure.
+type Event struct {
+	Node   string
+	Detail string
+	// At is wall time for the real runtime; virtual time is carried in
+	// SimAt when recorded from a simulation.
+	At    time.Time
+	SimAt sim.Time
+}
+
+// Log is a concurrency-safe failure record, the controller's "keeps track
+// of all the errors from the workers".
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Record appends an event.
+func (l *Log) Record(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+// Events returns a copy of all events.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// ByNode groups event counts per node, sorted by node name.
+func (l *Log) ByNode() []struct {
+	Node  string
+	Count int
+} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	counts := map[string]int{}
+	for _, e := range l.events {
+		counts[e.Node]++
+	}
+	nodes := make([]string, 0, len(counts))
+	for n := range counts {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	out := make([]struct {
+		Node  string
+		Count int
+	}, len(nodes))
+	for i, n := range nodes {
+		out[i].Node = n
+		out[i].Count = counts[n]
+	}
+	return out
+}
+
+// Len returns the event count.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}

@@ -1,0 +1,123 @@
+package fault
+
+import (
+	"testing"
+
+	"frieda/internal/sim"
+)
+
+func TestDetectorDeclaresOnSilence(t *testing.T) {
+	eng := sim.NewEngine()
+	var failed []string
+	d := NewDetector(eng, 10, func(n string) { failed = append(failed, n) })
+	d.Watch("w0")
+	d.Watch("w1")
+	// w0 heartbeats at 5 and 12; w1 stays silent.
+	eng.Schedule(5, func() { d.Heartbeat("w0") })
+	eng.Schedule(12, func() { d.Heartbeat("w0") })
+	eng.RunUntil(15)
+	if len(failed) != 1 || failed[0] != "w1" {
+		t.Fatalf("failed = %v, want [w1]", failed)
+	}
+	if !d.Failed("w1") || d.Failed("w0") {
+		t.Fatal("Failed() state wrong")
+	}
+	// w0 eventually fails after its last heartbeat + timeout = 22.
+	eng.RunUntil(30)
+	if len(failed) != 2 || failed[1] != "w0" {
+		t.Fatalf("failed = %v", failed)
+	}
+}
+
+func TestDetectorStopPreventsDeclaration(t *testing.T) {
+	eng := sim.NewEngine()
+	declared := 0
+	d := NewDetector(eng, 5, func(string) { declared++ })
+	d.Watch("w0")
+	eng.Schedule(2, func() { d.Stop("w0") })
+	eng.RunUntil(100)
+	if declared != 0 {
+		t.Fatal("graceful stop still declared failure")
+	}
+}
+
+func TestDetectorIgnoresUnknownAndDeclared(t *testing.T) {
+	eng := sim.NewEngine()
+	declared := 0
+	d := NewDetector(eng, 5, func(string) { declared++ })
+	d.Heartbeat("ghost") // unknown: no-op
+	d.Watch("w0")
+	eng.RunUntil(10)
+	if declared != 1 {
+		t.Fatalf("declared = %d", declared)
+	}
+	d.Heartbeat("w0") // already declared: no resurrection
+	eng.RunUntil(100)
+	if declared != 1 {
+		t.Fatalf("declared after late heartbeat = %d", declared)
+	}
+	// Double-watch is a no-op.
+	d.Watch("w0")
+}
+
+func TestDetectorPanicsOnBadTimeout(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero timeout")
+		}
+	}()
+	NewDetector(sim.NewEngine(), 0, nil)
+}
+
+func TestRetrySpec(t *testing.T) {
+	iso := RetrySpec{Policy: Isolate}
+	if err := iso.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if iso.Allow(0) {
+		t.Fatal("isolate must never allow retries")
+	}
+	r := RetrySpec{Policy: Retry, MaxAttempts: 3}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Allow(2) || r.Allow(3) {
+		t.Fatal("Allow bounds wrong")
+	}
+	bad := RetrySpec{Policy: Retry}
+	if bad.Validate() == nil {
+		t.Fatal("retry without MaxAttempts accepted")
+	}
+	neg := RetrySpec{BackoffSec: -1}
+	if neg.Validate() == nil {
+		t.Fatal("negative backoff accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Isolate.String() != "isolate" || Retry.String() != "retry" {
+		t.Fatal("policy strings wrong")
+	}
+	if Policy(7).String() == "" {
+		t.Fatal("unknown policy string empty")
+	}
+}
+
+func TestLog(t *testing.T) {
+	l := NewLog()
+	l.Record(Event{Node: "w1", Detail: "conn reset"})
+	l.Record(Event{Node: "w0", Detail: "timeout"})
+	l.Record(Event{Node: "w1", Detail: "crash"})
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	byNode := l.ByNode()
+	if len(byNode) != 2 || byNode[0].Node != "w0" || byNode[0].Count != 1 || byNode[1].Count != 2 {
+		t.Fatalf("ByNode = %v", byNode)
+	}
+	events := l.Events()
+	events[0].Node = "mutated"
+	if l.Events()[0].Node == "mutated" {
+		t.Fatal("Events returned shared slice")
+	}
+}

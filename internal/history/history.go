@@ -1,0 +1,231 @@
+// Package history stores execution records and recommends data-management
+// strategies from them — FRIEDA's announced future work: "adaptation
+// strategies that use past historical information" and "the ability to
+// select the best data management strategy based on past executions".
+//
+// Two advisors ship: an empirical one (best observed strategy for the
+// application) and a model-based one that classifies a workload as
+// transfer-bound or compute-bound from its byte/compute ratio against the
+// provisioned bandwidth — the decision rule Section IV's results imply.
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"frieda/internal/strategy"
+)
+
+// Record is one completed run.
+type Record struct {
+	// App names the application/workload.
+	App string `json:"app"`
+	// Strategy is the strategy description (strategy.Config.String()).
+	Strategy string `json:"strategy"`
+	// Workers and Slots describe the cluster size used.
+	Workers int `json:"workers"`
+	Slots   int `json:"slots"`
+	// MakespanSec is the end-to-end run time.
+	MakespanSec float64 `json:"makespan_sec"`
+	// BytesMoved is the master's payload volume.
+	BytesMoved float64 `json:"bytes_moved"`
+	// Succeeded and Failed count terminal tasks.
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
+	// When is the completion time.
+	When time.Time `json:"when"`
+}
+
+// Store is a concurrency-safe record collection with JSON persistence.
+type Store struct {
+	mu      sync.RWMutex
+	records []Record
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add validates and appends a record.
+func (s *Store) Add(r Record) error {
+	if r.App == "" || r.Strategy == "" {
+		return fmt.Errorf("history: record needs app and strategy")
+	}
+	if r.MakespanSec <= 0 {
+		return fmt.Errorf("history: non-positive makespan")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, r)
+	return nil
+}
+
+// Len returns the record count.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// ForApp returns the records for one application.
+func (s *Store) ForApp(app string) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	for _, r := range s.records {
+		if r.App == app {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Save writes the store as JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.records)
+}
+
+// Load replaces the store's contents from JSON.
+func (s *Store) Load(r io.Reader) error {
+	var records []Record
+	if err := json.NewDecoder(r).Decode(&records); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = records
+	return nil
+}
+
+// Recommendation is an advisor's answer.
+type Recommendation struct {
+	// Strategy is the recommended configuration description.
+	Strategy string
+	// Reason explains the choice.
+	Reason string
+	// ExpectedMakespanSec is the predicted or observed run time (0 when
+	// unknown).
+	ExpectedMakespanSec float64
+}
+
+// Empirical recommends the strategy with the lowest mean makespan among an
+// application's past runs (requiring minRuns observations per strategy; 0
+// means 1).
+func (s *Store) Empirical(app string, minRuns int) (Recommendation, error) {
+	if minRuns <= 0 {
+		minRuns = 1
+	}
+	records := s.ForApp(app)
+	if len(records) == 0 {
+		return Recommendation{}, fmt.Errorf("history: no runs recorded for %q", app)
+	}
+	type agg struct {
+		sum float64
+		n   int
+	}
+	byStrategy := map[string]*agg{}
+	for _, r := range records {
+		a := byStrategy[r.Strategy]
+		if a == nil {
+			a = &agg{}
+			byStrategy[r.Strategy] = a
+		}
+		a.sum += r.MakespanSec
+		a.n++
+	}
+	names := make([]string, 0, len(byStrategy))
+	for name, a := range byStrategy {
+		if a.n >= minRuns {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return Recommendation{}, fmt.Errorf("history: no strategy for %q has %d runs", app, minRuns)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ai, aj := byStrategy[names[i]], byStrategy[names[j]]
+		mi, mj := ai.sum/float64(ai.n), aj.sum/float64(aj.n)
+		if mi != mj {
+			return mi < mj
+		}
+		return names[i] < names[j]
+	})
+	best := byStrategy[names[0]]
+	return Recommendation{
+		Strategy:            names[0],
+		Reason:              fmt.Sprintf("lowest mean makespan over %d past run(s)", best.n),
+		ExpectedMakespanSec: best.sum / float64(best.n),
+	}, nil
+}
+
+// WorkloadProfile summarises a workload for the model-based advisor.
+type WorkloadProfile struct {
+	// TotalInputBytes is the data to move if remote.
+	TotalInputBytes float64
+	// TotalComputeSec is the aggregate single-core compute.
+	TotalComputeSec float64
+	// CostVariance is the squared coefficient of variation of per-task
+	// cost; high variance favours real-time balancing.
+	CostVariance float64
+	// DataResidentOnWorkers marks inputs already placed node-locally.
+	DataResidentOnWorkers bool
+}
+
+// ClusterProfile summarises the resources.
+type ClusterProfile struct {
+	Workers      int
+	SlotsPerNode int
+	UplinkBps    float64 // master/source uplink in bits per second
+	LocalReadBps float64 // bytes per second
+}
+
+// Model recommends a strategy from first principles, mirroring the paper's
+// Section IV findings: move computation to resident data when possible;
+// otherwise pick real-time when the workload is transfer-bound (overlap
+// wins) or cost-variable (balance wins), and pre-partitioning only for the
+// uniform compute-bound corner where it matches real-time anyway.
+func Model(w WorkloadProfile, c ClusterProfile) (Recommendation, strategy.Config) {
+	if c.Workers < 1 || c.SlotsPerNode < 1 || c.UplinkBps <= 0 {
+		return Recommendation{Strategy: "invalid", Reason: "invalid cluster profile"}, strategy.Config{}
+	}
+	if w.DataResidentOnWorkers {
+		cfg := strategy.PrePartitionedLocal
+		return Recommendation{
+			Strategy: cfg.String(),
+			Reason:   "inputs already resident: moving computation to data avoids all transfer (Fig. 7a)",
+		}, cfg
+	}
+	slots := float64(c.Workers * c.SlotsPerNode)
+	transferSec := w.TotalInputBytes * 8 / c.UplinkBps
+	execSec := w.TotalComputeSec / slots
+	switch {
+	case transferSec > execSec:
+		cfg := strategy.RealTimeRemote
+		return Recommendation{
+			Strategy:            cfg.String(),
+			Reason:              fmt.Sprintf("transfer-bound (%.0fs transfer vs %.0fs exec): overlap hides execution (Fig. 6a)", transferSec, execSec),
+			ExpectedMakespanSec: transferSec,
+		}, cfg
+	case w.CostVariance > 0.01:
+		cfg := strategy.RealTimeRemote
+		return Recommendation{
+			Strategy:            cfg.String(),
+			Reason:              "compute-bound with variable task cost: pull-based balancing avoids stragglers (Fig. 6b)",
+			ExpectedMakespanSec: execSec + transferSec,
+		}, cfg
+	default:
+		cfg := strategy.PrePartitionedRemote
+		return Recommendation{
+			Strategy:            cfg.String(),
+			Reason:              "uniform compute-bound workload: static partitioning is optimal and simplest (Section III-A)",
+			ExpectedMakespanSec: execSec + transferSec,
+		}, cfg
+	}
+}

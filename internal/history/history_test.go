@@ -1,0 +1,127 @@
+package history
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"frieda/internal/netsim"
+	"frieda/internal/strategy"
+)
+
+func record(app, strat string, makespan float64) Record {
+	return Record{App: app, Strategy: strat, Workers: 4, Slots: 16,
+		MakespanSec: makespan, When: time.Unix(1341360000, 0)}
+}
+
+func TestStoreAddValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Add(Record{}); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	if err := s.Add(Record{App: "a", Strategy: "s", MakespanSec: 0}); err == nil {
+		t.Fatal("zero makespan accepted")
+	}
+	if err := s.Add(record("ALS", "real-time", 700)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStoreSaveLoad(t *testing.T) {
+	s := NewStore()
+	s.Add(record("ALS", "real-time", 700))
+	s.Add(record("BLAST", "pre-partition", 4100))
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	if err := s2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("loaded %d records", s2.Len())
+	}
+	if got := s2.ForApp("ALS"); len(got) != 1 || got[0].MakespanSec != 700 {
+		t.Fatalf("ForApp = %+v", got)
+	}
+	if err := s2.Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage load accepted")
+	}
+}
+
+func TestEmpiricalPicksBestMean(t *testing.T) {
+	s := NewStore()
+	s.Add(record("ALS", "pre-partition/remote", 790))
+	s.Add(record("ALS", "pre-partition/remote", 810))
+	s.Add(record("ALS", "real-time/remote", 700))
+	s.Add(record("ALS", "real-time/remote", 710))
+	s.Add(record("BLAST", "real-time/remote", 3800))
+	rec, err := s.Empirical("ALS", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Strategy != "real-time/remote" {
+		t.Fatalf("recommended %q", rec.Strategy)
+	}
+	if rec.ExpectedMakespanSec != 705 {
+		t.Fatalf("expected makespan %v", rec.ExpectedMakespanSec)
+	}
+	if _, err := s.Empirical("nope", 1); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := s.Empirical("BLAST", 5); err == nil {
+		t.Fatal("minRuns not enforced")
+	}
+}
+
+func TestModelResidentData(t *testing.T) {
+	rec, cfg := Model(WorkloadProfile{DataResidentOnWorkers: true},
+		ClusterProfile{Workers: 4, SlotsPerNode: 4, UplinkBps: netsim.Mbps(100)})
+	if cfg.Locality != strategy.Local {
+		t.Fatalf("resident data -> %s", rec.Strategy)
+	}
+}
+
+func TestModelTransferBound(t *testing.T) {
+	// The ALS profile: 8.75 GB to move, 1250 s single-core compute.
+	rec, cfg := Model(
+		WorkloadProfile{TotalInputBytes: 8.75e9, TotalComputeSec: 1250},
+		ClusterProfile{Workers: 4, SlotsPerNode: 4, UplinkBps: netsim.Mbps(100)})
+	if cfg.Kind != strategy.RealTime {
+		t.Fatalf("ALS profile -> %s (%s)", rec.Strategy, rec.Reason)
+	}
+	if rec.ExpectedMakespanSec < 600 || rec.ExpectedMakespanSec > 800 {
+		t.Fatalf("expected makespan %.0f, want ~700", rec.ExpectedMakespanSec)
+	}
+}
+
+func TestModelVariableComputeBound(t *testing.T) {
+	// The BLAST profile: small inputs, huge variable compute.
+	rec, cfg := Model(
+		WorkloadProfile{TotalInputBytes: 15e6, TotalComputeSec: 61200, CostVariance: 0.05},
+		ClusterProfile{Workers: 4, SlotsPerNode: 4, UplinkBps: netsim.Mbps(100)})
+	if cfg.Kind != strategy.RealTime {
+		t.Fatalf("BLAST profile -> %s (%s)", rec.Strategy, rec.Reason)
+	}
+}
+
+func TestModelUniformComputeBound(t *testing.T) {
+	rec, cfg := Model(
+		WorkloadProfile{TotalInputBytes: 1e6, TotalComputeSec: 10000, CostVariance: 0.001},
+		ClusterProfile{Workers: 4, SlotsPerNode: 4, UplinkBps: netsim.Mbps(100)})
+	if cfg.Kind != strategy.PrePartition {
+		t.Fatalf("uniform profile -> %s (%s)", rec.Strategy, rec.Reason)
+	}
+}
+
+func TestModelInvalidCluster(t *testing.T) {
+	rec, _ := Model(WorkloadProfile{}, ClusterProfile{})
+	if rec.Strategy != "invalid" {
+		t.Fatalf("invalid cluster -> %q", rec.Strategy)
+	}
+}

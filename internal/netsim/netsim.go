@@ -1,0 +1,389 @@
+// Package netsim models a network at flow level on virtual time.
+//
+// Instead of simulating packets, each active transfer is a fluid flow across
+// a path of links; the network solves the classic max-min fair allocation
+// (progressive filling / water-filling) every time the set of flows or link
+// capacities change, and schedules flow completions on the sim engine.
+//
+// This is the standard abstraction used by cloud-scale simulators: it
+// captures precisely the effects FRIEDA's evaluation depends on — the
+// master's 100 Mbps uplink being shared by 16 concurrent worker transfers,
+// and transfer/computation overlap under the real-time strategy — without
+// the cost of packet-level simulation.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"frieda/internal/sim"
+)
+
+// completionEpsilon is the residual byte count below which a flow counts as
+// finished; it absorbs float64 rounding in the fluid model.
+const completionEpsilon = 1e-6
+
+// minRescheduleEta is the smallest remaining-transfer time worth
+// rescheduling. Below it the flow finishes immediately: late in a long run
+// the virtual clock's float64 ulp exceeds tiny ETAs, so rescheduling would
+// re-fire at the same instant forever without draining the residual.
+const minRescheduleEta = 1e-9
+
+// Link is a unidirectional capacity-constrained resource (a NIC direction or
+// a shared fabric).
+type Link struct {
+	name     string
+	capacity float64 // bits per second
+	latency  sim.Duration
+	flows    map[*Flow]struct{}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Capacity returns the link capacity in bits per second.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// Latency returns the link's one-way propagation delay.
+func (l *Link) Latency() sim.Duration { return l.latency }
+
+// SetLatency sets the link's propagation delay (federated/wide-area sites).
+// It applies to flows started afterwards.
+func (l *Link) SetLatency(d sim.Duration) {
+	if d < 0 {
+		panic("netsim: negative latency")
+	}
+	l.latency = d
+}
+
+// ActiveFlows returns the number of flows currently traversing the link.
+func (l *Link) ActiveFlows() int { return len(l.flows) }
+
+// Flow is an in-flight transfer across a path of links.
+type Flow struct {
+	id         uint64
+	bytes      float64
+	remaining  float64
+	path       []*Link
+	rate       float64 // bits per second under the current allocation
+	lastUpdate sim.Time
+	done       *sim.Event
+	net        *Network
+	onComplete func(sim.Time)
+	started    sim.Time
+	finished   bool
+	cancelled  bool
+	pending    bool // latency delay not yet elapsed; not joined to links
+}
+
+// Bytes returns the flow's total size in bytes.
+func (f *Flow) Bytes() float64 { return f.bytes }
+
+// Remaining returns the unsent byte count as of the last allocation change.
+// Call Network.Settle first for an up-to-the-instant value.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the flow's current max-min fair rate in bits per second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Started returns the virtual time the flow began.
+func (f *Flow) Started() sim.Time { return f.started }
+
+// Finished reports whether the flow has completed.
+func (f *Flow) Finished() bool { return f.finished }
+
+// Network is a set of links plus the active flows over them.
+type Network struct {
+	eng    *Engine
+	links  map[string]*Link
+	flows  map[*Flow]struct{}
+	nextID uint64
+
+	// BytesMoved accumulates total completed-flow volume, for reports.
+	BytesMoved float64
+	// FlowsCompleted counts completed flows.
+	FlowsCompleted uint64
+}
+
+// Engine aliases the simulation engine type for callers that only import
+// netsim.
+type Engine = sim.Engine
+
+// New returns an empty network bound to the engine.
+func New(eng *Engine) *Network {
+	return &Network{
+		eng:   eng,
+		links: make(map[string]*Link),
+		flows: make(map[*Flow]struct{}),
+	}
+}
+
+// NewLink adds a link with the given capacity in bits per second. Names must
+// be unique; duplicate names panic since topologies are built once at
+// experiment setup.
+func (n *Network) NewLink(name string, bitsPerSec float64) *Link {
+	if bitsPerSec <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive capacity for link %q", name))
+	}
+	if _, dup := n.links[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate link %q", name))
+	}
+	l := &Link{name: name, capacity: bitsPerSec, flows: make(map[*Flow]struct{})}
+	n.links[name] = l
+	return l
+}
+
+// Link returns the named link, or nil.
+func (n *Network) Link(name string) *Link { return n.links[name] }
+
+// SetCapacity changes a link's capacity at the current virtual time and
+// reallocates all flows (models provisioned-bandwidth changes or congestion
+// from co-tenants).
+func (n *Network) SetCapacity(l *Link, bitsPerSec float64) {
+	if bitsPerSec <= 0 {
+		panic("netsim: non-positive capacity")
+	}
+	n.settleAll()
+	l.capacity = bitsPerSec
+	n.reallocate()
+}
+
+// StartFlow begins a transfer of the given byte count across path. The
+// onComplete callback runs at the virtual time the last byte arrives. Path
+// propagation latency (the sum over links) delays the transfer's start —
+// the connection-setup RTT of the paper's scp-per-file protocol. A zero or
+// negative size completes after the latency alone. An empty path panics —
+// model node-local copies with the storage layer instead.
+func (n *Network) StartFlow(bytes float64, path []*Link, onComplete func(sim.Time)) *Flow {
+	if len(path) == 0 {
+		panic("netsim: empty flow path")
+	}
+	n.nextID++
+	f := &Flow{
+		id:         n.nextID,
+		bytes:      bytes,
+		remaining:  bytes,
+		path:       path,
+		net:        n,
+		onComplete: onComplete,
+		started:    n.eng.Now(),
+	}
+	var latency sim.Duration
+	for _, l := range path {
+		latency += l.latency
+	}
+	if bytes <= completionEpsilon {
+		f.finished = true
+		n.FlowsCompleted++
+		n.eng.Schedule(latency, func() {
+			if onComplete != nil {
+				onComplete(n.eng.Now())
+			}
+		})
+		return f
+	}
+	join := func() {
+		if f.cancelled {
+			return
+		}
+		f.lastUpdate = n.eng.Now()
+		n.settleAll()
+		n.flows[f] = struct{}{}
+		for _, l := range path {
+			l.flows[f] = struct{}{}
+		}
+		n.reallocate()
+	}
+	if latency > 0 {
+		f.pending = true
+		n.eng.Schedule(latency, func() {
+			f.pending = false
+			join()
+		})
+	} else {
+		f.lastUpdate = n.eng.Now()
+		join()
+	}
+	return f
+}
+
+// Cancel aborts an in-flight flow (e.g. the receiving worker failed). The
+// completion callback never runs. Cancel of a finished flow is a no-op.
+func (n *Network) Cancel(f *Flow) {
+	if f.finished || f.cancelled {
+		return
+	}
+	f.cancelled = true
+	if f.pending {
+		return // still in its latency delay; it will never join the links
+	}
+	n.settleAll()
+	n.removeFlow(f)
+	n.reallocate()
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// Settle brings every flow's Remaining up to the current instant without
+// changing allocations. Useful before inspecting progress.
+func (n *Network) Settle() { n.settleAll() }
+
+// settleAll advances each active flow's remaining-byte accounting to now.
+func (n *Network) settleAll() {
+	now := n.eng.Now()
+	for f := range n.flows {
+		dt := float64(now - f.lastUpdate)
+		if dt > 0 && f.rate > 0 {
+			f.remaining -= f.rate / 8 * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.lastUpdate = now
+	}
+}
+
+// removeFlow detaches a flow from its links and the active set and cancels
+// its completion event.
+func (n *Network) removeFlow(f *Flow) {
+	delete(n.flows, f)
+	for _, l := range f.path {
+		delete(l.flows, f)
+	}
+	if f.done != nil {
+		f.done.Cancel()
+		f.done = nil
+	}
+}
+
+// reallocate recomputes max-min fair rates for all active flows and
+// reschedules their completion events. Must be called with all flows
+// settled to the current instant.
+func (n *Network) reallocate() {
+	if len(n.flows) == 0 {
+		return
+	}
+	rates := maxMinFair(n.flows)
+	// Schedule completions in flow-id order so same-time completions are
+	// deterministic across runs.
+	ordered := make([]*Flow, 0, len(rates))
+	for f := range rates {
+		ordered = append(ordered, f)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].id < ordered[j].id })
+	for _, f := range ordered {
+		r := rates[f]
+		f.rate = r
+		if f.done != nil {
+			f.done.Cancel()
+			f.done = nil
+		}
+		if r <= 0 {
+			continue // starved (should not happen with positive capacities)
+		}
+		eta := sim.Duration(f.remaining * 8 / r)
+		ff := f
+		f.done = n.eng.Schedule(eta, func() { n.complete(ff) })
+	}
+}
+
+// complete finishes a flow at the current virtual time.
+func (n *Network) complete(f *Flow) {
+	n.settleAll()
+	if f.remaining > completionEpsilon && f.rate > 0 &&
+		f.remaining*8/f.rate > minRescheduleEta {
+		// A genuine early fire (rates changed underneath the event);
+		// reallocate reschedules the real completion.
+		n.reallocate()
+		return
+	}
+	f.finished = true
+	f.remaining = 0
+	n.BytesMoved += f.bytes
+	n.FlowsCompleted++
+	n.removeFlow(f)
+	n.reallocate()
+	if f.onComplete != nil {
+		f.onComplete(n.eng.Now())
+	}
+}
+
+// maxMinFair computes the max-min fair rate for each flow via progressive
+// filling: repeatedly find the most-constrained link (smallest residual
+// capacity per unfrozen flow), freeze its flows at that fair share, and
+// continue until every flow is frozen.
+func maxMinFair(flows map[*Flow]struct{}) map[*Flow]float64 {
+	rates := make(map[*Flow]float64, len(flows))
+	frozen := make(map[*Flow]bool, len(flows))
+
+	// Collect the links in play, deterministically ordered for tie-breaks.
+	linkSet := make(map[*Link]struct{})
+	for f := range flows {
+		for _, l := range f.path {
+			linkSet[l] = struct{}{}
+		}
+	}
+	links := make([]*Link, 0, len(linkSet))
+	for l := range linkSet {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i].name < links[j].name })
+
+	remaining := len(flows)
+	residual := make(map[*Link]float64, len(links))
+	for _, l := range links {
+		residual[l] = l.capacity
+	}
+
+	for remaining > 0 {
+		// Find the bottleneck link: min residual / unfrozen-count.
+		var bottleneck *Link
+		best := math.Inf(1)
+		for _, l := range links {
+			unfrozen := 0
+			for f := range l.flows {
+				if !frozen[f] {
+					unfrozen++
+				}
+			}
+			if unfrozen == 0 {
+				continue
+			}
+			share := residual[l] / float64(unfrozen)
+			if share < best {
+				best = share
+				bottleneck = l
+			}
+		}
+		if bottleneck == nil {
+			// Flows whose links all have zero unfrozen count cannot occur;
+			// any leftover flows get starved rates.
+			for f := range flows {
+				if !frozen[f] {
+					rates[f] = 0
+					remaining--
+				}
+			}
+			break
+		}
+		// Freeze every unfrozen flow through the bottleneck at the share and
+		// charge it against the residual of every link on its path.
+		for f := range bottleneck.flows {
+			if frozen[f] {
+				continue
+			}
+			frozen[f] = true
+			rates[f] = best
+			remaining--
+			for _, l := range f.path {
+				residual[l] -= best
+				if residual[l] < 0 {
+					residual[l] = 0
+				}
+			}
+		}
+	}
+	return rates
+}

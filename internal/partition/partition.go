@@ -1,0 +1,202 @@
+// Package partition implements FRIEDA's partition generator — the
+// control-plane component that turns the input file list into per-task file
+// groups (Section II-E of the paper) — and the assignment algorithms that
+// map groups onto workers for the pre-partitioning strategies.
+//
+// The paper ships three pairwise groupings (one-to-all, pairwise-adjacent,
+// all-to-all) plus the default one-file-per-task, and calls out that "the
+// design allows other schemes to be easily added": Generator is the plug-in
+// point, and this package adds sliding-window and fixed-chunk generators as
+// extensions.
+package partition
+
+import (
+	"fmt"
+
+	"frieda/internal/catalog"
+)
+
+// Group is the ordered set of input files consumed by one program instance.
+// Order matters: the files substitute positionally into the execution
+// template ($inp1, $inp2, ...).
+type Group struct {
+	// Index is the group's position in generation order.
+	Index int
+	// Files are the group's input files.
+	Files []catalog.FileMeta
+}
+
+// Size returns the total input bytes of the group.
+func (g Group) Size() int64 {
+	var n int64
+	for _, f := range g.Files {
+		n += f.Size
+	}
+	return n
+}
+
+// Names returns the file names in group order.
+func (g Group) Names() []string {
+	out := make([]string, len(g.Files))
+	for i, f := range g.Files {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Generator produces task groups from a catalog. Implementations must be
+// deterministic: the control plane may regenerate the plan after a failure
+// and must arrive at the same grouping.
+type Generator interface {
+	// Name identifies the scheme in configs and logs.
+	Name() string
+	// Generate produces the groups for the catalog's files.
+	Generate(c *catalog.Catalog) ([]Group, error)
+}
+
+// Single is the paper's default: every program instance takes one input
+// file.
+type Single struct{}
+
+// Name implements Generator.
+func (Single) Name() string { return "single" }
+
+// Generate implements Generator.
+func (Single) Generate(c *catalog.Catalog) ([]Group, error) {
+	files := c.Files()
+	out := make([]Group, len(files))
+	for i, f := range files {
+		out[i] = Group{Index: i, Files: []catalog.FileMeta{f}}
+	}
+	return out, nil
+}
+
+// OneToAll pairs the first file in the input directory with each of the
+// remaining files (paper: "one file in the input directory is paired with
+// all the rest").
+type OneToAll struct{}
+
+// Name implements Generator.
+func (OneToAll) Name() string { return "one-to-all" }
+
+// Generate implements Generator.
+func (OneToAll) Generate(c *catalog.Catalog) ([]Group, error) {
+	files := c.Files()
+	if len(files) < 2 {
+		return nil, fmt.Errorf("partition: one-to-all needs >= 2 files, have %d", len(files))
+	}
+	pivot := files[0]
+	out := make([]Group, 0, len(files)-1)
+	for i, f := range files[1:] {
+		out = append(out, Group{Index: i, Files: []catalog.FileMeta{pivot, f}})
+	}
+	return out, nil
+}
+
+// PairwiseAdjacent pairs consecutive disjoint files: (f0,f1), (f2,f3), ...
+// This is the grouping the ALS image-comparison evaluation uses: 1250
+// images become 625 two-file tasks. An odd trailing file is an error — the
+// application defines no unary comparison.
+type PairwiseAdjacent struct{}
+
+// Name implements Generator.
+func (PairwiseAdjacent) Name() string { return "pairwise-adjacent" }
+
+// Generate implements Generator.
+func (PairwiseAdjacent) Generate(c *catalog.Catalog) ([]Group, error) {
+	files := c.Files()
+	if len(files) == 0 || len(files)%2 != 0 {
+		return nil, fmt.Errorf("partition: pairwise-adjacent needs an even file count, have %d", len(files))
+	}
+	out := make([]Group, 0, len(files)/2)
+	for i := 0; i+1 < len(files); i += 2 {
+		out = append(out, Group{Index: i / 2, Files: []catalog.FileMeta{files[i], files[i+1]}})
+	}
+	return out, nil
+}
+
+// AllToAll pairs every file with every other file (unordered pairs):
+// n(n-1)/2 groups.
+type AllToAll struct{}
+
+// Name implements Generator.
+func (AllToAll) Name() string { return "all-to-all" }
+
+// Generate implements Generator.
+func (AllToAll) Generate(c *catalog.Catalog) ([]Group, error) {
+	files := c.Files()
+	if len(files) < 2 {
+		return nil, fmt.Errorf("partition: all-to-all needs >= 2 files, have %d", len(files))
+	}
+	out := make([]Group, 0, len(files)*(len(files)-1)/2)
+	for i := 0; i < len(files); i++ {
+		for j := i + 1; j < len(files); j++ {
+			out = append(out, Group{Index: len(out), Files: []catalog.FileMeta{files[i], files[j]}})
+		}
+	}
+	return out, nil
+}
+
+// SlidingWindow pairs overlapping consecutive files: (f0,f1), (f1,f2), ...
+// — an extension for pipelines that compare each frame with its successor.
+type SlidingWindow struct{}
+
+// Name implements Generator.
+func (SlidingWindow) Name() string { return "sliding-window" }
+
+// Generate implements Generator.
+func (SlidingWindow) Generate(c *catalog.Catalog) ([]Group, error) {
+	files := c.Files()
+	if len(files) < 2 {
+		return nil, fmt.Errorf("partition: sliding-window needs >= 2 files, have %d", len(files))
+	}
+	out := make([]Group, 0, len(files)-1)
+	for i := 0; i+1 < len(files); i++ {
+		out = append(out, Group{Index: i, Files: []catalog.FileMeta{files[i], files[i+1]}})
+	}
+	return out, nil
+}
+
+// Chunk groups k consecutive files per task — an extension for programs
+// that batch inputs.
+type Chunk struct {
+	// K is the files-per-task count (>= 1). A short final group is emitted
+	// for leftovers.
+	K int
+}
+
+// Name implements Generator.
+func (g Chunk) Name() string { return fmt.Sprintf("chunk-%d", g.K) }
+
+// Generate implements Generator.
+func (g Chunk) Generate(c *catalog.Catalog) ([]Group, error) {
+	if g.K < 1 {
+		return nil, fmt.Errorf("partition: chunk size %d < 1", g.K)
+	}
+	files := c.Files()
+	var out []Group
+	for i := 0; i < len(files); i += g.K {
+		end := min(i+g.K, len(files))
+		out = append(out, Group{Index: len(out), Files: append([]catalog.FileMeta(nil), files[i:end]...)})
+	}
+	return out, nil
+}
+
+// ByName returns the named generator. It recognises the paper's schemes and
+// this package's extensions.
+func ByName(name string) (Generator, error) {
+	switch name {
+	case "single", "":
+		return Single{}, nil
+	case "one-to-all":
+		return OneToAll{}, nil
+	case "pairwise-adjacent":
+		return PairwiseAdjacent{}, nil
+	case "all-to-all":
+		return AllToAll{}, nil
+	case "sliding-window":
+		return SlidingWindow{}, nil
+	default:
+		return nil, fmt.Errorf("partition: unknown grouping %q", name)
+	}
+}

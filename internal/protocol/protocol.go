@@ -1,0 +1,241 @@
+// Package protocol defines FRIEDA's wire messages and their encoding.
+//
+// The message vocabulary follows Figures 2–4 of the paper: the controller
+// starts the master (START_MASTER) and configures it (PARTITION_TYPE,
+// SET_PARTITION_INFO), forks workers (FORK_REMOTE_WORKERS), workers register
+// with the master and request data (REQUEST_DATA), and the master answers
+// with metadata and payloads (FILE_METADATA, FILE_DATA, DISTRIBUTE_FILES)
+// followed by execution commands. Messages are gob-encoded over any stream;
+// gob provides self-describing framing.
+package protocol
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Type discriminates messages.
+type Type int
+
+// Message types. Names mirror the paper's protocol vocabulary where one
+// exists.
+const (
+	// TInvalid is the zero value; receiving it is always an error.
+	TInvalid Type = iota
+
+	// Control plane (controller <-> master, controller <-> worker).
+
+	// TStartMaster initialises the master with the strategy configuration.
+	TStartMaster
+	// TPartitionType updates the partition strategy at run time over the
+	// controller-master channel (no master restart, per Section II-D).
+	TPartitionType
+	// TForkWorkers tells the master how many workers to expect.
+	TForkWorkers
+	// TInitWorker initialises a worker with the execution syntax and the
+	// master's address.
+	TInitWorker
+	// TWorkerError reports a worker failure to the controller.
+	TWorkerError
+	// TAddWorker announces an elastic worker addition to the master.
+	TAddWorker
+	// TRemoveWorker asks the master to drain and drop a worker.
+	TRemoveWorker
+	// TShutdown asks the receiver to exit cleanly.
+	TShutdown
+	// TAck acknowledges a control message.
+	TAck
+
+	// Execution plane (master <-> worker).
+
+	// TRegister announces a worker to the master (name, cores).
+	TRegister
+	// TFileMetadata describes files about to be transferred.
+	TFileMetadata
+	// TFileData carries one chunk of file payload.
+	TFileData
+	// TDistribute carries a pre-partition assignment: the list of group
+	// indices a worker will own.
+	TDistribute
+	// TRequestData is a worker's pull for the next group (real-time mode).
+	TRequestData
+	// TExecute orders execution of a group already resident on the worker.
+	TExecute
+	// TTaskStatus reports one task's completion or failure.
+	TTaskStatus
+	// TNoMoreData tells a worker the input set is exhausted.
+	TNoMoreData
+	// TMasterDone tells the controller all groups completed.
+	TMasterDone
+)
+
+// String names the type.
+func (t Type) String() string {
+	names := map[Type]string{
+		TInvalid:       "INVALID",
+		TStartMaster:   "START_MASTER",
+		TPartitionType: "PARTITION_TYPE",
+		TForkWorkers:   "FORK_REMOTE_WORKERS",
+		TInitWorker:    "INIT_WORKER",
+		TWorkerError:   "WORKER_ERROR",
+		TAddWorker:     "ADD_WORKER",
+		TRemoveWorker:  "REMOVE_WORKER",
+		TShutdown:      "SHUTDOWN",
+		TAck:           "ACK",
+		TRegister:      "REGISTER",
+		TFileMetadata:  "FILE_METADATA",
+		TFileData:      "FILE_DATA",
+		TDistribute:    "DISTRIBUTE_FILES",
+		TRequestData:   "REQUEST_DATA",
+		TExecute:       "EXECUTE",
+		TTaskStatus:    "TASK_STATUS",
+		TNoMoreData:    "NO_MORE_DATA",
+		TMasterDone:    "MASTER_DONE",
+	}
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// FileInfo describes one file in a metadata message.
+type FileInfo struct {
+	Name string
+	Size int64
+}
+
+// TaskResult is the payload of TTaskStatus.
+type TaskResult struct {
+	GroupIndex int
+	Worker     string
+	OK         bool
+	Error      string
+	// DurationSec is the execution wall time in seconds.
+	DurationSec float64
+	// Output is a short result summary (FRIEDA leaves bulk output on the
+	// worker; the paper's evaluation uses local output only).
+	Output string
+}
+
+// StrategyInfo is the strategy subset that crosses the wire; it avoids a
+// protocol dependency on higher layers.
+type StrategyInfo struct {
+	Kind      string // "no-partition", "pre-partition", "real-time"
+	Locality  string
+	Placement string
+	Grouping  string
+	Assigner  string
+	Multicore bool
+	Prefetch  int
+	Common    []string
+}
+
+// Message is the single wire envelope. Only the fields relevant to Type are
+// populated; gob encodes zero fields cheaply.
+type Message struct {
+	Type Type
+
+	// Worker identifies the sending or target worker.
+	Worker string
+	// Cores is the worker's core count (TRegister) or clone count.
+	Cores int
+	// ReturnOutputs (in a registration TAck) asks the worker to stream
+	// registered result files back to the master after each task.
+	ReturnOutputs bool
+
+	// Strategy configures the master (TStartMaster, TPartitionType).
+	Strategy StrategyInfo
+	// Template is the program execution syntax, e.g.
+	// ["app", "arg1", "$inp1", "$inp2"] (TInitWorker).
+	Template []string
+	// MasterAddr tells a worker where to connect (TInitWorker).
+	MasterAddr string
+	// Workers is the expected worker count (TForkWorkers).
+	Workers int
+
+	// Files lists file metadata (TFileMetadata, TDistribute).
+	Files []FileInfo
+	// GroupIndex identifies the task group in play.
+	GroupIndex int
+	// Groups lists group indices (TDistribute).
+	Groups []int
+
+	// FileName, Offset, Data and Last carry one payload chunk (TFileData).
+	FileName string
+	Offset   int64
+	Data     []byte
+	Last     bool
+
+	// Result carries task completion (TTaskStatus).
+	Result TaskResult
+	// Results carries the full outcome list (TMasterDone).
+	Results []TaskResult
+	// BytesMoved and MakespanSec summarise the run (TMasterDone).
+	BytesMoved  int64
+	MakespanSec float64
+
+	// Error carries failure detail (TWorkerError, negative TAck).
+	Error string
+	// Seq correlates acks with requests.
+	Seq uint64
+}
+
+// WireSize estimates the message's on-the-wire size in bytes; the
+// token-bucket throttle in the in-memory transport charges this. Payload
+// dominates; headers are charged a flat overhead.
+func (m *Message) WireSize() int {
+	const overhead = 128
+	n := overhead + len(m.Data)
+	for _, f := range m.Files {
+		n += len(f.Name) + 16
+	}
+	n += 16 * len(m.Groups)
+	return n
+}
+
+// Codec frames messages over a stream with gob. Send is safe for concurrent
+// use; Recv must be called from a single goroutine.
+type Codec struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	dec *gob.Decoder
+	c   io.Closer
+}
+
+// NewCodec wraps a stream. If rw also implements io.Closer, Close closes it.
+func NewCodec(rw io.ReadWriter) *Codec {
+	c, _ := rw.(io.Closer)
+	return &Codec{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw), c: c}
+}
+
+// Send encodes one message.
+func (c *Codec) Send(m *Message) error {
+	if m.Type == TInvalid {
+		return fmt.Errorf("protocol: send of TInvalid message")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(m)
+}
+
+// Recv decodes one message.
+func (c *Codec) Recv() (*Message, error) {
+	var m Message
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	if m.Type == TInvalid {
+		return nil, fmt.Errorf("protocol: received TInvalid message")
+	}
+	return &m, nil
+}
+
+// Close closes the underlying stream when it is closable.
+func (c *Codec) Close() error {
+	if c.c != nil {
+		return c.c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package protocol
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	in := &Message{
+		Type:     TFileData,
+		Worker:   "w3",
+		FileName: "img-0042.pgm",
+		Offset:   65536,
+		Data:     []byte("payload-bytes"),
+		Last:     true,
+		Seq:      7,
+	}
+	if err := c.Send(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != TFileData || out.Worker != "w3" || out.FileName != in.FileName ||
+		out.Offset != in.Offset || string(out.Data) != string(in.Data) || !out.Last || out.Seq != 7 {
+		t.Fatalf("round trip mangled message: %+v", out)
+	}
+}
+
+func TestRoundTripComplexFields(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	in := &Message{
+		Type: TStartMaster,
+		Strategy: StrategyInfo{
+			Kind: "real-time", Locality: "remote", Placement: "data-to-compute",
+			Grouping: "pairwise-adjacent", Multicore: true, Prefetch: 2,
+			Common: []string{"nr.db"},
+		},
+		Template: []string{"blastp", "-db", "nr.db", "-query", "$inp1"},
+		Files:    []FileInfo{{Name: "a", Size: 1}, {Name: "b", Size: 2}},
+		Groups:   []int{0, 4, 8},
+		Result:   TaskResult{GroupIndex: 3, Worker: "w0", OK: true, DurationSec: 1.5, Output: "ok"},
+	}
+	if err := c.Send(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Strategy.Grouping != "pairwise-adjacent" || len(out.Strategy.Common) != 1 {
+		t.Fatalf("strategy mangled: %+v", out.Strategy)
+	}
+	if len(out.Template) != 5 || out.Template[4] != "$inp1" {
+		t.Fatalf("template mangled: %v", out.Template)
+	}
+	if len(out.Files) != 2 || out.Files[1].Size != 2 {
+		t.Fatalf("files mangled: %v", out.Files)
+	}
+	if len(out.Groups) != 3 || out.Groups[2] != 8 {
+		t.Fatalf("groups mangled: %v", out.Groups)
+	}
+	if !out.Result.OK || out.Result.DurationSec != 1.5 {
+		t.Fatalf("result mangled: %+v", out.Result)
+	}
+}
+
+func TestMultipleMessagesInOrder(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	for i := 0; i < 10; i++ {
+		if err := c.Send(&Message{Type: TRequestData, GroupIndex: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		m, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.GroupIndex != i {
+			t.Fatalf("message %d arrived with index %d", i, m.GroupIndex)
+		}
+	}
+}
+
+func TestRejectInvalidType(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	if err := c.Send(&Message{}); err == nil {
+		t.Fatal("TInvalid send accepted")
+	}
+}
+
+func TestRecvOnEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("Recv on empty stream succeeded")
+	}
+}
+
+func TestConcurrentSendSafe(t *testing.T) {
+	// A locked pipe: Codec.Send must serialise concurrent encoders.
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	type lockedBuf struct {
+		*bytes.Buffer
+	}
+	_ = lockedBuf{}
+	// bytes.Buffer is not concurrency-safe, so use a wrapper.
+	w := &syncRW{buf: &buf, mu: &mu}
+	c := NewCodec(w)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := c.Send(&Message{Type: TRequestData, GroupIndex: i*100 + j}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := 0
+	for {
+		if _, err := c.Recv(); err != nil {
+			break
+		}
+		seen++
+	}
+	if seen != 400 {
+		t.Fatalf("decoded %d messages, want 400", seen)
+	}
+}
+
+type syncRW struct {
+	buf *bytes.Buffer
+	mu  *sync.Mutex
+}
+
+func (s *syncRW) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Read(p)
+}
+
+func (s *syncRW) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func TestTypeStrings(t *testing.T) {
+	if TStartMaster.String() != "START_MASTER" {
+		t.Fatalf("TStartMaster = %q", TStartMaster.String())
+	}
+	if TDistribute.String() != "DISTRIBUTE_FILES" {
+		t.Fatalf("TDistribute = %q", TDistribute.String())
+	}
+	if !strings.Contains(Type(999).String(), "999") {
+		t.Fatalf("unknown type = %q", Type(999).String())
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	m := &Message{Type: TFileData, Data: make([]byte, 1000)}
+	if m.WireSize() < 1000 {
+		t.Fatalf("WireSize = %d < payload", m.WireSize())
+	}
+	small := &Message{Type: TAck}
+	if small.WireSize() <= 0 || small.WireSize() > 1024 {
+		t.Fatalf("control WireSize = %d", small.WireSize())
+	}
+}
+
+// Property: any message with a valid type survives encode/decode with its
+// scalar fields intact.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(worker string, group int, data []byte, ok bool, dur float64, seq uint64) bool {
+		var buf bytes.Buffer
+		c := NewCodec(&buf)
+		in := &Message{
+			Type: TTaskStatus, Worker: worker, GroupIndex: group, Data: data, Seq: seq,
+			Result: TaskResult{Worker: worker, OK: ok, DurationSec: dur},
+		}
+		if err := c.Send(in); err != nil {
+			return false
+		}
+		out, err := c.Recv()
+		if err != nil {
+			return false
+		}
+		return out.Worker == worker && out.GroupIndex == group &&
+			string(out.Data) == string(data) && out.Result.OK == ok &&
+			out.Result.DurationSec == dur && out.Seq == seq
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

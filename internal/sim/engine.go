@@ -1,0 +1,181 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with a virtual clock. It is the substrate under FRIEDA's paper-scale
+// experiments: the evaluation in the SC'12 paper ran for wall-clock hours on
+// an ExoGENI virtual cluster; replaying the same orderings in virtual time
+// lets the full parameter sweeps run in milliseconds while preserving every
+// overlap and contention effect.
+//
+// The engine is single-threaded and fully deterministic: events that fire at
+// the same virtual time are delivered in scheduling order (FIFO by sequence
+// number). Events may be cancelled or rescheduled, which the flow-level
+// network model relies on when fair-share rates change.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the start of the
+// simulation. Using float64 seconds keeps rate arithmetic (bytes / bits-per-
+// second) exact enough for the fluid network model while staying readable in
+// experiment output.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = Time
+
+// Infinity is a virtual time later than any event the engine will fire.
+const Infinity Time = Time(math.MaxFloat64)
+
+// Event is a scheduled callback. The zero value is invalid; events are
+// created through Engine.Schedule and Engine.At.
+type Event struct {
+	when      Time
+	seq       uint64
+	fn        func()
+	index     int // heap index; -1 once removed
+	cancelled bool
+}
+
+// When reports the virtual time the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// eventHeap orders events by (when, seq) so same-time events fire FIFO.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	running bool
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been delivered so far. It is useful in
+// tests and as a progress metric for long sweeps.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are queued (including cancelled events not
+// yet reaped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run after delay. A negative delay panics: virtual
+// time never runs backwards. It returns the event handle so the caller may
+// cancel it.
+func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At queues fn to run at absolute virtual time t, which must not be in the
+// past.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e.seq++
+	ev := &Event{when: t, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Run delivers events until the queue is empty. It returns the final virtual
+// time.
+func (e *Engine) Run() Time {
+	return e.RunUntil(Infinity)
+}
+
+// RunUntil delivers events with time <= deadline. The clock is left at the
+// time of the last delivered event, or advanced to deadline if the deadline
+// is finite and the queue drained earlier. It returns the current time.
+func (e *Engine) RunUntil(deadline Time) Time {
+	if e.running {
+		panic("sim: Run re-entered from inside an event")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.when > deadline {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.when
+		e.fired++
+		next.fn()
+	}
+	if deadline != Infinity && e.now < deadline && len(e.queue) == 0 {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Step delivers exactly one non-cancelled event and reports whether one was
+// delivered.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*Event)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.when
+		e.fired++
+		next.fn()
+		return true
+	}
+	return false
+}

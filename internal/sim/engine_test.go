@@ -1,0 +1,423 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	eng.Schedule(3, func() { got = append(got, 3) })
+	eng.Schedule(1, func() { got = append(got, 1) })
+	eng.Schedule(2, func() { got = append(got, 2) })
+	eng.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if eng.Now() != 3 {
+		t.Fatalf("final time = %v, want 3", eng.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(5, func() { got = append(got, i) })
+	}
+	eng.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	ev := eng.Schedule(1, func() { fired = true })
+	ev.Cancel()
+	eng.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	eng := NewEngine()
+	var times []Time
+	eng.Schedule(1, func() {
+		times = append(times, eng.Now())
+		eng.Schedule(1, func() {
+			times = append(times, eng.Now())
+			eng.Schedule(1, func() { times = append(times, eng.Now()) })
+		})
+	})
+	eng.Run()
+	want := []Time{1, 2, 3}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	eng := NewEngine()
+	var fired []Time
+	for _, d := range []Duration{1, 2, 3, 4, 5} {
+		d := d
+		eng.Schedule(d, func() { fired = append(fired, eng.Now()) })
+	}
+	eng.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events by t=3, want 3", len(fired))
+	}
+	if eng.Now() != 3 {
+		t.Fatalf("now = %v, want 3", eng.Now())
+	}
+	eng.Run()
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	eng := NewEngine()
+	eng.RunUntil(42)
+	if eng.Now() != 42 {
+		t.Fatalf("idle clock = %v, want 42", eng.Now())
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	eng := NewEngine()
+	n := 0
+	eng.Schedule(1, func() { n++ })
+	eng.Schedule(2, func() { n++ })
+	if !eng.Step() || n != 1 {
+		t.Fatalf("after first Step n=%d", n)
+	}
+	if !eng.Step() || n != 2 {
+		t.Fatalf("after second Step n=%d", n)
+	}
+	if eng.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestEnginePanicsOnNegativeDelay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative delay")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestEnginePanicsOnPastAt(t *testing.T) {
+	eng := NewEngine()
+	eng.Schedule(5, func() {})
+	eng.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic scheduling in the past")
+		}
+	}()
+	eng.At(1, func() {})
+}
+
+func TestEngineFiredCount(t *testing.T) {
+	eng := NewEngine()
+	for i := 0; i < 7; i++ {
+		eng.Schedule(Duration(i), func() {})
+	}
+	ev := eng.Schedule(100, func() {})
+	ev.Cancel()
+	eng.Run()
+	if eng.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", eng.Fired())
+	}
+}
+
+// Property: events always fire in non-decreasing time order, whatever the
+// random schedule, including events scheduled from inside other events.
+func TestEngineMonotonicProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := NewEngine()
+		var fired []Time
+		count := int(n%50) + 1
+		for i := 0; i < count; i++ {
+			eng.Schedule(Duration(rng.Float64()*100), func() {
+				fired = append(fired, eng.Now())
+				if rng.Intn(3) == 0 {
+					eng.Schedule(Duration(rng.Float64()*10), func() {
+						fired = append(fired, eng.Now())
+					})
+				}
+			})
+		}
+		eng.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset of events fires exactly the others.
+func TestEngineCancelSubsetProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := NewEngine()
+		count := int(n%40) + 1
+		fired := 0
+		cancelled := 0
+		events := make([]*Event, count)
+		for i := 0; i < count; i++ {
+			events[i] = eng.Schedule(Duration(rng.Float64()*100), func() { fired++ })
+		}
+		for _, ev := range events {
+			if rng.Intn(2) == 0 {
+				ev.Cancel()
+				cancelled++
+			}
+		}
+		eng.Run()
+		return fired == count-cancelled
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerResetStop(t *testing.T) {
+	eng := NewEngine()
+	fires := 0
+	tm := NewTimer(eng, func() { fires++ })
+	tm.Reset(5)
+	tm.Reset(10) // supersedes the first arm
+	if !tm.Armed() {
+		t.Fatal("timer not armed after Reset")
+	}
+	eng.Run()
+	if fires != 1 {
+		t.Fatalf("fires = %d, want 1", fires)
+	}
+	if eng.Now() != 10 {
+		t.Fatalf("fired at %v, want 10", eng.Now())
+	}
+	tm.Reset(3)
+	tm.Stop()
+	eng.Run()
+	if fires != 1 {
+		t.Fatalf("stopped timer fired; fires = %d", fires)
+	}
+	if tm.Armed() {
+		t.Fatal("stopped timer reports armed")
+	}
+}
+
+func TestTimerResetAt(t *testing.T) {
+	eng := NewEngine()
+	var at Time
+	tm := NewTimer(eng, func() { at = eng.Now() })
+	tm.ResetAt(7)
+	eng.Run()
+	if at != 7 {
+		t.Fatalf("ResetAt fired at %v, want 7", at)
+	}
+}
+
+func TestQueuePushThenTake(t *testing.T) {
+	q := NewQueue[int]()
+	q.Push(1)
+	q.Push(2)
+	var got []int
+	q.Take(func(v int) { got = append(got, v) })
+	q.Take(func(v int) { got = append(got, v) })
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+func TestQueueTakeThenPush(t *testing.T) {
+	q := NewQueue[int]()
+	var got []int
+	q.Take(func(v int) { got = append(got, v) })
+	q.Take(func(v int) { got = append(got, v) })
+	if q.Waiting() != 2 {
+		t.Fatalf("Waiting = %d, want 2", q.Waiting())
+	}
+	q.Push(10)
+	q.Push(20)
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("got %v, want [10 20]", got)
+	}
+}
+
+func TestQueueDrainCallback(t *testing.T) {
+	q := NewQueue[int]()
+	drained := 0
+	q.SetDrain(func() { drained++ })
+	q.Push(1)
+	q.Close()
+	taken := 0
+	q.Take(func(int) { taken++ }) // gets the buffered item
+	q.Take(func(int) { taken++ }) // queue closed+empty: drain fires
+	if taken != 1 {
+		t.Fatalf("taken = %d, want 1", taken)
+	}
+	if drained != 1 {
+		t.Fatalf("drained = %d, want 1", drained)
+	}
+}
+
+func TestQueueCloseNotifiesBlockedTakers(t *testing.T) {
+	q := NewQueue[int]()
+	drained := 0
+	q.SetDrain(func() { drained++ })
+	q.Take(func(int) { t.Fatal("taker received item from empty closed queue") })
+	q.Close()
+	if drained != 1 {
+		t.Fatalf("drained = %d, want 1", drained)
+	}
+}
+
+func TestQueuePushAfterClosePanics(t *testing.T) {
+	q := NewQueue[int]()
+	q.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic pushing to closed queue")
+		}
+	}()
+	q.Push(1)
+}
+
+func TestResourceAdmission(t *testing.T) {
+	r := NewResource(2)
+	order := []int{}
+	r.Acquire(func() { order = append(order, 1) })
+	r.Acquire(func() { order = append(order, 2) })
+	r.Acquire(func() { order = append(order, 3) }) // queued
+	if r.InUse() != 2 || r.QueueLen() != 1 {
+		t.Fatalf("inUse=%d queue=%d", r.InUse(), r.QueueLen())
+	}
+	r.Release() // admits 3
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if r.InUse() != 2 {
+		t.Fatalf("inUse after handoff = %d, want 2", r.InUse())
+	}
+	r.Release()
+	r.Release()
+	if r.InUse() != 0 {
+		t.Fatalf("inUse = %d, want 0", r.InUse())
+	}
+}
+
+func TestResourceGrowAdmitsWaiters(t *testing.T) {
+	r := NewResource(1)
+	admitted := 0
+	r.Acquire(func() { admitted++ })
+	r.Acquire(func() { admitted++ })
+	r.Acquire(func() { admitted++ })
+	if admitted != 1 {
+		t.Fatalf("admitted = %d, want 1", admitted)
+	}
+	r.Grow(2)
+	if admitted != 3 {
+		t.Fatalf("admitted after grow = %d, want 3", admitted)
+	}
+	if r.Capacity() != 3 {
+		t.Fatalf("capacity = %d, want 3", r.Capacity())
+	}
+}
+
+func TestResourceShrink(t *testing.T) {
+	r := NewResource(4)
+	r.Acquire(func() {})
+	removed := r.Shrink(10)
+	if removed != 3 {
+		t.Fatalf("removed = %d, want 3 (one slot held, floor of 1)", removed)
+	}
+	if r.Capacity() != 1 {
+		t.Fatalf("capacity = %d, want 1", r.Capacity())
+	}
+}
+
+func TestResourceReleasePanicsWhenUnheld(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on spurious release")
+		}
+	}()
+	NewResource(1).Release()
+}
+
+// Property: for any interleaving of acquires and releases, inUse never
+// exceeds capacity and waiters are admitted FIFO.
+func TestResourceInvariantProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := rng.Intn(4) + 1
+		r := NewResource(capacity)
+		held := 0
+		var admittedOrder []int
+		next := 0
+		for i := 0; i < 200; i++ {
+			if rng.Intn(2) == 0 {
+				id := next
+				next++
+				r.Acquire(func() { admittedOrder = append(admittedOrder, id) })
+			} else if held < len(admittedOrder) {
+				r.Release()
+			}
+			held = len(admittedOrder) - (next - len(admittedOrder) - r.QueueLen())
+			if r.InUse() > r.Capacity() {
+				return false
+			}
+		}
+		return sort.IntsAreSorted(admittedOrder)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalendar(t *testing.T) {
+	eng := NewEngine()
+	cal := NewCalendar(eng)
+	var at []Time
+	cal.Add(10, func() { at = append(at, eng.Now()) })
+	cal.Add(5, func() { at = append(at, eng.Now()) })
+	eng.Run()
+	if len(at) != 2 || at[0] != 5 || at[1] != 10 {
+		t.Fatalf("calendar fired at %v", at)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := NewEngine()
+		for j := 0; j < 1000; j++ {
+			eng.Schedule(Duration(j%97), func() {})
+		}
+		eng.Run()
+	}
+}

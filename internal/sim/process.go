@@ -1,0 +1,204 @@
+package sim
+
+// Timer is a resettable one-shot timer on virtual time. It wraps event
+// cancellation/rescheduling, which components such as failure detectors and
+// flow-completion estimators need constantly.
+type Timer struct {
+	eng *Engine
+	ev  *Event
+	fn  func()
+}
+
+// NewTimer returns a stopped timer that will run fn when it fires.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after delay, cancelling any pending fire.
+func (t *Timer) Reset(delay Duration) {
+	t.Stop()
+	t.ev = t.eng.Schedule(delay, t.fn)
+}
+
+// ResetAt (re)arms the timer to fire at absolute time at.
+func (t *Timer) ResetAt(at Time) {
+	t.Stop()
+	t.ev = t.eng.At(at, t.fn)
+}
+
+// Stop cancels a pending fire. It is safe on a stopped timer.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer has a pending fire.
+func (t *Timer) Armed() bool {
+	return t.ev != nil && !t.ev.Cancelled()
+}
+
+// Queue is an unbounded FIFO of items coordinated with blocked takers, the
+// virtual-time analogue of a Go channel. FRIEDA's real-time partitioning is a
+// pull queue: workers "block" waiting for the next data group; the master
+// pushes groups as transfers finish.
+type Queue[T any] struct {
+	items  []T
+	takers []func(T)
+	closed bool
+	onDry  func() // invoked when a taker arrives and the queue is closed+empty
+}
+
+// NewQueue returns an empty open queue.
+func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
+
+// Len reports the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Waiting reports how many takers are blocked.
+func (q *Queue[T]) Waiting() int { return len(q.takers) }
+
+// Closed reports whether Close was called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Push appends an item, delivering it immediately to the oldest blocked
+// taker if any. Push on a closed queue panics: strategies must not hand out
+// work after declaring the input exhausted.
+func (q *Queue[T]) Push(item T) {
+	if q.closed {
+		panic("sim: push on closed queue")
+	}
+	if len(q.takers) > 0 {
+		taker := q.takers[0]
+		q.takers = q.takers[1:]
+		taker(item)
+		return
+	}
+	q.items = append(q.items, item)
+}
+
+// Take delivers the next item to fn, either immediately (if buffered) or
+// when one is pushed. If the queue is closed and empty, fn is never called
+// and the drain callback (SetDrain) runs instead. Take reports whether an
+// item was delivered synchronously.
+func (q *Queue[T]) Take(fn func(T)) bool {
+	if len(q.items) > 0 {
+		item := q.items[0]
+		q.items = q.items[1:]
+		fn(item)
+		return true
+	}
+	if q.closed {
+		if q.onDry != nil {
+			q.onDry()
+		}
+		return false
+	}
+	q.takers = append(q.takers, fn)
+	return false
+}
+
+// Close marks the queue as exhausted. Blocked takers are dropped; the drain
+// callback fires once per subsequent Take on the empty closed queue.
+func (q *Queue[T]) Close() {
+	q.closed = true
+	if len(q.items) == 0 && q.onDry != nil && len(q.takers) > 0 {
+		q.takers = nil
+		q.onDry()
+	} else {
+		q.takers = nil
+	}
+}
+
+// SetDrain registers fn to be invoked whenever a taker finds the queue
+// closed and empty.
+func (q *Queue[T]) SetDrain(fn func()) { q.onDry = fn }
+
+// Resource is a counting resource with FIFO admission (e.g. CPU cores of a
+// virtual machine). Acquire either admits immediately or queues the request.
+type Resource struct {
+	capacity int
+	inUse    int
+	waiters  []func()
+}
+
+// NewResource returns a resource with the given capacity (> 0).
+func NewResource(capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{capacity: capacity}
+}
+
+// Capacity returns the total number of slots.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of held slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of blocked acquirers.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire grants a slot to fn now if one is free, otherwise queues fn.
+func (r *Resource) Acquire(fn func()) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		fn()
+		return
+	}
+	r.waiters = append(r.waiters, fn)
+}
+
+// Release returns a slot, admitting the oldest waiter if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of unheld resource")
+	}
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		next()
+		return
+	}
+	r.inUse--
+}
+
+// Grow adds slots (elasticity: a VM joining mid-run adds cores), admitting
+// as many waiters as the new capacity allows.
+func (r *Resource) Grow(n int) {
+	if n < 0 {
+		panic("sim: negative grow")
+	}
+	r.capacity += n
+	for r.inUse < r.capacity && len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.inUse++
+		next()
+	}
+}
+
+// Shrink removes up to n idle slots and returns how many were removed. Held
+// slots are never revoked; capacity never drops below 1.
+func (r *Resource) Shrink(n int) int {
+	removed := 0
+	for removed < n && r.capacity > 1 && r.capacity > r.inUse {
+		r.capacity--
+		removed++
+	}
+	return removed
+}
+
+// Calendar is a small helper that fires a callback at each of a sorted set
+// of times; used to inject scripted cluster changes (elastic add/remove,
+// failures) into an experiment.
+type Calendar struct {
+	eng *Engine
+}
+
+// NewCalendar returns a calendar bound to eng.
+func NewCalendar(eng *Engine) *Calendar { return &Calendar{eng: eng} }
+
+// Add schedules fn at absolute time t.
+func (c *Calendar) Add(t Time, fn func()) *Event { return c.eng.At(t, fn) }

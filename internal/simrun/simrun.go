@@ -1,0 +1,781 @@
+// Package simrun executes a (cluster, strategy, workload) triple on the
+// discrete-event engine, mirroring the execution-plane logic of
+// internal/core on virtual time. It exists because the paper's experiments
+// span wall-clock hours (BLAST sequential = 61 200 s): the same strategy
+// decisions — staging order, pull-based dispatch, transfer/compute overlap,
+// failure isolation — replayed against the flow-level network reproduce the
+// published behaviour in milliseconds.
+//
+// The correspondence with the real runtime is one-to-one: pre-partitioning
+// runs a strict transfer phase then a compute phase (Section II-C "the
+// phases are sequential"); real-time is a per-slot pull loop whose transfer
+// overlaps other slots' computation; no-partitioning stages the full
+// dataset everywhere first. Worker deaths isolate the worker and abandon
+// (or, with Recover, requeue) its work exactly as core.Master does.
+package simrun
+
+import (
+	"fmt"
+	"sort"
+
+	"frieda/internal/catalog"
+	"frieda/internal/cloud"
+	"frieda/internal/netsim"
+	"frieda/internal/partition"
+	"frieda/internal/sim"
+	"frieda/internal/storage"
+	"frieda/internal/strategy"
+)
+
+// TaskSpec is one simulated task: its input files and its compute cost on a
+// single reference core.
+type TaskSpec struct {
+	// Index is the task's partition-group index.
+	Index int
+	// Files are the task's inputs; sizes drive transfer and disk times.
+	Files []catalog.FileMeta
+	// ComputeSec is the task's execution time on one core.
+	ComputeSec float64
+}
+
+// InputBytes sums the task's file sizes.
+func (t TaskSpec) InputBytes() float64 {
+	var n int64
+	for _, f := range t.Files {
+		n += f.Size
+	}
+	return float64(n)
+}
+
+// Workload is a set of tasks plus dataset-wide properties.
+type Workload struct {
+	// Name labels reports.
+	Name string
+	// Tasks is the full task list.
+	Tasks []TaskSpec
+	// CommonBytes is data staged to every node before execution (the BLAST
+	// database). Zero means none.
+	CommonBytes float64
+}
+
+// TotalComputeSec sums per-task compute cost (the sequential-execution
+// lower bound on one core, excluding I/O).
+func (w Workload) TotalComputeSec() float64 {
+	var s float64
+	for _, t := range w.Tasks {
+		s += t.ComputeSec
+	}
+	return s
+}
+
+// TotalInputBytes sums all task inputs (without dedup).
+func (w Workload) TotalInputBytes() float64 {
+	var s float64
+	for _, t := range w.Tasks {
+		s += t.InputBytes()
+	}
+	return s
+}
+
+// Config selects the strategy and fault handling for a run.
+type Config struct {
+	// Strategy is the data-management strategy, exactly as in the real
+	// runtime.
+	Strategy strategy.Config
+	// Recover requeues work lost to failures (the paper's future-work
+	// extension); off, failed workers are isolated and their in-flight
+	// work abandoned, matching the published behaviour.
+	Recover bool
+	// MaxRetries bounds per-task retries under Recover (default 2).
+	MaxRetries int
+	// ModelDiskIO charges local-disk write time on receipt and read time
+	// before compute (default true via NewRunner).
+	ModelDiskIO bool
+	// Storage, when non-nil, provisions each worker's scratch space from
+	// this tier spec instead of the instance-local disk — the paper's
+	// storage-selection dimension (local vs block store vs networked).
+	Storage *storage.Spec
+}
+
+// Completion records one finished task.
+type Completion struct {
+	Task    int
+	Worker  string
+	Start   sim.Time
+	End     sim.Time
+	OK      bool
+	Attempt int
+}
+
+// Result summarises a simulated run.
+type Result struct {
+	// MakespanSec is virtual time from run start to the last terminal task.
+	MakespanSec float64
+	// TransferWallSec is wall time with at least one staging/dispatch flow
+	// active (for pre/no-partition this is the staging phase; for
+	// real-time it overlaps execution).
+	TransferWallSec float64
+	// StagingPhaseSec is the strict barrier phase of pre/no-partition
+	// (0 for real-time).
+	StagingPhaseSec float64
+	// ExecWallSec is wall time with at least one task computing.
+	ExecWallSec float64
+	// BytesMoved counts payload bytes sent by the master.
+	BytesMoved float64
+	// Succeeded and Abandoned partition the tasks.
+	Succeeded, Abandoned int
+	// Completions lists every terminal task.
+	Completions []Completion
+	// PerWorker counts successful tasks by worker.
+	PerWorker map[string]int
+}
+
+// Runner drives one simulated run. Create with NewRunner, add workers, then
+// Start and run the engine.
+type Runner struct {
+	eng     *sim.Engine
+	cluster *cloud.Cluster
+	cfg     Config
+	wl      Workload
+
+	master  *cloud.VM
+	workers []*simWorker
+	byVM    map[*cloud.VM]*simWorker
+
+	queue    []int
+	retries  map[int]int
+	terminal int
+	started  bool
+	startAt  sim.Time
+
+	// Phase accounting.
+	activeFlows    int
+	activeComputes int
+	flowSince      sim.Time
+	computeSince   sim.Time
+
+	res  Result
+	done func(Result)
+}
+
+// simWorker is the simulated execution-plane worker.
+type simWorker struct {
+	vm    *cloud.VM
+	name  string
+	slots int
+	disk  *storage.Volume
+	has   map[string]bool
+	ready bool // common data staged
+	// admitted counts tasks in the transfer→compute pipeline.
+	admitted int
+	cores    *sim.Resource
+	// inflight tracks admitted task attempts for failure handling.
+	inflight map[int]*taskAttempt
+	backlog  []int
+	dead     bool
+	draining bool
+}
+
+// taskAttempt tracks cancellation state of one admitted task.
+type taskAttempt struct {
+	task    int
+	flow    *netsim.Flow
+	compute *sim.Event
+	started sim.Time
+}
+
+// NewRunner builds a runner for the cluster. The master VM hosts the data
+// source; per the paper it must run close to the input data, so its uplink
+// is the staging bottleneck.
+func NewRunner(cluster *cloud.Cluster, master *cloud.VM, cfg Config, wl Workload) (*Runner, error) {
+	if err := cfg.Strategy.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 2
+	}
+	if len(wl.Tasks) == 0 {
+		return nil, fmt.Errorf("simrun: empty workload")
+	}
+	r := &Runner{
+		eng:     cluster.Engine(),
+		cluster: cluster,
+		cfg:     cfg,
+		wl:      wl,
+		master:  master,
+		byVM:    make(map[*cloud.VM]*simWorker),
+		retries: make(map[int]int),
+	}
+	r.res.PerWorker = make(map[string]int)
+	cluster.OnFailure(func(vm *cloud.VM) {
+		if w, ok := r.byVM[vm]; ok {
+			r.workerDied(w)
+		}
+	})
+	return r, nil
+}
+
+// QueueLen reports tasks awaiting dispatch (shared queue only; worker
+// backlogs are already assigned).
+func (r *Runner) QueueLen() int { return len(r.queue) }
+
+// SlotStats reports currently busy and total compute slots over live
+// workers — the autoscaler's load signal.
+func (r *Runner) SlotStats() (busy, total int) {
+	for _, w := range r.workers {
+		if w.dead || w.draining {
+			continue
+		}
+		busy += w.cores.InUse()
+		total += w.cores.Capacity()
+	}
+	return busy, total
+}
+
+// LiveWorkers counts workers that have not died or drained.
+func (r *Runner) LiveWorkers() int {
+	n := 0
+	for _, w := range r.workers {
+		if !w.dead && !w.draining {
+			n++
+		}
+	}
+	return n
+}
+
+// Terminal reports how many tasks reached a terminal state so far.
+func (r *Runner) Terminal() int { return r.terminal }
+
+// AddWorker registers a compute VM. Before Start it joins the initial set;
+// after Start it joins elastically (real-time strategies give it work
+// immediately).
+func (r *Runner) AddWorker(vm *cloud.VM) *simWorker {
+	slots := 1
+	if r.cfg.Strategy.Multicore {
+		slots = vm.Type().Cores
+	}
+	disk := vm.LocalDisk()
+	if r.cfg.Storage != nil {
+		disk = storage.MustVolume(vm.Name()+"/scratch", *r.cfg.Storage)
+	}
+	w := &simWorker{
+		vm:       vm,
+		name:     vm.Name(),
+		slots:    slots,
+		disk:     disk,
+		has:      make(map[string]bool),
+		cores:    sim.NewResource(slots),
+		inflight: make(map[int]*taskAttempt),
+	}
+	r.workers = append(r.workers, w)
+	r.byVM[vm] = w
+	if r.started {
+		r.stageCommon(w, func() { r.admit(w) })
+	}
+	return w
+}
+
+// Run executes the whole simulation synchronously and returns the result.
+func (r *Runner) Run() (Result, error) {
+	var out Result
+	finished := false
+	if err := r.Start(func(res Result) {
+		out = res
+		finished = true
+	}); err != nil {
+		return Result{}, err
+	}
+	r.eng.Run()
+	if !finished {
+		return Result{}, fmt.Errorf("simrun: %s deadlocked with %d/%d tasks terminal",
+			r.wl.Name, r.terminal, len(r.wl.Tasks))
+	}
+	return out, nil
+}
+
+// Start begins the run at the current virtual time; done receives the
+// result when every task is terminal.
+func (r *Runner) Start(done func(Result)) error {
+	if len(r.workers) == 0 {
+		return fmt.Errorf("simrun: no workers")
+	}
+	r.done = done
+	r.started = true
+	r.startAt = r.eng.Now()
+
+	switch r.cfg.Strategy.Kind {
+	case strategy.PrePartition:
+		return r.startPrePartition()
+	case strategy.NoPartition:
+		return r.startNoPartition()
+	case strategy.RealTime:
+		for i := range r.wl.Tasks {
+			r.queue = append(r.queue, i)
+		}
+		for _, w := range r.workers {
+			w := w
+			r.stageCommon(w, func() { r.admit(w) })
+		}
+		return nil
+	default:
+		return fmt.Errorf("simrun: unknown strategy kind %v", r.cfg.Strategy.Kind)
+	}
+}
+
+// stageCommon transfers the common dataset (if any) and marks the worker
+// ready.
+func (r *Runner) stageCommon(w *simWorker, then func()) {
+	if r.wl.CommonBytes <= 0 || r.cfg.Strategy.Locality == strategy.Local {
+		w.ready = true
+		then()
+		return
+	}
+	r.flowStarted()
+	r.res.BytesMoved += r.wl.CommonBytes
+	r.cluster.Transfer(r.master, w.vm, r.wl.CommonBytes, func(sim.Time) {
+		r.flowEnded()
+		if w.dead {
+			then() // keep barrier counts balanced; dead path is a no-op
+			return
+		}
+		r.chargeDiskWrite(w, r.wl.CommonBytes, func() {
+			if w.dead {
+				then()
+				return
+			}
+			w.ready = true
+			then()
+		})
+	})
+}
+
+// chargeDiskWrite models writing received bytes to local disk.
+func (r *Runner) chargeDiskWrite(w *simWorker, bytes float64, then func()) {
+	if !r.cfg.ModelDiskIO || bytes <= 0 {
+		then()
+		return
+	}
+	r.eng.Schedule(w.disk.Write(bytes), then)
+}
+
+// startPrePartition: strict two-phase. Each worker's unique files stream as
+// a chain of flows (one at a time per worker, like a per-worker scp loop);
+// execution begins only after every worker's staging completes.
+func (r *Runner) startPrePartition() error {
+	assigner, err := strategy.AssignerByName(r.cfg.Strategy.Assigner)
+	if err != nil {
+		return err
+	}
+	groups := tasksAsGroups(r.wl.Tasks)
+	assignment, err := assigner.Assign(groups, len(r.workers))
+	if err != nil {
+		return err
+	}
+	per := assignment.PerWorker()
+	for wi, w := range r.workers {
+		w.backlog = per[wi]
+	}
+	stagingStart := r.eng.Now()
+	remaining := len(r.workers)
+	barrier := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		r.res.StagingPhaseSec = float64(r.eng.Now() - stagingStart)
+		for _, w := range r.workers {
+			if !w.dead {
+				r.admit(w)
+			} else {
+				r.reassign(w)
+			}
+		}
+		r.checkDone()
+	}
+	for _, w := range r.workers {
+		w := w
+		r.stageCommon(w, func() {
+			if r.cfg.Strategy.Locality == strategy.Local {
+				// Data pre-placed: everything is already on disk.
+				for _, gi := range w.backlog {
+					for _, f := range r.wl.Tasks[gi].Files {
+						w.has[f.Name] = true
+					}
+				}
+				barrier()
+				return
+			}
+			files := uniqueFiles(r.wl.Tasks, w.backlog)
+			r.streamChain(w, files, 0, barrier)
+		})
+	}
+	return nil
+}
+
+// streamChain sends files[i:] to w one flow at a time.
+func (r *Runner) streamChain(w *simWorker, files []catalog.FileMeta, i int, then func()) {
+	if i >= len(files) || w.dead {
+		then()
+		return
+	}
+	f := files[i]
+	if w.has[f.Name] {
+		r.streamChain(w, files, i+1, then)
+		return
+	}
+	r.flowStarted()
+	r.res.BytesMoved += float64(f.Size)
+	r.cluster.Transfer(r.master, w.vm, float64(f.Size), func(sim.Time) {
+		r.flowEnded()
+		if w.dead {
+			then()
+			return
+		}
+		r.chargeDiskWrite(w, float64(f.Size), func() {
+			w.has[f.Name] = true
+			r.streamChain(w, files, i+1, then)
+		})
+	})
+}
+
+// startNoPartition stages the complete dataset on every worker, then farms
+// tasks with no further data movement.
+func (r *Runner) startNoPartition() error {
+	all := uniqueFiles(r.wl.Tasks, allIndices(len(r.wl.Tasks)))
+	for i := range r.wl.Tasks {
+		r.queue = append(r.queue, i)
+	}
+	stagingStart := r.eng.Now()
+	remaining := len(r.workers)
+	barrier := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		r.res.StagingPhaseSec = float64(r.eng.Now() - stagingStart)
+		for _, w := range r.workers {
+			if !w.dead {
+				r.admit(w)
+			}
+		}
+		r.checkDone()
+	}
+	for _, w := range r.workers {
+		w := w
+		r.stageCommon(w, func() {
+			if r.cfg.Strategy.Locality == strategy.Local {
+				for _, f := range all {
+					w.has[f.Name] = true
+				}
+				barrier()
+				return
+			}
+			r.streamChain(w, all, 0, barrier)
+		})
+	}
+	return nil
+}
+
+// admit pulls tasks into the worker's pipeline up to slots × prefetch.
+func (r *Runner) admit(w *simWorker) {
+	if w.dead || w.draining || !w.ready {
+		return
+	}
+	limit := w.slots
+	if r.cfg.Strategy.Kind == strategy.RealTime && r.cfg.Strategy.Prefetch > 1 {
+		limit = w.slots * r.cfg.Strategy.Prefetch
+	}
+	for w.admitted < limit {
+		gi, ok := r.nextTask(w)
+		if !ok {
+			return
+		}
+		w.admitted++
+		r.fetchAndRun(w, gi)
+	}
+}
+
+// nextTask pops the worker's backlog first (pre-partition), then the shared
+// queue; compute-to-data placement prefers queue entries already resident.
+func (r *Runner) nextTask(w *simWorker) (int, bool) {
+	if len(w.backlog) > 0 {
+		gi := w.backlog[0]
+		w.backlog = w.backlog[1:]
+		return gi, true
+	}
+	if len(r.queue) == 0 {
+		return 0, false
+	}
+	pick := 0
+	if r.cfg.Strategy.Placement == strategy.ComputeToData {
+		for qi, gi := range r.queue {
+			all := true
+			for _, f := range r.wl.Tasks[gi].Files {
+				if !w.has[f.Name] {
+					all = false
+					break
+				}
+			}
+			if all {
+				pick = qi
+				break
+			}
+		}
+	}
+	gi := r.queue[pick]
+	r.queue = append(r.queue[:pick], r.queue[pick+1:]...)
+	return gi, true
+}
+
+// fetchAndRun transfers the task's missing bytes (real-time remote), then
+// computes.
+func (r *Runner) fetchAndRun(w *simWorker, gi int) {
+	task := r.wl.Tasks[gi]
+	att := &taskAttempt{task: gi}
+	w.inflight[gi] = att
+
+	var missing float64
+	if r.cfg.Strategy.Kind == strategy.RealTime && r.cfg.Strategy.Locality == strategy.Remote {
+		for _, f := range task.Files {
+			if !w.has[f.Name] {
+				missing += float64(f.Size)
+				// Claim at dispatch, exactly as the real master marks the
+				// replica before streaming: a concurrent slot fetching a
+				// shared file (one-to-all's pivot, all-to-all pairs) must
+				// not fetch it twice.
+				w.has[f.Name] = true
+			}
+		}
+	}
+	start := func() {
+		if w.dead {
+			return
+		}
+		r.compute(w, att)
+	}
+	if missing <= 0 {
+		start()
+		return
+	}
+	r.flowStarted()
+	r.res.BytesMoved += missing
+	att.flow = r.cluster.Transfer(r.master, w.vm, missing, func(sim.Time) {
+		r.flowEnded()
+		att.flow = nil
+		if w.dead {
+			return
+		}
+		r.chargeDiskWrite(w, missing, start)
+	})
+}
+
+// compute acquires a core, charges local read time, then runs the task.
+func (r *Runner) compute(w *simWorker, att *taskAttempt) {
+	task := r.wl.Tasks[att.task]
+	w.cores.Acquire(func() {
+		if w.dead {
+			return
+		}
+		att.started = r.eng.Now()
+		dur := sim.Duration(task.ComputeSec)
+		if r.cfg.ModelDiskIO {
+			dur += w.disk.Read(task.InputBytes())
+			if r.wl.CommonBytes > 0 {
+				// Database pages stream from disk during the search; charge
+				// a single read of the working set once per task.
+				dur += w.disk.Read(r.wl.CommonBytes / 100)
+			}
+		}
+		r.computeStarted()
+		att.compute = r.eng.Schedule(dur, func() {
+			r.computeEnded()
+			att.compute = nil
+			delete(w.inflight, att.task)
+			w.admitted--
+			w.cores.Release()
+			r.taskDone(w, att, true)
+			r.admit(w)
+		})
+	})
+}
+
+// taskDone records a terminal (or requeued) outcome.
+func (r *Runner) taskDone(w *simWorker, att *taskAttempt, ok bool) {
+	r.retries[att.task]++
+	if !ok && r.cfg.Recover && r.retries[att.task] <= r.cfg.MaxRetries {
+		r.queue = append(r.queue, att.task)
+		for _, o := range r.workers {
+			if !o.dead {
+				r.admit(o)
+			}
+		}
+		return
+	}
+	r.terminal++
+	r.res.Completions = append(r.res.Completions, Completion{
+		Task: att.task, Worker: w.name, Start: att.started, End: r.eng.Now(),
+		OK: ok, Attempt: r.retries[att.task],
+	})
+	if ok {
+		r.res.Succeeded++
+		r.res.PerWorker[w.name]++
+	} else {
+		r.res.Abandoned++
+	}
+	r.checkDone()
+}
+
+// workerDied isolates the worker: cancels its transfer and compute, and
+// requeues (Recover) or abandons its pipeline, as core.Master does.
+func (r *Runner) workerDied(w *simWorker) {
+	if w.dead {
+		return
+	}
+	w.dead = true
+	attempts := make([]*taskAttempt, 0, len(w.inflight))
+	for _, att := range w.inflight {
+		attempts = append(attempts, att)
+	}
+	sort.Slice(attempts, func(i, j int) bool { return attempts[i].task < attempts[j].task })
+	for _, att := range attempts {
+		if att.flow != nil {
+			r.cluster.Network().Cancel(att.flow)
+			att.flow = nil
+			r.flowEnded()
+		}
+		if att.compute != nil {
+			att.compute.Cancel()
+			r.computeEnded()
+		}
+		delete(w.inflight, att.task)
+		w.admitted--
+		r.taskDone(w, att, false)
+	}
+	r.reassign(w)
+	for _, o := range r.workers {
+		if !o.dead {
+			r.admit(o)
+		}
+	}
+	r.checkDone()
+}
+
+// reassign handles a dead worker's unstarted backlog.
+func (r *Runner) reassign(w *simWorker) {
+	backlog := w.backlog
+	w.backlog = nil
+	for _, gi := range backlog {
+		r.retries[gi]++
+		if r.cfg.Recover && r.retries[gi] <= r.cfg.MaxRetries {
+			r.queue = append(r.queue, gi)
+			continue
+		}
+		r.terminal++
+		r.res.Abandoned++
+		r.res.Completions = append(r.res.Completions, Completion{
+			Task: gi, Worker: w.name, End: r.eng.Now(), OK: false, Attempt: r.retries[gi],
+		})
+	}
+	r.checkDone()
+}
+
+// checkDone finishes the run once every task is terminal, or abandons
+// unreachable work when no live worker remains.
+func (r *Runner) checkDone() {
+	if r.done == nil {
+		return
+	}
+	if r.terminal < len(r.wl.Tasks) {
+		live := false
+		for _, w := range r.workers {
+			if !w.dead {
+				live = true
+				break
+			}
+		}
+		if !live && len(r.queue) > 0 {
+			queue := r.queue
+			r.queue = nil
+			for _, gi := range queue {
+				r.terminal++
+				r.res.Abandoned++
+				r.res.Completions = append(r.res.Completions, Completion{
+					Task: gi, End: r.eng.Now(), OK: false, Attempt: r.retries[gi],
+				})
+			}
+		}
+		if r.terminal < len(r.wl.Tasks) {
+			return
+		}
+	}
+	done := r.done
+	r.done = nil
+	r.res.MakespanSec = float64(r.eng.Now() - r.startAt)
+	done(r.res)
+}
+
+// --- phase accounting ---
+
+func (r *Runner) flowStarted() {
+	if r.activeFlows == 0 {
+		r.flowSince = r.eng.Now()
+	}
+	r.activeFlows++
+}
+
+func (r *Runner) flowEnded() {
+	r.activeFlows--
+	if r.activeFlows == 0 {
+		r.res.TransferWallSec += float64(r.eng.Now() - r.flowSince)
+	}
+}
+
+func (r *Runner) computeStarted() {
+	if r.activeComputes == 0 {
+		r.computeSince = r.eng.Now()
+	}
+	r.activeComputes++
+}
+
+func (r *Runner) computeEnded() {
+	r.activeComputes--
+	if r.activeComputes == 0 {
+		r.res.ExecWallSec += float64(r.eng.Now() - r.computeSince)
+	}
+}
+
+// --- helpers ---
+
+// tasksAsGroups adapts TaskSpecs to partition.Groups for the assigners.
+func tasksAsGroups(tasks []TaskSpec) []partition.Group {
+	out := make([]partition.Group, len(tasks))
+	for i, t := range tasks {
+		out[i] = partition.Group{Index: i, Files: t.Files}
+	}
+	return out
+}
+
+// uniqueFiles collects the distinct files of the given task indices in
+// first-use order.
+func uniqueFiles(tasks []TaskSpec, idx []int) []catalog.FileMeta {
+	seen := make(map[string]bool)
+	var out []catalog.FileMeta
+	for _, gi := range idx {
+		for _, f := range tasks[gi].Files {
+			if !seen[f.Name] {
+				seen[f.Name] = true
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// allIndices returns 0..n-1.
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

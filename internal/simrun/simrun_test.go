@@ -1,0 +1,434 @@
+package simrun
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"frieda/internal/catalog"
+	"frieda/internal/cloud"
+	"frieda/internal/sim"
+	"frieda/internal/strategy"
+)
+
+// newTestCluster builds the paper's 4-VM slice plus helpers.
+func newTestCluster(t *testing.T, seed int64) (*sim.Engine, *cloud.Cluster, []*cloud.VM) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cluster, vms := cloud.Default4VMCluster(eng, seed)
+	return eng, cluster, vms
+}
+
+// uniformTasks makes n tasks of fixed compute cost and one input file each.
+func uniformTasks(n int, computeSec float64, fileBytes int64) []TaskSpec {
+	out := make([]TaskSpec, n)
+	for i := range out {
+		out[i] = TaskSpec{
+			Index:      i,
+			Files:      []catalog.FileMeta{{Name: fmt.Sprintf("f%04d", i), Size: fileBytes}},
+			ComputeSec: computeSec,
+		}
+	}
+	return out
+}
+
+func runOn(t *testing.T, cluster *cloud.Cluster, master *cloud.VM, workers []*cloud.VM, cfg Config, wl Workload) Result {
+	t.Helper()
+	r, err := NewRunner(cluster, master, cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range workers {
+		r.AddWorker(vm)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRealTimeComputeBound(t *testing.T) {
+	_, cluster, vms := newTestCluster(t, 1)
+	// 8 tasks × 1 s, no data, 2 workers × 1 slot (multicore off): 4 s.
+	cfg := Config{Strategy: strategy.Config{Kind: strategy.RealTime}}
+	wl := Workload{Name: "cpu", Tasks: uniformTasks(8, 1.0, 0)}
+	res := runOn(t, cluster, vms[0], vms[1:3], cfg, wl)
+	if res.Succeeded != 8 {
+		t.Fatalf("result %+v", res)
+	}
+	if math.Abs(res.MakespanSec-4.0) > 1e-6 {
+		t.Fatalf("makespan = %v, want 4.0", res.MakespanSec)
+	}
+}
+
+func TestMulticoreClonesPerCore(t *testing.T) {
+	_, cluster, vms := newTestCluster(t, 1)
+	// 16 tasks × 1 s on one 4-core VM with multicore: 4 s.
+	cfg := Config{Strategy: strategy.Config{Kind: strategy.RealTime, Multicore: true}}
+	wl := Workload{Name: "cpu", Tasks: uniformTasks(16, 1.0, 0)}
+	res := runOn(t, cluster, vms[0], vms[1:2], cfg, wl)
+	if math.Abs(res.MakespanSec-4.0) > 1e-6 {
+		t.Fatalf("makespan = %v, want 4.0 (16 tasks / 4 cores)", res.MakespanSec)
+	}
+}
+
+func TestRealTimeTransferBound(t *testing.T) {
+	_, cluster, vms := newTestCluster(t, 1)
+	// 16 tasks × 12.5 MB over the master's 100 Mbps uplink with zero
+	// compute: the uplink serialises 200 MB -> >= 16 s.
+	cfg := Config{Strategy: strategy.Config{Kind: strategy.RealTime, Multicore: true}, ModelDiskIO: false}
+	wl := Workload{Name: "net", Tasks: uniformTasks(16, 0.001, 12_500_000)}
+	res := runOn(t, cluster, vms[0], vms[1:], cfg, wl)
+	if res.MakespanSec < 16.0 {
+		t.Fatalf("makespan %.2f beats the bandwidth bound", res.MakespanSec)
+	}
+	if res.MakespanSec > 20.0 {
+		t.Fatalf("makespan %.2f far above the bound", res.MakespanSec)
+	}
+	if res.BytesMoved != 16*12_500_000 {
+		t.Fatalf("BytesMoved = %v", res.BytesMoved)
+	}
+}
+
+func TestPrePartitionTwoPhases(t *testing.T) {
+	_, cluster, vms := newTestCluster(t, 1)
+	cfg := Config{Strategy: strategy.PrePartitionedRemote, ModelDiskIO: false}
+	wl := Workload{Name: "two-phase", Tasks: uniformTasks(12, 1.0, 6_250_000)}
+	res := runOn(t, cluster, vms[0], vms[1:], cfg, wl)
+	// 75 MB total over 100 Mbps = 6 s staging; then 12 tasks on 12 slots = 1 s.
+	if res.StagingPhaseSec < 5.9 || res.StagingPhaseSec > 6.5 {
+		t.Fatalf("staging phase = %.3f, want ~6", res.StagingPhaseSec)
+	}
+	if math.Abs(res.MakespanSec-(res.StagingPhaseSec+1.0)) > 0.05 {
+		t.Fatalf("phases not sequential: makespan %.3f staging %.3f", res.MakespanSec, res.StagingPhaseSec)
+	}
+}
+
+func TestPrePartitionLocalNoTransfer(t *testing.T) {
+	_, cluster, vms := newTestCluster(t, 1)
+	cfg := Config{Strategy: strategy.PrePartitionedLocal}
+	wl := Workload{Name: "local", Tasks: uniformTasks(12, 1.0, 1_000_000)}
+	res := runOn(t, cluster, vms[0], vms[1:], cfg, wl)
+	if res.BytesMoved != 0 {
+		t.Fatalf("local strategy moved %v bytes", res.BytesMoved)
+	}
+	if res.Succeeded != 12 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.StagingPhaseSec > 1e-9 {
+		t.Fatalf("staging phase = %v, want 0", res.StagingPhaseSec)
+	}
+}
+
+func TestRealTimeOverlapBeatsPrePartition(t *testing.T) {
+	// The paper's central claim (Fig. 6a): with sizeable data and real
+	// compute, real-time's transfer/compute overlap beats the strict
+	// two-phase pre-partitioning.
+	runStrat := func(cfg Config) float64 {
+		_, cluster, vms := newTestCluster(t, 1)
+		wl := Workload{Name: "als-like", Tasks: uniformTasks(48, 1.0, 3_000_000)}
+		return runOn(t, cluster, vms[0], vms[1:], cfg, wl).MakespanSec
+	}
+	pre := runStrat(Config{Strategy: strategy.PrePartitionedRemote})
+	rt := runStrat(Config{Strategy: strategy.RealTimeRemote})
+	if rt >= pre {
+		t.Fatalf("real-time (%.2f) did not beat pre-partition (%.2f)", rt, pre)
+	}
+}
+
+func TestRealTimeLoadBalancesVariance(t *testing.T) {
+	// Variable task costs: pre-partition's static assignment strands the
+	// expensive tasks wherever the round-robin stride puts them, while
+	// real-time pulls work to whoever is free. This is the BLAST effect
+	// (Fig. 6b). Expensive tasks at indices ≡ 0 (mod 3) all land on the
+	// same worker under round-robin with 3 workers.
+	tasks := make([]TaskSpec, 30)
+	for i := range tasks {
+		cost := 1.0
+		if i%3 == 0 && i < 9 {
+			cost = 10.0
+		}
+		tasks[i] = TaskSpec{Index: i, ComputeSec: cost}
+	}
+	wl := Workload{Name: "skewed", Tasks: tasks}
+	run := func(kind strategy.Kind) float64 {
+		_, cluster, vms := newTestCluster(t, 1)
+		cfg := Config{Strategy: strategy.Config{Kind: kind}} // 1 slot per worker
+		return runOn(t, cluster, vms[0], vms[1:], cfg, wl).MakespanSec
+	}
+	pre := run(strategy.PrePartition)
+	rt := run(strategy.RealTime)
+	if rt >= pre {
+		t.Fatalf("real-time (%.2f) did not beat pre-partition (%.2f) under skew", rt, pre)
+	}
+	// The stranded worker owns 3×10 s + 7×1 s = 37 s of work.
+	if pre < 36.9 {
+		t.Fatalf("pre-partition makespan %.2f below the stranded-worker bound", pre)
+	}
+	if rt > 25 {
+		t.Fatalf("real-time makespan %.2f did not balance the skew", rt)
+	}
+}
+
+func TestCommonDataStagedToEveryNode(t *testing.T) {
+	_, cluster, vms := newTestCluster(t, 1)
+	cfg := Config{Strategy: strategy.RealTimeRemote, ModelDiskIO: false}
+	wl := Workload{
+		Name:        "blast-like",
+		Tasks:       uniformTasks(6, 0.5, 1000),
+		CommonBytes: 10_000_000,
+	}
+	res := runOn(t, cluster, vms[0], vms[1:], cfg, wl)
+	want := 3*10_000_000.0 + 6*1000
+	if res.BytesMoved != want {
+		t.Fatalf("BytesMoved = %v, want %v", res.BytesMoved, want)
+	}
+}
+
+func TestWorkerFailureAbandonsWithoutRecover(t *testing.T) {
+	eng, cluster, vms := newTestCluster(t, 1)
+	cfg := Config{Strategy: strategy.RealTimeRemote}
+	wl := Workload{Name: "faulty", Tasks: uniformTasks(30, 1.0, 0)}
+	r, err := NewRunner(cluster, vms[0], cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range vms[1:] {
+		r.AddWorker(vm)
+	}
+	eng.Schedule(2.5, func() { cluster.Fail(vms[1]) })
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abandoned == 0 {
+		t.Fatal("no task abandoned despite mid-run failure")
+	}
+	if res.Succeeded+res.Abandoned != 30 {
+		t.Fatalf("accounting broken: %+v", res)
+	}
+	if _, hasDead := res.PerWorker[vms[1].Name()]; !hasDead {
+		t.Fatal("dead worker did no work before dying (failure injected too early?)")
+	}
+}
+
+func TestWorkerFailureRecoverCompletesAll(t *testing.T) {
+	eng, cluster, vms := newTestCluster(t, 1)
+	cfg := Config{Strategy: strategy.RealTimeRemote, Recover: true, MaxRetries: 3}
+	wl := Workload{Name: "faulty", Tasks: uniformTasks(30, 1.0, 0)}
+	r, err := NewRunner(cluster, vms[0], cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range vms[1:] {
+		r.AddWorker(vm)
+	}
+	eng.Schedule(2.5, func() { cluster.Fail(vms[1]) })
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded != 30 || res.Abandoned != 0 {
+		t.Fatalf("recovery incomplete: %+v", res)
+	}
+}
+
+func TestAllWorkersDeadTerminates(t *testing.T) {
+	eng, cluster, vms := newTestCluster(t, 1)
+	cfg := Config{Strategy: strategy.RealTimeRemote}
+	wl := Workload{Name: "doomed", Tasks: uniformTasks(20, 1.0, 0)}
+	r, err := NewRunner(cluster, vms[0], cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddWorker(vms[1])
+	eng.Schedule(1.5, func() { cluster.Fail(vms[1]) })
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded+res.Abandoned != 20 {
+		t.Fatalf("run did not terminate cleanly: %+v", res)
+	}
+	if res.Abandoned < 15 {
+		t.Fatalf("abandoned = %d, want most of the work", res.Abandoned)
+	}
+}
+
+func TestElasticWorkerAddMidRun(t *testing.T) {
+	// Adding a worker mid-run must shorten the remaining real-time work.
+	base := func(addLate bool) float64 {
+		eng := sim.NewEngine()
+		cluster, vms := cloud.Default4VMCluster(eng, 1)
+		cfg := Config{Strategy: strategy.Config{Kind: strategy.RealTime}}
+		wl := Workload{Name: "elastic", Tasks: uniformTasks(40, 1.0, 0)}
+		r, err := NewRunner(cluster, vms[0], cfg, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.AddWorker(vms[1])
+		if addLate {
+			eng.Schedule(5, func() { r.AddWorker(vms[2]) })
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Succeeded != 40 {
+			t.Fatalf("result %+v", res)
+		}
+		if addLate && res.PerWorker[vms[2].Name()] == 0 {
+			t.Fatal("late worker got no tasks")
+		}
+		return res.MakespanSec
+	}
+	solo := base(false)
+	elastic := base(true)
+	if elastic >= solo {
+		t.Fatalf("elastic add did not help: %.2f vs %.2f", elastic, solo)
+	}
+}
+
+func TestPrefetchPipelinesTransfers(t *testing.T) {
+	// With transfer ≈ compute per task on a single slot, prefetch=2 should
+	// overlap the next transfer behind the current compute and win.
+	run := func(prefetch int) float64 {
+		eng := sim.NewEngine()
+		cluster, vms := cloud.Default4VMCluster(eng, 1)
+		cfg := Config{
+			Strategy:    strategy.Config{Kind: strategy.RealTime, Prefetch: prefetch},
+			ModelDiskIO: false,
+		}
+		// 1.0 s transfer (12.5 MB at 100 Mbps), 1.0 s compute.
+		wl := Workload{Name: "pipe", Tasks: uniformTasks(10, 1.0, 12_500_000)}
+		r, err := NewRunner(cluster, vms[0], cfg, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.AddWorker(vms[1])
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MakespanSec
+	}
+	strict := run(1)
+	pipelined := run(2)
+	if pipelined >= strict {
+		t.Fatalf("prefetch did not pipeline: %.2f vs %.2f", pipelined, strict)
+	}
+	// Strict alternates transfer/compute: ~20 s. Pipelined: ~11 s.
+	if strict < 19 || pipelined > 12.5 {
+		t.Fatalf("unexpected magnitudes: strict %.2f pipelined %.2f", strict, pipelined)
+	}
+}
+
+func TestComputeToDataPrefersResidentTasks(t *testing.T) {
+	// Pre-stage all files via no-partition local; compute-to-data then
+	// schedules without moving bytes.
+	_, cluster, vms := newTestCluster(t, 1)
+	cfg := Config{Strategy: strategy.Config{
+		Kind: strategy.NoPartition, Locality: strategy.Local, Multicore: true,
+	}}
+	wl := Workload{Name: "resident", Tasks: uniformTasks(12, 0.5, 2_000_000)}
+	res := runOn(t, cluster, vms[0], vms[1:], cfg, wl)
+	if res.BytesMoved != 0 {
+		t.Fatalf("moved %v bytes with local data", res.BytesMoved)
+	}
+	if res.Succeeded != 12 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() Result {
+		eng := sim.NewEngine()
+		cluster, vms := cloud.Default4VMCluster(eng, 7)
+		cfg := Config{Strategy: strategy.RealTimeRemote}
+		wl := Workload{Name: "det", Tasks: uniformTasks(25, 0.7, 500_000)}
+		r, err := NewRunner(cluster, vms[0], cfg, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, vm := range vms[1:] {
+			r.AddWorker(vm)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MakespanSec != b.MakespanSec || a.BytesMoved != b.BytesMoved {
+		t.Fatalf("nondeterministic: %.6f/%.6f vs %.6f/%.6f",
+			a.MakespanSec, a.BytesMoved, b.MakespanSec, b.BytesMoved)
+	}
+	for i := range a.Completions {
+		if a.Completions[i] != b.Completions[i] {
+			t.Fatalf("completion %d differs", i)
+		}
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	_, cluster, vms := newTestCluster(t, 1)
+	if _, err := NewRunner(cluster, vms[0], Config{Strategy: strategy.Config{Grouping: "bogus"}}, Workload{Tasks: uniformTasks(1, 1, 0)}); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+	if _, err := NewRunner(cluster, vms[0], Config{}, Workload{}); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	r, _ := NewRunner(cluster, vms[0], Config{}, Workload{Tasks: uniformTasks(1, 1, 0)})
+	if err := r.Start(func(Result) {}); err == nil {
+		t.Fatal("start with no workers accepted")
+	}
+}
+
+// Property: makespan is never below either physical bound — total compute
+// divided by total slots, or total unique bytes over the master uplink.
+func TestMakespanLowerBoundsProperty(t *testing.T) {
+	prop := func(seed int64, nRaw, sizeRaw uint8) bool {
+		n := int(nRaw%40) + 4
+		size := int64(sizeRaw) * 100_000
+		rng := rand.New(rand.NewSource(seed))
+		tasks := make([]TaskSpec, n)
+		totalCompute := 0.0
+		totalBytes := 0.0
+		for i := range tasks {
+			c := 0.1 + rng.Float64()*2
+			tasks[i] = TaskSpec{
+				Index:      i,
+				Files:      []catalog.FileMeta{{Name: fmt.Sprintf("f%d", i), Size: size}},
+				ComputeSec: c,
+			}
+			totalCompute += c
+			totalBytes += float64(size)
+		}
+		eng := sim.NewEngine()
+		cluster, vms := cloud.Default4VMCluster(eng, seed)
+		cfg := Config{Strategy: strategy.RealTimeRemote, ModelDiskIO: false}
+		r, err := NewRunner(cluster, vms[0], cfg, Workload{Name: "prop", Tasks: tasks})
+		if err != nil {
+			return false
+		}
+		for _, vm := range vms[1:] {
+			r.AddWorker(vm)
+		}
+		res, err := r.Run()
+		if err != nil || res.Succeeded != n {
+			return false
+		}
+		slots := 3 * 4 // 3 workers × 4 cores
+		computeBound := totalCompute / float64(slots)
+		netBound := totalBytes * 8 / 100e6
+		eps := 1e-6
+		return res.MakespanSec >= computeBound-eps && res.MakespanSec >= netBound-eps
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

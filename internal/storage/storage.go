@@ -1,0 +1,288 @@
+// Package storage models the storage options a cloud provider exposes to a
+// virtual machine, with the performance / capacity / cost trade-offs that
+// drive FRIEDA's storage-selection decisions (Section III-A of the paper):
+// fast-but-small local disk, attachable block store volumes, and networked
+// (iSCSI-like) storage shared across nodes.
+//
+// The models are deliberately simple — fixed per-operation latency plus
+// bandwidth-proportional transfer time — because that is the granularity at
+// which the paper's evaluation distinguishes tiers. The netsim package
+// models the network half of remote storage; this package models the media.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"frieda/internal/sim"
+)
+
+// Class identifies a storage tier.
+type Class int
+
+const (
+	// ClassLocal is instance-local ephemeral disk: fastest I/O, smallest
+	// capacity, contents die with the VM.
+	ClassLocal Class = iota
+	// ClassBlock is a provider block-store volume (EBS-like): persistent,
+	// attachable, slower than local.
+	ClassBlock
+	// ClassNetworked is shared network storage (iSCSI/NFS-like): largest,
+	// shareable across nodes, slowest, traverses the network.
+	ClassNetworked
+	// ClassImageBaked marks data packaged inside the VM image itself —
+	// available at boot with local-disk speed, but static (the paper notes
+	// changing it means rebuilding or re-transferring the image).
+	ClassImageBaked
+)
+
+// String returns the tier name.
+func (c Class) String() string {
+	switch c {
+	case ClassLocal:
+		return "local"
+	case ClassBlock:
+		return "block"
+	case ClassNetworked:
+		return "networked"
+	case ClassImageBaked:
+		return "image-baked"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Spec describes a tier's performance, capacity and cost characteristics.
+type Spec struct {
+	Class Class
+	// ReadBps and WriteBps are sustained media bandwidths in bytes/second.
+	ReadBps  float64
+	WriteBps float64
+	// LatencySec is the fixed per-operation setup latency in seconds.
+	LatencySec float64
+	// CapacityBytes is the volume size.
+	CapacityBytes float64
+	// CostPerGBMonth is the provider's storage price, used by the
+	// cost-aware selector.
+	CostPerGBMonth float64
+	// Shared marks storage reachable from every node (networked tiers).
+	Shared bool
+	// Durable marks storage that survives VM termination.
+	Durable bool
+}
+
+// Validate reports whether the spec is internally consistent.
+func (s Spec) Validate() error {
+	if s.ReadBps <= 0 || s.WriteBps <= 0 {
+		return fmt.Errorf("storage: non-positive bandwidth in %s spec", s.Class)
+	}
+	if s.LatencySec < 0 {
+		return fmt.Errorf("storage: negative latency in %s spec", s.Class)
+	}
+	if s.CapacityBytes <= 0 {
+		return fmt.Errorf("storage: non-positive capacity in %s spec", s.Class)
+	}
+	return nil
+}
+
+// ReadTime returns the modelled time to read n bytes.
+func (s Spec) ReadTime(n float64) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return sim.Duration(s.LatencySec + n/s.ReadBps)
+}
+
+// WriteTime returns the modelled time to write n bytes.
+func (s Spec) WriteTime(n float64) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return sim.Duration(s.LatencySec + n/s.WriteBps)
+}
+
+// MonthlyCost returns the cost of storing n bytes for a month.
+func (s Spec) MonthlyCost(n float64) float64 {
+	return n / 1e9 * s.CostPerGBMonth
+}
+
+// Default specs approximate 2012-era cloud offerings; absolute values do not
+// matter for the reproduction, only their ordering (local > block >
+// networked bandwidth; networked > block > local capacity).
+var (
+	// DefaultLocal: ~10 GB ephemeral disk at a few hundred MB/s.
+	DefaultLocal = Spec{
+		Class: ClassLocal, ReadBps: 300e6, WriteBps: 200e6,
+		LatencySec: 0.0005, CapacityBytes: 10e9, CostPerGBMonth: 0, Durable: false,
+	}
+	// DefaultBlock: 100 GB EBS-like volume.
+	DefaultBlock = Spec{
+		Class: ClassBlock, ReadBps: 120e6, WriteBps: 90e6,
+		LatencySec: 0.002, CapacityBytes: 100e9, CostPerGBMonth: 0.10, Durable: true,
+	}
+	// DefaultNetworked: 1 TB shared iSCSI target; media bandwidth here, the
+	// network path is modelled by netsim on top.
+	DefaultNetworked = Spec{
+		Class: ClassNetworked, ReadBps: 200e6, WriteBps: 150e6,
+		LatencySec: 0.005, CapacityBytes: 1e12, CostPerGBMonth: 0.05,
+		Shared: true, Durable: true,
+	}
+	// DefaultImageBaked: data shipped inside the VM image.
+	DefaultImageBaked = Spec{
+		Class: ClassImageBaked, ReadBps: 300e6, WriteBps: 1, // effectively read-only
+		LatencySec: 0.0005, CapacityBytes: 8e9, CostPerGBMonth: 0.02, Durable: true,
+	}
+)
+
+// Volume is a provisioned instance of a tier with usage accounting.
+type Volume struct {
+	spec Spec
+	name string
+	used float64
+
+	// Reads and Writes count operations, for reports.
+	Reads, Writes uint64
+	// BytesRead and BytesWritten accumulate volume, for reports.
+	BytesRead, BytesWritten float64
+}
+
+// ErrNoSpace is returned when an allocation exceeds remaining capacity.
+var ErrNoSpace = errors.New("storage: volume out of space")
+
+// NewVolume provisions a volume from a spec.
+func NewVolume(name string, spec Spec) (*Volume, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Volume{spec: spec, name: name}, nil
+}
+
+// MustVolume is NewVolume for static experiment setup; it panics on error.
+func MustVolume(name string, spec Spec) *Volume {
+	v, err := NewVolume(name, spec)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Name returns the volume name.
+func (v *Volume) Name() string { return v.name }
+
+// Spec returns the tier spec.
+func (v *Volume) Spec() Spec { return v.spec }
+
+// Used returns allocated bytes.
+func (v *Volume) Used() float64 { return v.used }
+
+// Free returns unallocated bytes.
+func (v *Volume) Free() float64 { return v.spec.CapacityBytes - v.used }
+
+// Allocate reserves n bytes, failing with ErrNoSpace when the volume is
+// full. The paper's motivation for remote tiers is exactly this failure on
+// small local disks.
+func (v *Volume) Allocate(n float64) error {
+	if n < 0 {
+		return fmt.Errorf("storage: negative allocation %v", n)
+	}
+	if v.used+n > v.spec.CapacityBytes {
+		return fmt.Errorf("%w: need %.0f, free %.0f on %s", ErrNoSpace, n, v.Free(), v.name)
+	}
+	v.used += n
+	return nil
+}
+
+// Release returns n bytes to the volume.
+func (v *Volume) Release(n float64) {
+	v.used -= n
+	if v.used < 0 {
+		v.used = 0
+	}
+}
+
+// Read models reading n bytes and returns the duration.
+func (v *Volume) Read(n float64) sim.Duration {
+	v.Reads++
+	v.BytesRead += n
+	return v.spec.ReadTime(n)
+}
+
+// Write models writing n bytes and returns the duration.
+func (v *Volume) Write(n float64) sim.Duration {
+	v.Writes++
+	v.BytesWritten += n
+	return v.spec.WriteTime(n)
+}
+
+// SelectionPolicy ranks candidate tiers for a dataset.
+type SelectionPolicy int
+
+const (
+	// SelectFastest prefers the highest read bandwidth that fits.
+	SelectFastest SelectionPolicy = iota
+	// SelectCheapest prefers the lowest monthly cost that fits.
+	SelectCheapest
+	// SelectDurable prefers durable tiers, then speed.
+	SelectDurable
+	// SelectShared requires node-shareable tiers, then speed.
+	SelectShared
+)
+
+// String names the policy.
+func (p SelectionPolicy) String() string {
+	switch p {
+	case SelectFastest:
+		return "fastest"
+	case SelectCheapest:
+		return "cheapest"
+	case SelectDurable:
+		return "durable"
+	case SelectShared:
+		return "shared"
+	default:
+		return fmt.Sprintf("SelectionPolicy(%d)", int(p))
+	}
+}
+
+// ErrNoCandidate is returned when no tier satisfies the policy and size.
+var ErrNoCandidate = errors.New("storage: no tier satisfies the request")
+
+// Select picks the best spec for a dataset of the given size under the
+// policy. This is one of the "intelligence" hooks the paper places in the
+// controller.
+func Select(policy SelectionPolicy, sizeBytes float64, candidates []Spec) (Spec, error) {
+	fits := make([]Spec, 0, len(candidates))
+	for _, c := range candidates {
+		if c.CapacityBytes >= sizeBytes {
+			if policy == SelectShared && !c.Shared {
+				continue
+			}
+			if policy == SelectDurable && !c.Durable {
+				continue
+			}
+			fits = append(fits, c)
+		}
+	}
+	if len(fits) == 0 {
+		return Spec{}, fmt.Errorf("%w: size %.0f policy %s", ErrNoCandidate, sizeBytes, policy)
+	}
+	switch policy {
+	case SelectCheapest:
+		sort.Slice(fits, func(i, j int) bool {
+			ci, cj := fits[i].MonthlyCost(sizeBytes), fits[j].MonthlyCost(sizeBytes)
+			if ci != cj {
+				return ci < cj
+			}
+			return fits[i].ReadBps > fits[j].ReadBps
+		})
+	default: // fastest / durable / shared all tie-break on read bandwidth
+		sort.Slice(fits, func(i, j int) bool {
+			if fits[i].ReadBps != fits[j].ReadBps {
+				return fits[i].ReadBps > fits[j].ReadBps
+			}
+			return fits[i].MonthlyCost(sizeBytes) < fits[j].MonthlyCost(sizeBytes)
+		})
+	}
+	return fits[0], nil
+}

@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		ClassLocal:      "local",
+		ClassBlock:      "block",
+		ClassNetworked:  "networked",
+		ClassImageBaked: "image-baked",
+		Class(99):       "Class(99)",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := DefaultLocal
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default local invalid: %v", err)
+	}
+	bad := good
+	bad.ReadBps = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	bad = good
+	bad.LatencySec = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative latency accepted")
+	}
+	bad = good
+	bad.CapacityBytes = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestReadWriteTime(t *testing.T) {
+	s := Spec{Class: ClassLocal, ReadBps: 100, WriteBps: 50, LatencySec: 1, CapacityBytes: 1e9}
+	if got := float64(s.ReadTime(200)); math.Abs(got-3.0) > 1e-12 {
+		t.Fatalf("ReadTime = %v, want 3.0", got)
+	}
+	if got := float64(s.WriteTime(200)); math.Abs(got-5.0) > 1e-12 {
+		t.Fatalf("WriteTime = %v, want 5.0", got)
+	}
+	if s.ReadTime(0) != 0 || s.WriteTime(-5) != 0 {
+		t.Fatal("zero/negative sizes should cost nothing")
+	}
+}
+
+func TestTierOrderingSanity(t *testing.T) {
+	// The reproduction depends on the ordering, not the absolute values.
+	if !(DefaultLocal.ReadBps > DefaultBlock.ReadBps) {
+		t.Fatal("local must out-read block store")
+	}
+	if !(DefaultNetworked.CapacityBytes > DefaultBlock.CapacityBytes &&
+		DefaultBlock.CapacityBytes > DefaultLocal.CapacityBytes) {
+		t.Fatal("capacity ordering broken")
+	}
+	if DefaultLocal.Durable {
+		t.Fatal("local ephemeral disk must not be durable")
+	}
+	if !DefaultNetworked.Shared {
+		t.Fatal("networked storage must be shared")
+	}
+}
+
+func TestVolumeAllocate(t *testing.T) {
+	v := MustVolume("scratch", Spec{Class: ClassLocal, ReadBps: 1, WriteBps: 1, CapacityBytes: 100})
+	if err := v.Allocate(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Allocate(50); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("overcommit error = %v, want ErrNoSpace", err)
+	}
+	if v.Free() != 40 {
+		t.Fatalf("Free = %v, want 40", v.Free())
+	}
+	v.Release(60)
+	if v.Used() != 0 {
+		t.Fatalf("Used after release = %v", v.Used())
+	}
+	v.Release(1e9) // over-release clamps at zero
+	if v.Used() != 0 {
+		t.Fatalf("Used clamped = %v", v.Used())
+	}
+	if err := v.Allocate(-1); err == nil {
+		t.Fatal("negative allocation accepted")
+	}
+}
+
+func TestVolumeCounters(t *testing.T) {
+	v := MustVolume("d", Spec{Class: ClassLocal, ReadBps: 10, WriteBps: 10, CapacityBytes: 1e6})
+	v.Read(100)
+	v.Read(50)
+	v.Write(30)
+	if v.Reads != 2 || v.Writes != 1 {
+		t.Fatalf("op counts = %d/%d", v.Reads, v.Writes)
+	}
+	if v.BytesRead != 150 || v.BytesWritten != 30 {
+		t.Fatalf("byte counts = %v/%v", v.BytesRead, v.BytesWritten)
+	}
+}
+
+func TestNewVolumeRejectsBadSpec(t *testing.T) {
+	if _, err := NewVolume("x", Spec{}); err == nil {
+		t.Fatal("zero spec accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustVolume did not panic")
+		}
+	}()
+	MustVolume("x", Spec{})
+}
+
+func defaultCandidates() []Spec {
+	return []Spec{DefaultLocal, DefaultBlock, DefaultNetworked, DefaultImageBaked}
+}
+
+func TestSelectFastestSmall(t *testing.T) {
+	got, err := Select(SelectFastest, 1e9, defaultCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Class != ClassLocal && got.Class != ClassImageBaked {
+		t.Fatalf("fastest for 1 GB = %s, want a local-speed tier", got.Class)
+	}
+}
+
+func TestSelectFastestLargeFallsBack(t *testing.T) {
+	// 50 GB does not fit on the 10 GB local disk: the selector must fall
+	// back to a remote tier. This is the paper's core storage trade-off.
+	got, err := Select(SelectFastest, 50e9, defaultCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Class == ClassLocal || got.Class == ClassImageBaked {
+		t.Fatalf("50 GB placed on %s, which cannot hold it", got.Class)
+	}
+}
+
+func TestSelectCheapest(t *testing.T) {
+	got, err := Select(SelectCheapest, 1e9, defaultCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Class != ClassLocal {
+		t.Fatalf("cheapest = %s, want free local disk", got.Class)
+	}
+}
+
+func TestSelectShared(t *testing.T) {
+	got, err := Select(SelectShared, 1e9, defaultCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Shared {
+		t.Fatalf("shared policy chose unshared %s", got.Class)
+	}
+}
+
+func TestSelectDurable(t *testing.T) {
+	got, err := Select(SelectDurable, 1e9, defaultCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Durable {
+		t.Fatalf("durable policy chose ephemeral %s", got.Class)
+	}
+}
+
+func TestSelectNoCandidate(t *testing.T) {
+	_, err := Select(SelectFastest, 1e15, defaultCandidates())
+	if !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("err = %v, want ErrNoCandidate", err)
+	}
+}
+
+// Property: the selected tier always fits the dataset and honours the
+// policy's hard constraints.
+func TestSelectProperty(t *testing.T) {
+	prop := func(sizeGB uint16, policyRaw uint8) bool {
+		size := float64(sizeGB%1200) * 1e9
+		policy := SelectionPolicy(policyRaw % 4)
+		got, err := Select(policy, size, defaultCandidates())
+		if err != nil {
+			// Only acceptable when nothing fits.
+			for _, c := range defaultCandidates() {
+				if c.CapacityBytes >= size &&
+					(policy != SelectShared || c.Shared) &&
+					(policy != SelectDurable || c.Durable) {
+					return false
+				}
+			}
+			return true
+		}
+		if got.CapacityBytes < size {
+			return false
+		}
+		if policy == SelectShared && !got.Shared {
+			return false
+		}
+		if policy == SelectDurable && !got.Durable {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: monthly cost scales linearly with size.
+func TestMonthlyCostLinearProperty(t *testing.T) {
+	prop := func(n uint32) bool {
+		s := DefaultBlock
+		a := s.MonthlyCost(float64(n))
+		b := s.MonthlyCost(float64(n) * 2)
+		return math.Abs(b-2*a) < 1e-9*math.Max(1, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

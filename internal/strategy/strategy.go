@@ -1,0 +1,202 @@
+// Package strategy defines FRIEDA's data-management strategies (Section III
+// of the paper) as declarative configuration the controller hands to the
+// master. A strategy combines a partitioning mode (none / pre-partitioned /
+// real-time), a data locality (local vs remote source), a grouping scheme,
+// an assignment algorithm, and a placement direction (move data to
+// computation vs computation to data).
+package strategy
+
+import (
+	"fmt"
+
+	"frieda/internal/partition"
+)
+
+// Kind is the partitioning mode.
+type Kind int
+
+const (
+	// NoPartition replicates the complete dataset to every node — the
+	// paper's "common data" mode for database-style applications (BLAST).
+	NoPartition Kind = iota
+	// PrePartition splits the group list across workers before computation
+	// starts and transfers each partition up front; execution begins only
+	// after the transfer phase completes.
+	PrePartition
+	// RealTime transfers lazily: the master does not send a group until a
+	// worker asks for it. Transfer overlaps computation and the scheme is
+	// inherently load-balanced.
+	RealTime
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case NoPartition:
+		return "no-partition"
+	case PrePartition:
+		return "pre-partition"
+	case RealTime:
+		return "real-time"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Locality says where input data resides when execution starts.
+type Locality int
+
+const (
+	// Remote means data starts at the master's source and must cross the
+	// network (Fig. 5 "pre-partitioning remote" / "real-time").
+	Remote Locality = iota
+	// Local means data is already on each worker's local disk — e.g.
+	// baked into the VM image (Fig. 5 "pre-partitioning local").
+	Local
+)
+
+// String names the locality.
+func (l Locality) String() string {
+	switch l {
+	case Remote:
+		return "remote"
+	case Local:
+		return "local"
+	default:
+		return fmt.Sprintf("Locality(%d)", int(l))
+	}
+}
+
+// Placement is the data-vs-computation movement direction of Fig. 7.
+type Placement int
+
+const (
+	// DataToCompute ships input data to wherever workers run.
+	DataToCompute Placement = iota
+	// ComputeToData schedules each task on a node already holding its
+	// inputs.
+	ComputeToData
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	switch p {
+	case DataToCompute:
+		return "data-to-compute"
+	case ComputeToData:
+		return "compute-to-data"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Config is a complete data-management strategy.
+type Config struct {
+	// Kind is the partitioning mode.
+	Kind Kind
+	// Locality is where data resides at start.
+	Locality Locality
+	// Placement is the movement direction.
+	Placement Placement
+	// Grouping names the partition.Generator scheme ("single",
+	// "pairwise-adjacent", ...). Empty means "single".
+	Grouping string
+	// Assigner selects the pre-partition assignment algorithm
+	// ("round-robin", "blocked", "size-balanced"). Empty means round-robin.
+	Assigner string
+	// Multicore clones the program once per worker core, as the paper's
+	// multicore setting does. Off means one instance per node.
+	Multicore bool
+	// Prefetch is the number of groups the master keeps in flight per
+	// worker slot under RealTime (1 = the paper's strict
+	// request-one-get-one; larger values pipeline transfer behind compute —
+	// an extension this repo benchmarks as an ablation).
+	Prefetch int
+	// CommonFiles names files that must reside on every node regardless of
+	// partitioning (the BLAST database). They are staged before execution.
+	CommonFiles []string
+}
+
+// Validate checks internal consistency and resolves defaulted fields.
+func (c *Config) Validate() error {
+	if c.Grouping == "" {
+		c.Grouping = "single"
+	}
+	if _, err := partition.ByName(c.Grouping); err != nil {
+		return err
+	}
+	if c.Assigner == "" {
+		c.Assigner = "round-robin"
+	}
+	if _, err := AssignerByName(c.Assigner); err != nil {
+		return err
+	}
+	if c.Prefetch == 0 {
+		c.Prefetch = 1
+	}
+	if c.Prefetch < 1 {
+		return fmt.Errorf("strategy: prefetch %d < 1", c.Prefetch)
+	}
+	if c.Kind == NoPartition && c.Placement == ComputeToData {
+		return fmt.Errorf("strategy: no-partition replicates everywhere; compute-to-data is meaningless")
+	}
+	if c.Locality == Local && c.Kind == RealTime {
+		return fmt.Errorf("strategy: real-time partitioning requires a remote source (local data is already placed)")
+	}
+	return nil
+}
+
+// String renders the strategy compactly for logs and reports.
+func (c Config) String() string {
+	grouping := c.Grouping
+	if grouping == "" {
+		grouping = "single"
+	}
+	assigner := c.Assigner
+	if assigner == "" {
+		assigner = "round-robin"
+	}
+	s := fmt.Sprintf("%s/%s/%s grouping=%s", c.Kind, c.Locality, c.Placement, grouping)
+	if c.Kind == PrePartition {
+		s += " assign=" + assigner
+	}
+	if c.Kind == RealTime && c.Prefetch > 1 {
+		s += fmt.Sprintf(" prefetch=%d", c.Prefetch)
+	}
+	if c.Multicore {
+		s += " multicore"
+	}
+	return s
+}
+
+// Generator resolves the grouping scheme.
+func (c Config) Generator() (partition.Generator, error) {
+	return partition.ByName(c.Grouping)
+}
+
+// AssignerByName resolves an assignment algorithm by name.
+func AssignerByName(name string) (partition.Assigner, error) {
+	switch name {
+	case "round-robin", "":
+		return partition.RoundRobin{}, nil
+	case "blocked":
+		return partition.Blocked{}, nil
+	case "size-balanced":
+		return partition.SizeBalanced{}, nil
+	default:
+		return nil, fmt.Errorf("strategy: unknown assigner %q", name)
+	}
+}
+
+// Named presets used throughout the evaluation.
+var (
+	// PrePartitionedLocal is Fig. 5(b): data local to computation.
+	PrePartitionedLocal = Config{Kind: PrePartition, Locality: Local, Placement: ComputeToData, Multicore: true}
+	// PrePartitionedRemote is Fig. 5(a): pre-defined partitions read from
+	// the remote source, transfer then execute.
+	PrePartitionedRemote = Config{Kind: PrePartition, Locality: Remote, Placement: DataToCompute, Multicore: true}
+	// RealTimeRemote is Fig. 5(c): lazy per-request distribution.
+	RealTimeRemote = Config{Kind: RealTime, Locality: Remote, Placement: DataToCompute, Multicore: true}
+	// CommonData is the no-partitioning mode: full dataset everywhere.
+	CommonData = Config{Kind: NoPartition, Locality: Remote, Placement: DataToCompute, Multicore: true}
+)

@@ -1,0 +1,120 @@
+package strategy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateDefaults(t *testing.T) {
+	c := Config{Kind: RealTime}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Grouping != "single" {
+		t.Fatalf("grouping default = %q", c.Grouping)
+	}
+	if c.Assigner != "round-robin" {
+		t.Fatalf("assigner default = %q", c.Assigner)
+	}
+	if c.Prefetch != 1 {
+		t.Fatalf("prefetch default = %d", c.Prefetch)
+	}
+}
+
+func TestValidateRejectsBadGrouping(t *testing.T) {
+	c := Config{Grouping: "bogus"}
+	if c.Validate() == nil {
+		t.Fatal("bogus grouping accepted")
+	}
+}
+
+func TestValidateRejectsBadAssigner(t *testing.T) {
+	c := Config{Assigner: "bogus"}
+	if c.Validate() == nil {
+		t.Fatal("bogus assigner accepted")
+	}
+}
+
+func TestValidateRejectsNegativePrefetch(t *testing.T) {
+	c := Config{Prefetch: -1}
+	if c.Validate() == nil {
+		t.Fatal("negative prefetch accepted")
+	}
+}
+
+func TestValidateRejectsContradictions(t *testing.T) {
+	c := Config{Kind: NoPartition, Placement: ComputeToData}
+	if c.Validate() == nil {
+		t.Fatal("no-partition + compute-to-data accepted")
+	}
+	c = Config{Kind: RealTime, Locality: Local}
+	if c.Validate() == nil {
+		t.Fatal("real-time + local accepted")
+	}
+}
+
+func TestPresetsValid(t *testing.T) {
+	for _, preset := range []Config{PrePartitionedLocal, PrePartitionedRemote, RealTimeRemote, CommonData} {
+		p := preset
+		if err := p.Validate(); err != nil {
+			t.Fatalf("preset %s invalid: %v", preset, err)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if NoPartition.String() != "no-partition" || PrePartition.String() != "pre-partition" || RealTime.String() != "real-time" {
+		t.Fatal("Kind strings wrong")
+	}
+	if Remote.String() != "remote" || Local.String() != "local" {
+		t.Fatal("Locality strings wrong")
+	}
+	if DataToCompute.String() != "data-to-compute" || ComputeToData.String() != "compute-to-data" {
+		t.Fatal("Placement strings wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") || !strings.Contains(Locality(9).String(), "9") || !strings.Contains(Placement(9).String(), "9") {
+		t.Fatal("unknown enum strings wrong")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := PrePartitionedRemote
+	c.Grouping = "pairwise-adjacent"
+	c.Assigner = "blocked"
+	s := c.String()
+	for _, want := range []string{"pre-partition", "remote", "pairwise-adjacent", "blocked", "multicore"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	r := RealTimeRemote
+	r.Prefetch = 4
+	if !strings.Contains(r.String(), "prefetch=4") {
+		t.Fatalf("String() = %q missing prefetch", r.String())
+	}
+}
+
+func TestGeneratorResolution(t *testing.T) {
+	c := Config{Grouping: "all-to-all"}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Generator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "all-to-all" {
+		t.Fatalf("generator = %q", g.Name())
+	}
+}
+
+func TestAssignerByName(t *testing.T) {
+	for _, name := range []string{"round-robin", "", "blocked", "size-balanced"} {
+		if _, err := AssignerByName(name); err != nil {
+			t.Fatalf("AssignerByName(%q): %v", name, err)
+		}
+	}
+	if _, err := AssignerByName("nope"); err == nil {
+		t.Fatal("bad assigner accepted")
+	}
+}

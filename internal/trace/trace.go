@@ -1,0 +1,137 @@
+// Package trace renders execution timelines from simulation results: a
+// per-worker Gantt chart in text, phase aggregates, and CSV export — the
+// observability surface a FRIEDA operator uses to understand where a
+// strategy spends its time.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"frieda/internal/simrun"
+)
+
+// WorkerLane aggregates one worker's task executions.
+type WorkerLane struct {
+	Worker string
+	Tasks  int
+	// BusySec is the summed task durations.
+	BusySec float64
+	// FirstStart and LastEnd bound the lane.
+	FirstStart, LastEnd float64
+}
+
+// Lanes computes per-worker aggregates from completions, sorted by worker.
+func Lanes(completions []simrun.Completion) []WorkerLane {
+	byWorker := map[string]*WorkerLane{}
+	for _, c := range completions {
+		if !c.OK {
+			continue
+		}
+		l := byWorker[c.Worker]
+		if l == nil {
+			l = &WorkerLane{Worker: c.Worker, FirstStart: float64(c.Start)}
+			byWorker[c.Worker] = l
+		}
+		l.Tasks++
+		l.BusySec += float64(c.End - c.Start)
+		if float64(c.Start) < l.FirstStart {
+			l.FirstStart = float64(c.Start)
+		}
+		if float64(c.End) > l.LastEnd {
+			l.LastEnd = float64(c.End)
+		}
+	}
+	out := make([]WorkerLane, 0, len(byWorker))
+	for _, l := range byWorker {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}
+
+// Utilisation returns busy time over lane span (0 for an empty lane).
+func (l WorkerLane) Utilisation() float64 {
+	span := l.LastEnd - l.FirstStart
+	if span <= 0 {
+		return 0
+	}
+	u := l.BusySec / span
+	return u
+}
+
+// Gantt renders a fixed-width text timeline, one row per worker, '#' for
+// busy buckets and '.' for idle, plus a per-row task count. width is the
+// number of buckets (default 60).
+func Gantt(res simrun.Result, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if res.MakespanSec <= 0 || len(res.Completions) == 0 {
+		return "(empty run)\n"
+	}
+	type span struct{ start, end float64 }
+	byWorker := map[string][]span{}
+	for _, c := range res.Completions {
+		if !c.OK {
+			continue
+		}
+		byWorker[c.Worker] = append(byWorker[c.Worker], span{float64(c.Start), float64(c.End)})
+	}
+	workers := make([]string, 0, len(byWorker))
+	for w := range byWorker {
+		workers = append(workers, w)
+	}
+	sort.Strings(workers)
+
+	var b strings.Builder
+	bucket := res.MakespanSec / float64(width)
+	fmt.Fprintf(&b, "timeline: %.1fs total, one column = %.2fs\n", res.MakespanSec, bucket)
+	for _, w := range workers {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range byWorker[w] {
+			lo := int(s.start / bucket)
+			hi := int(s.end / bucket)
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-8s |%s| %d tasks\n", w, row, len(byWorker[w]))
+	}
+	return b.String()
+}
+
+// Summary renders per-worker utilisation aggregates.
+func Summary(res simrun.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %10s %10s %8s\n", "worker", "tasks", "busy(s)", "span(s)", "util")
+	for _, l := range Lanes(res.Completions) {
+		fmt.Fprintf(&b, "%-10s %8d %10.1f %10.1f %7.1f%%\n",
+			l.Worker, l.Tasks, l.BusySec, l.LastEnd-l.FirstStart, 100*l.Utilisation())
+	}
+	fmt.Fprintf(&b, "makespan %.1fs, transfer wall %.1fs, exec wall %.1fs, %.0f bytes moved\n",
+		res.MakespanSec, res.TransferWallSec, res.ExecWallSec, res.BytesMoved)
+	return b.String()
+}
+
+// WriteCSV exports completions for external plotting.
+func WriteCSV(w io.Writer, completions []simrun.Completion) error {
+	if _, err := fmt.Fprintln(w, "task,worker,start_sec,end_sec,ok,attempt"); err != nil {
+		return err
+	}
+	for _, c := range completions {
+		if _, err := fmt.Fprintf(w, "%d,%s,%.6f,%.6f,%t,%d\n",
+			c.Task, c.Worker, float64(c.Start), float64(c.End), c.OK, c.Attempt); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"frieda/internal/simrun"
+)
+
+func sampleResult() simrun.Result {
+	return simrun.Result{
+		MakespanSec:     10,
+		TransferWallSec: 4,
+		ExecWallSec:     8,
+		BytesMoved:      1e6,
+		Completions: []simrun.Completion{
+			{Task: 0, Worker: "vm-1", Start: 0, End: 3, OK: true, Attempt: 1},
+			{Task: 1, Worker: "vm-1", Start: 3, End: 6, OK: true, Attempt: 1},
+			{Task: 2, Worker: "vm-2", Start: 1, End: 9, OK: true, Attempt: 1},
+			{Task: 3, Worker: "vm-2", Start: 9, End: 10, OK: false, Attempt: 2},
+		},
+	}
+}
+
+func TestLanes(t *testing.T) {
+	lanes := Lanes(sampleResult().Completions)
+	if len(lanes) != 2 {
+		t.Fatalf("lanes = %d", len(lanes))
+	}
+	if lanes[0].Worker != "vm-1" || lanes[0].Tasks != 2 || lanes[0].BusySec != 6 {
+		t.Fatalf("lane 0 = %+v", lanes[0])
+	}
+	// Failed completion excluded from lanes.
+	if lanes[1].Tasks != 1 || lanes[1].BusySec != 8 {
+		t.Fatalf("lane 1 = %+v", lanes[1])
+	}
+	if math.Abs(lanes[0].Utilisation()-1.0) > 1e-9 {
+		t.Fatalf("vm-1 util = %v", lanes[0].Utilisation())
+	}
+}
+
+func TestUtilisationEmptyLane(t *testing.T) {
+	if (WorkerLane{}).Utilisation() != 0 {
+		t.Fatal("empty lane utilisation should be 0")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	out := Gantt(sampleResult(), 20)
+	if !strings.Contains(out, "vm-1") || !strings.Contains(out, "vm-2") {
+		t.Fatalf("missing workers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// vm-1 busy 0..6 of 10 s: first ~12 of 20 buckets are '#'.
+	row := lines[1]
+	if !strings.Contains(row, "#") || !strings.Contains(row, ".") {
+		t.Fatalf("row lacks both busy and idle: %q", row)
+	}
+	if Gantt(simrun.Result{}, 20) != "(empty run)\n" {
+		t.Fatal("empty run not handled")
+	}
+	// Default width.
+	if !strings.Contains(Gantt(sampleResult(), 0), "timeline") {
+		t.Fatal("default width broken")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	out := Summary(sampleResult())
+	for _, want := range []string{"vm-1", "vm-2", "makespan 10.0s", "util"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleResult().Completions); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "task,worker,start_sec,end_sec,ok,attempt" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[4], "false,2") {
+		t.Fatalf("failed row = %q", lines[4])
+	}
+}

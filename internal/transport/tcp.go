@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"net"
+
+	"frieda/internal/protocol"
+)
+
+// TCP is the production transport: gob-framed protocol messages over
+// net.Conn. Addresses are standard "host:port" strings; Listen(":0") picks
+// a free port, readable from Listener.Addr.
+type TCP struct{}
+
+// NewTCP returns a TCP transport.
+func NewTCP() *TCP { return &TCP{} }
+
+// Listen implements Transport.
+func (t *TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial implements Transport.
+func (t *TCP) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+// Accept implements Listener.
+func (l *tcpListener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+// Close implements Listener.
+func (l *tcpListener) Close() error { return l.l.Close() }
+
+// Addr implements Listener.
+func (l *tcpListener) Addr() string { return l.l.Addr().String() }
+
+type tcpConn struct {
+	c     net.Conn
+	codec *protocol.Codec
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	return &tcpConn{c: c, codec: protocol.NewCodec(c)}
+}
+
+// Send implements Conn.
+func (c *tcpConn) Send(m *protocol.Message) error { return c.codec.Send(m) }
+
+// Recv implements Conn.
+func (c *tcpConn) Recv() (*protocol.Message, error) { return c.codec.Recv() }
+
+// Close implements Conn.
+func (c *tcpConn) Close() error { return c.c.Close() }
+
+// RemoteAddr implements Conn.
+func (c *tcpConn) RemoteAddr() string { return c.c.RemoteAddr().String() }

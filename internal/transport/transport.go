@@ -1,0 +1,212 @@
+// Package transport abstracts how FRIEDA components exchange protocol
+// messages. Two implementations ship: an in-memory transport (goroutine
+// channels, optionally token-bucket throttled to emulate provisioned cloud
+// bandwidth at test scale) and a TCP transport on the standard net package
+// for running the controller, master and workers as separate processes.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"frieda/internal/protocol"
+)
+
+// ErrClosed is returned from operations on a closed connection or listener.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is a bidirectional, ordered, reliable message stream.
+type Conn interface {
+	// Send enqueues one message. It may block under throttling or
+	// backpressure.
+	Send(m *protocol.Message) error
+	// Recv blocks for the next message. It returns ErrClosed (possibly
+	// wrapped) after the peer closes.
+	Recv() (*protocol.Message, error)
+	// Close tears the connection down; pending Recvs unblock with error.
+	Close() error
+	// RemoteAddr names the peer for logs.
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept blocks for the next connection.
+	Accept() (Conn, error)
+	// Close stops accepting; blocked Accepts unblock with error.
+	Close() error
+	// Addr returns the bound address (useful when listening on ":0").
+	Addr() string
+}
+
+// Transport creates listeners and outbound connections.
+type Transport interface {
+	// Listen binds addr.
+	Listen(addr string) (Listener, error)
+	// Dial connects to addr.
+	Dial(addr string) (Conn, error)
+}
+
+// --- In-memory transport ---
+
+// Mem is an in-process transport. Addresses are arbitrary strings in a
+// private namespace per Mem instance. Connections deliver messages through
+// buffered channels; an optional Limiter emulates link bandwidth.
+type Mem struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	limiter   *Limiter
+	buffer    int
+}
+
+// NewMem returns an in-memory transport. limiter may be nil for unthrottled
+// delivery.
+func NewMem(limiter *Limiter) *Mem {
+	return &Mem{listeners: make(map[string]*memListener), limiter: limiter, buffer: 64}
+}
+
+// Listen implements Transport.
+func (t *Mem) Listen(addr string) (Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.listeners[addr]; dup {
+		return nil, fmt.Errorf("transport: address %q in use", addr)
+	}
+	l := &memListener{addr: addr, backlog: make(chan Conn, 16), tr: t}
+	t.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Transport.
+func (t *Mem) Dial(addr string) (Conn, error) {
+	t.mu.Lock()
+	l, ok := t.listeners[addr]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no listener at %q", addr)
+	}
+	client, server := t.pair(addr)
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.done():
+		return nil, fmt.Errorf("transport: listener %q closed", addr)
+	}
+}
+
+// pair builds the two connected endpoints.
+func (t *Mem) pair(addr string) (client, server *memConn) {
+	ab := make(chan *protocol.Message, t.buffer)
+	ba := make(chan *protocol.Message, t.buffer)
+	closed := make(chan struct{})
+	var once sync.Once
+	closeBoth := func() { once.Do(func() { close(closed) }) }
+	client = &memConn{out: ab, in: ba, closed: closed, closeFn: closeBoth, peer: addr, limiter: t.limiter}
+	server = &memConn{out: ba, in: ab, closed: closed, closeFn: closeBoth, peer: "dialer->" + addr, limiter: t.limiter}
+	return client, server
+}
+
+type memListener struct {
+	addr    string
+	backlog chan Conn
+	tr      *Mem
+
+	mu       sync.Mutex
+	closedCh chan struct{}
+}
+
+func (l *memListener) done() chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closedCh == nil {
+		l.closedCh = make(chan struct{})
+	}
+	return l.closedCh
+}
+
+// Accept implements Listener.
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done():
+		return nil, ErrClosed
+	}
+}
+
+// Close implements Listener.
+func (l *memListener) Close() error {
+	l.tr.mu.Lock()
+	delete(l.tr.listeners, l.addr)
+	l.tr.mu.Unlock()
+	ch := l.done()
+	select {
+	case <-ch:
+	default:
+		close(ch)
+	}
+	return nil
+}
+
+// Addr implements Listener.
+func (l *memListener) Addr() string { return l.addr }
+
+type memConn struct {
+	out     chan *protocol.Message
+	in      chan *protocol.Message
+	closed  chan struct{}
+	closeFn func()
+	peer    string
+	limiter *Limiter
+}
+
+// Send implements Conn. The message is charged against the shared limiter
+// (emulating the provisioned link) before delivery.
+func (c *memConn) Send(m *protocol.Message) error {
+	if c.limiter != nil {
+		c.limiter.Wait(m.WireSize())
+	}
+	select {
+	case <-c.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.out <- m:
+		return nil
+	case <-c.closed:
+		return ErrClosed
+	}
+}
+
+// Recv implements Conn. Buffered messages drain even after close, matching
+// TCP semantics where in-flight data is still readable.
+func (c *memConn) Recv() (*protocol.Message, error) {
+	select {
+	case m := <-c.in:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-c.in:
+		return m, nil
+	case <-c.closed:
+		// Final drain: close raced with a buffered send.
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close implements Conn.
+func (c *memConn) Close() error {
+	c.closeFn()
+	return nil
+}
+
+// RemoteAddr implements Conn.
+func (c *memConn) RemoteAddr() string { return c.peer }

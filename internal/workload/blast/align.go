@@ -1,0 +1,239 @@
+package blast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Alignment is a full local alignment with traceback, the human-readable
+// artefact blastp prints for each hit. Search scores hits cheaply with
+// banded extensions; Align recomputes the best local alignment of a
+// query/subject pair exactly (full Smith-Waterman with affine gaps) and
+// recovers the residue-level pairing.
+type Alignment struct {
+	// Score is the optimal local alignment score.
+	Score int
+	// QueryStart/SubjectStart are the 0-based alignment origins.
+	QueryStart, SubjectStart int
+	// QueryAligned and SubjectAligned are equal-length rows with '-' gaps.
+	QueryAligned, SubjectAligned []byte
+	// Midline marks identities ('|'), positives ('+') and others (' ').
+	Midline []byte
+	// Identities and Positives count exact and positive-scoring columns.
+	Identities, Positives int
+	// Gaps counts gap columns.
+	Gaps int
+}
+
+// Length returns the alignment's column count.
+func (a Alignment) Length() int { return len(a.QueryAligned) }
+
+// IdentityFraction returns identities over alignment length (0 when empty).
+func (a Alignment) IdentityFraction() float64 {
+	if a.Length() == 0 {
+		return 0
+	}
+	return float64(a.Identities) / float64(a.Length())
+}
+
+// String renders the alignment in blastp's three-row block format.
+func (a Alignment) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Score %d, Identities %d/%d (%.0f%%), Positives %d/%d, Gaps %d\n",
+		a.Score, a.Identities, a.Length(), 100*a.IdentityFraction(),
+		a.Positives, a.Length(), a.Gaps)
+	const width = 60
+	q, s, m := a.QueryAligned, a.SubjectAligned, a.Midline
+	qPos, sPos := a.QueryStart, a.SubjectStart
+	for off := 0; off < len(q); off += width {
+		end := min(off+width, len(q))
+		qRow, sRow, mRow := q[off:end], s[off:end], m[off:end]
+		fmt.Fprintf(&b, "Query  %4d  %s\n", qPos+1, qRow)
+		fmt.Fprintf(&b, "             %s\n", mRow)
+		fmt.Fprintf(&b, "Sbjct  %4d  %s\n", sPos+1, sRow)
+		qPos += len(qRow) - strings.Count(string(qRow), "-")
+		sPos += len(sRow) - strings.Count(string(sRow), "-")
+	}
+	return b.String()
+}
+
+// traceback move codes.
+const (
+	tbStop = iota
+	tbDiag
+	tbUp   // gap in subject (consume query)
+	tbLeft // gap in query (consume subject)
+)
+
+// Align computes the optimal local alignment of query vs subject under
+// BLOSUM62 with affine gaps (gapOpen/gapExtend as positive costs; zero
+// values select blastp's 11/1). A length-k gap costs
+// gapOpen + (k-1)·gapExtend — the first gap column carries the open cost. Intended for rendering selected hits, not
+// for the search inner loop: it is O(len(q)·len(s)) time and memory.
+func Align(query, subject []byte, gapOpen, gapExtend int) (Alignment, error) {
+	if gapOpen == 0 {
+		gapOpen = 11
+	}
+	if gapExtend == 0 {
+		gapExtend = 1
+	}
+	if len(query) == 0 || len(subject) == 0 {
+		return Alignment{}, fmt.Errorf("blast: empty sequence in Align")
+	}
+	q := Encode(query)
+	s := Encode(subject)
+	n, m := len(q), len(s)
+	const negInf = -1 << 29
+
+	// Three-state affine DP with full matrices for traceback.
+	idx := func(i, j int) int { return i*(m+1) + j }
+	M := make([]int32, (n+1)*(m+1))
+	Ix := make([]int32, (n+1)*(m+1)) // gap in query (left moves)
+	Iy := make([]int32, (n+1)*(m+1)) // gap in subject (up moves)
+	// fromM[k]&3 encodes M's predecessor state, etc. Pack per-state moves.
+	tbM := make([]uint8, (n+1)*(m+1))
+	tbX := make([]uint8, (n+1)*(m+1))
+	tbY := make([]uint8, (n+1)*(m+1))
+
+	for j := 0; j <= m; j++ {
+		Ix[idx(0, j)], Iy[idx(0, j)] = negInf, negInf
+	}
+	for i := 0; i <= n; i++ {
+		Ix[idx(i, 0)], Iy[idx(i, 0)] = negInf, negInf
+	}
+
+	best, bi, bj := int32(0), 0, 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			k := idx(i, j)
+			sub := int32(Score(int(q[i-1]), int(s[j-1])))
+
+			// M: diagonal from the best of the three states, floored at 0.
+			dm, dx, dy := M[idx(i-1, j-1)], Ix[idx(i-1, j-1)], Iy[idx(i-1, j-1)]
+			mv, mt := dm, uint8(tbDiag)
+			if dx > mv {
+				mv, mt = dx, tbLeft
+			}
+			if dy > mv {
+				mv, mt = dy, tbUp
+			}
+			mval := mv + sub
+			if mval <= 0 {
+				mval, mt = 0, tbStop
+			}
+			M[k], tbM[k] = mval, mt
+
+			// Ix: gap in query — consume a subject residue (left).
+			openX := M[idx(i, j-1)] - int32(gapOpen)
+			extX := Ix[idx(i, j-1)] - int32(gapExtend)
+			if openX >= extX {
+				Ix[k], tbX[k] = openX, tbDiag // came from M
+			} else {
+				Ix[k], tbX[k] = extX, tbLeft // extended
+			}
+
+			// Iy: gap in subject — consume a query residue (up).
+			openY := M[idx(i-1, j)] - int32(gapOpen)
+			extY := Iy[idx(i-1, j)] - int32(gapExtend)
+			if openY >= extY {
+				Iy[k], tbY[k] = openY, tbDiag
+			} else {
+				Iy[k], tbY[k] = extY, tbUp
+			}
+
+			if M[k] > best {
+				best, bi, bj = M[k], i, j
+			}
+		}
+	}
+
+	if best <= 0 {
+		return Alignment{}, fmt.Errorf("blast: no positive-scoring local alignment")
+	}
+
+	// Traceback from (bi, bj) in state M until the local-alignment origin
+	// (an M cell of value 0). state identifies the matrix we are in:
+	// tbDiag = M, tbLeft = Ix (gap in query), tbUp = Iy (gap in subject).
+	var qa, sa []byte
+	i, j, state := bi, bj, tbDiag
+	for i > 0 && j > 0 {
+		k := idx(i, j)
+		if state == tbDiag && M[k] <= 0 {
+			break
+		}
+		switch state {
+		case tbDiag:
+			move := tbM[k]
+			if move == tbStop {
+				i, j = 0, 0
+				break
+			}
+			qa = append(qa, query[i-1])
+			sa = append(sa, subject[j-1])
+			state = int(move) // predecessor's matrix at (i-1, j-1)
+			i--
+			j--
+		case tbLeft: // Ix: gap in query, consume a subject residue
+			qa = append(qa, '-')
+			sa = append(sa, subject[j-1])
+			if tbX[k] == tbDiag {
+				state = tbDiag
+			}
+			j--
+		case tbUp: // Iy: gap in subject, consume a query residue
+			qa = append(qa, query[i-1])
+			sa = append(sa, '-')
+			if tbY[k] == tbDiag {
+				state = tbDiag
+			}
+			i--
+		}
+	}
+	reverse(qa)
+	reverse(sa)
+	qStart := bi
+	sStart := bj
+	for _, c := range qa {
+		if c != '-' {
+			qStart--
+		}
+	}
+	for _, c := range sa {
+		if c != '-' {
+			sStart--
+		}
+	}
+
+	out := Alignment{
+		Score:          int(best),
+		QueryStart:     qStart,
+		SubjectStart:   sStart,
+		QueryAligned:   qa,
+		SubjectAligned: sa,
+	}
+	out.Midline = make([]byte, len(qa))
+	for c := range qa {
+		switch {
+		case qa[c] == '-' || sa[c] == '-':
+			out.Midline[c] = ' '
+			out.Gaps++
+		case qa[c] == sa[c] || (qa[c]|0x20) == (sa[c]|0x20):
+			out.Midline[c] = '|'
+			out.Identities++
+			out.Positives++
+		case ScoreBytes(qa[c], sa[c]) > 0:
+			out.Midline[c] = '+'
+			out.Positives++
+		default:
+			out.Midline[c] = ' '
+		}
+	}
+	return out, nil
+}
+
+// reverse flips a byte slice in place.
+func reverse(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}

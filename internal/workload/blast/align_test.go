@@ -1,0 +1,193 @@
+package blast
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlignIdentical(t *testing.T) {
+	seq := []byte("MKVLATGHWYEDRNCQISPF")
+	a, err := Align(seq, seq, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range seq {
+		want += ScoreBytes(r, r)
+	}
+	if a.Score != want {
+		t.Fatalf("score = %d, want %d", a.Score, want)
+	}
+	if a.Identities != len(seq) || a.Gaps != 0 {
+		t.Fatalf("identities=%d gaps=%d", a.Identities, a.Gaps)
+	}
+	if a.QueryStart != 0 || a.SubjectStart != 0 {
+		t.Fatalf("starts = %d/%d", a.QueryStart, a.SubjectStart)
+	}
+	if string(a.QueryAligned) != string(seq) || string(a.SubjectAligned) != string(seq) {
+		t.Fatalf("rows: %s / %s", a.QueryAligned, a.SubjectAligned)
+	}
+	if strings.Trim(string(a.Midline), "|") != "" {
+		t.Fatalf("midline = %q", a.Midline)
+	}
+	if a.IdentityFraction() != 1 {
+		t.Fatalf("identity fraction = %v", a.IdentityFraction())
+	}
+}
+
+func TestAlignWithInsertion(t *testing.T) {
+	q := []byte("MKVLATGHWYEDRNCQISPF")
+	s := append([]byte{}, q[:10]...)
+	s = append(s, 'A', 'A', 'A')
+	s = append(s, q[10:]...)
+	a, err := Align(q, s, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Gaps != 3 {
+		t.Fatalf("gaps = %d, want 3\n%s", a.Gaps, a)
+	}
+	// The gap must be in the query row.
+	if strings.Count(string(a.QueryAligned), "-") != 3 {
+		t.Fatalf("query row %q", a.QueryAligned)
+	}
+	if strings.Count(string(a.SubjectAligned), "-") != 0 {
+		t.Fatalf("subject row %q", a.SubjectAligned)
+	}
+	if a.Identities != len(q) {
+		t.Fatalf("identities = %d, want %d", a.Identities, len(q))
+	}
+	// Affine score: full identity minus a length-3 gap
+	// (open + 2 × extend under this package's convention).
+	self := 0
+	for _, r := range q {
+		self += ScoreBytes(r, r)
+	}
+	want := self - 11 - 2*1
+	if a.Score != want {
+		t.Fatalf("score = %d, want %d", a.Score, want)
+	}
+}
+
+func TestAlignLocalTrimsNoise(t *testing.T) {
+	// A conserved core flanked by unrelated sequence: local alignment must
+	// recover the core region, not the flanks.
+	core := []byte("WWWWCCCCHHHHWWWW")
+	q := append([]byte("AAAAAAAA"), core...)
+	q = append(q, []byte("GGGGGGGG")...)
+	s := append([]byte("PPPPPPPP"), core...)
+	s = append(s, []byte("EEEEEEEE")...)
+	a, err := Align(q, s, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.QueryAligned) != string(core) {
+		t.Fatalf("aligned %q, want the core %q", a.QueryAligned, core)
+	}
+	if a.QueryStart != 8 || a.SubjectStart != 8 {
+		t.Fatalf("starts = %d/%d, want 8/8", a.QueryStart, a.SubjectStart)
+	}
+}
+
+func TestAlignNoPositive(t *testing.T) {
+	// Tryptophan against proline scores negative everywhere.
+	if _, err := Align([]byte("WWWW"), []byte("PPPP"), 0, 0); err == nil {
+		t.Fatal("alignment of all-negative pair succeeded")
+	}
+	if _, err := Align(nil, []byte("MK"), 0, 0); err == nil {
+		t.Fatal("empty query accepted")
+	}
+}
+
+func TestAlignStringRendering(t *testing.T) {
+	seq := []byte(strings.Repeat("MKVLATGHWY", 8)) // 80 residues: wraps
+	a, err := Align(seq, seq, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	if !strings.Contains(out, "Identities 80/80 (100%)") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	if strings.Count(out, "Query") != 2 {
+		t.Fatalf("expected 2 wrapped blocks:\n%s", out)
+	}
+	// Second block's coordinates continue from the first.
+	if !strings.Contains(out, "Query    61") {
+		t.Fatalf("second block start wrong:\n%s", out)
+	}
+}
+
+// Property: Align's score is always >= the ungapped diagonal score of the
+// best seed region found by Search, and its aligned rows are consistent
+// (equal length, gaps never paired with gaps).
+func TestAlignConsistencyProperty(t *testing.T) {
+	alpha := []byte("ARNDCQEGHILKMFPSTWYV")
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := make([]byte, 60+rng.Intn(60))
+		for i := range q {
+			q[i] = alpha[rng.Intn(len(alpha))]
+		}
+		s := append([]byte{}, q...)
+		// Mutate ~15% plus one indel.
+		for i := 0; i < len(s)/7; i++ {
+			s[rng.Intn(len(s))] = alpha[rng.Intn(len(alpha))]
+		}
+		cut := rng.Intn(len(s)-2) + 1
+		s = append(s[:cut], s[cut+1:]...)
+		a, err := Align(q, s, 0, 0)
+		if err != nil {
+			return true // extremely diverged pair; acceptable
+		}
+		if len(a.QueryAligned) != len(a.SubjectAligned) || len(a.Midline) != len(a.QueryAligned) {
+			return false
+		}
+		for i := range a.QueryAligned {
+			if a.QueryAligned[i] == '-' && a.SubjectAligned[i] == '-' {
+				return false
+			}
+		}
+		// Recompute the score from the rows; must match.
+		score, open := 0, false
+		gapOpen, gapExt := 11, 1
+		for i := range a.QueryAligned {
+			qc, sc := a.QueryAligned[i], a.SubjectAligned[i]
+			if qc == '-' || sc == '-' {
+				if open {
+					score -= gapExt
+				} else {
+					score -= gapOpen
+					open = true
+				}
+				continue
+			}
+			open = false
+			score += ScoreBytes(qc, sc)
+		}
+		return score == a.Score
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlignGapStateSwitch(t *testing.T) {
+	// Independent gaps in both sequences force Ix and Iy usage in one
+	// alignment.
+	base := []byte("MKVLATGHWYEDRNCQISPFMKVLATGHWY")
+	q := append([]byte{}, base[:12]...)
+	q = append(q, base[14:]...) // deletion in query (gap in query row)
+	s := append([]byte{}, base[:22]...)
+	s = append(s, base[24:]...) // deletion in subject (gap in subject row)
+	a, err := Align(q, s, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(a.QueryAligned), "-") == 0 ||
+		strings.Count(string(a.SubjectAligned), "-") == 0 {
+		t.Fatalf("expected gaps in both rows:\n%s", a)
+	}
+}

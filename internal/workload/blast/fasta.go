@@ -1,0 +1,86 @@
+package blast
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Sequence is one FASTA record.
+type Sequence struct {
+	// ID is the first word of the header line.
+	ID string
+	// Description is the remainder of the header.
+	Description string
+	// Residues are the raw ASCII residue codes.
+	Residues []byte
+}
+
+// Len returns the residue count.
+func (s Sequence) Len() int { return len(s.Residues) }
+
+// ParseFASTA reads all records from r. Blank lines are skipped; sequence
+// data before the first header is an error.
+func ParseFASTA(r io.Reader) ([]Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var out []Sequence
+	var cur *Sequence
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		if text[0] == '>' {
+			header := strings.TrimSpace(string(text[1:]))
+			if header == "" {
+				return nil, fmt.Errorf("blast: empty FASTA header at line %d", line)
+			}
+			id, desc, _ := strings.Cut(header, " ")
+			out = append(out, Sequence{ID: id, Description: strings.TrimSpace(desc)})
+			cur = &out[len(out)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("blast: sequence data before first header at line %d", line)
+		}
+		for _, b := range text {
+			if b == ' ' || b == '\t' {
+				continue
+			}
+			if residueIndex[b] < 0 && b != '*' && b != '-' {
+				return nil, fmt.Errorf("blast: invalid residue %q at line %d", b, line)
+			}
+			if b == '*' || b == '-' {
+				continue // stops and gaps are dropped
+			}
+			cur.Residues = append(cur.Residues, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteFASTA renders records with 70-column wrapping.
+func WriteFASTA(w io.Writer, seqs []Sequence) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		if s.Description != "" {
+			fmt.Fprintf(bw, ">%s %s\n", s.ID, s.Description)
+		} else {
+			fmt.Fprintf(bw, ">%s\n", s.ID)
+		}
+		for off := 0; off < len(s.Residues); off += 70 {
+			end := min(off+70, len(s.Residues))
+			bw.Write(s.Residues[off:end])
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,294 @@
+package blast
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Params tunes the search. Zero values select blastp-like defaults.
+type Params struct {
+	// K is the seed word size.
+	K int
+	// XDrop terminates ungapped extension when the running score falls this
+	// far below the best seen.
+	XDrop int
+	// GapOpen and GapExtend are affine gap penalties (positive costs).
+	GapOpen, GapExtend int
+	// Band is the half-width of the banded gapped extension.
+	Band int
+	// MinUngappedScore triggers gapped extension for a subject.
+	MinUngappedScore int
+	// MinReportScore filters final hits.
+	MinReportScore int
+	// MaxHits caps the number of reported hits (0 = unlimited).
+	MaxHits int
+}
+
+// DefaultParams returns blastp-like settings.
+func DefaultParams() Params {
+	return Params{
+		K:                DefaultK,
+		XDrop:            7,
+		GapOpen:          11,
+		GapExtend:        1,
+		Band:             16,
+		MinUngappedScore: 22,
+		MinReportScore:   30,
+		MaxHits:          250,
+	}
+}
+
+// normalise fills defaulted fields.
+func (p *Params) normalise() {
+	d := DefaultParams()
+	if p.K == 0 {
+		p.K = d.K
+	}
+	if p.XDrop == 0 {
+		p.XDrop = d.XDrop
+	}
+	if p.GapOpen == 0 {
+		p.GapOpen = d.GapOpen
+	}
+	if p.GapExtend == 0 {
+		p.GapExtend = d.GapExtend
+	}
+	if p.Band == 0 {
+		p.Band = d.Band
+	}
+	if p.MinUngappedScore == 0 {
+		p.MinUngappedScore = d.MinUngappedScore
+	}
+	if p.MinReportScore == 0 {
+		p.MinReportScore = d.MinReportScore
+	}
+}
+
+// Karlin-Altschul parameters for gapped BLOSUM62 (11,1), used for bit scores
+// and E-values.
+const (
+	kaLambda = 0.267
+	kaK      = 0.041
+)
+
+// Hit is one reported database match.
+type Hit struct {
+	// SubjectID and SubjectIndex identify the database record.
+	SubjectID    string
+	SubjectIndex int
+	// Score is the raw alignment score.
+	Score int
+	// BitScore and EValue are Karlin-Altschul statistics.
+	BitScore float64
+	EValue   float64
+	// QueryStart/End and SubjectStart/End bound the aligned region
+	// (half-open, ungapped-extension coordinates; gapped extension may
+	// extend the end coordinates).
+	QueryStart, QueryEnd     int
+	SubjectStart, SubjectEnd int
+	// Gapped reports whether the score came from gapped extension.
+	Gapped bool
+}
+
+// hsp is an ungapped high-scoring pair.
+type hsp struct {
+	score          int
+	qs, qe, ss, se int
+}
+
+// Search runs the query against the database and returns hits sorted by
+// descending score.
+func Search(db *DB, query Sequence, params Params) ([]Hit, error) {
+	params.normalise()
+	if params.K != db.k {
+		return nil, fmt.Errorf("blast: query word size %d != database %d", params.K, db.k)
+	}
+	q := Encode(query.Residues)
+	if len(q) < params.K {
+		return nil, fmt.Errorf("blast: query %q shorter than word size", query.ID)
+	}
+
+	// Seed and ungapped-extend; keep the best HSP per subject and dedup
+	// seeds on already-covered diagonals.
+	best := make(map[int32]hsp)
+	covered := make(map[int64]int32) // (seq, diag) -> query end of last extension
+	for qi := 0; qi+params.K <= len(q); qi++ {
+		key, ok := kmerKey(q[qi:qi+params.K], params.K)
+		if !ok {
+			continue
+		}
+		for _, pos := range db.index[key] {
+			diag := pos.off - int32(qi)
+			ck := int64(pos.seq)<<32 | int64(uint32(diag))
+			if end, seen := covered[ck]; seen && int32(qi) < end {
+				continue
+			}
+			h := ungappedExtend(q, db.enc[pos.seq], qi, int(pos.off), params.K, params.XDrop)
+			covered[ck] = int32(h.qe)
+			if cur, seen := best[pos.seq]; !seen || h.score > cur.score {
+				best[pos.seq] = h
+			}
+		}
+	}
+
+	// Gapped extension for subjects whose ungapped score clears the
+	// trigger; report whichever score is higher.
+	hits := make([]Hit, 0, len(best))
+	for si, h := range best {
+		hit := Hit{
+			SubjectID:    db.seqs[si].ID,
+			SubjectIndex: int(si),
+			Score:        h.score,
+			QueryStart:   h.qs, QueryEnd: h.qe,
+			SubjectStart: h.ss, SubjectEnd: h.se,
+		}
+		if h.score >= params.MinUngappedScore {
+			gs, gqe, gse := bandedGapped(q, db.enc[si], h, params)
+			if gs > hit.Score {
+				hit.Score = gs
+				hit.QueryEnd = gqe
+				hit.SubjectEnd = gse
+				hit.Gapped = true
+			}
+		}
+		if hit.Score < params.MinReportScore {
+			continue
+		}
+		hit.BitScore = (kaLambda*float64(hit.Score) - math.Log(kaK)) / math.Ln2
+		hit.EValue = float64(len(q)) * float64(db.residues) * math.Exp2(-hit.BitScore)
+		hits = append(hits, hit)
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].SubjectID < hits[j].SubjectID
+	})
+	if params.MaxHits > 0 && len(hits) > params.MaxHits {
+		hits = hits[:params.MaxHits]
+	}
+	return hits, nil
+}
+
+// ungappedExtend grows a seed match in both directions, stopping when the
+// running score drops xdrop below the running maximum (BLAST's X-drop).
+func ungappedExtend(q, s []int8, qi, si, k, xdrop int) hsp {
+	// Score the seed word itself.
+	score := 0
+	for i := 0; i < k; i++ {
+		score += Score(int(q[qi+i]), int(s[si+i]))
+	}
+	bestScore := score
+	qe, se := qi+k, si+k
+
+	// Right extension.
+	run := score
+	bi, bj := qe, se
+	for i, j := qe, se; i < len(q) && j < len(s); i, j = i+1, j+1 {
+		run += Score(int(q[i]), int(s[j]))
+		if run > bestScore {
+			bestScore = run
+			bi, bj = i+1, j+1
+		}
+		if run <= bestScore-xdrop {
+			break
+		}
+	}
+	qe, se = bi, bj
+	// Left extension.
+	run = bestScore
+	qs, ss := qi, si
+	bi, bj = qs, ss
+	for i, j := qs-1, si-1; i >= 0 && j >= 0; i, j = i-1, j-1 {
+		run += Score(int(q[i]), int(s[j]))
+		if run > bestScore {
+			bestScore = run
+			bi, bj = i, j
+		}
+		if run <= bestScore-xdrop {
+			break
+		}
+	}
+	return hsp{score: bestScore, qs: bi, qe: qe, ss: bj, se: se}
+}
+
+// bandedGapped runs a banded local Smith-Waterman with affine gaps around
+// the HSP's diagonal and returns the best score with its end coordinates.
+func bandedGapped(q, s []int8, h hsp, p Params) (score, qEnd, sEnd int) {
+	diag := h.ss - h.qs
+	band := p.Band
+	const negInf = math.MinInt32 / 2
+
+	// Rolling rows over j in [lo, hi] per i, with the band centred on the
+	// HSP diagonal: j ranges over i+diag±band.
+	width := 2*band + 1
+	m := make([]int, width)  // match/mismatch state
+	ix := make([]int, width) // gap in query (insertion in subject)
+	iy := make([]int, width) // gap in subject
+	pm := make([]int, width)
+	pix := make([]int, width)
+	piy := make([]int, width)
+	for i := range m {
+		pm[i], pix[i], piy[i] = 0, negInf, negInf
+	}
+	bestScore, bi, bj := 0, h.qe, h.se
+
+	for i := 0; i < len(q); i++ {
+		center := i + diag
+		for w := 0; w < width; w++ {
+			j := center - band + w
+			if j < 0 || j >= len(s) {
+				m[w], ix[w], iy[w] = negInf, negInf, negInf
+				continue
+			}
+			// Predecessors: diagonal (i-1, j-1) is the same w in the
+			// previous row; left (i, j-1) is w-1 in this row; up (i-1, j)
+			// is w+1 in the previous row.
+			diagM, diagIx, diagIy := 0, negInf, negInf
+			if i > 0 && j > 0 {
+				diagM, diagIx, diagIy = pm[w], pix[w], piy[w]
+			} else if i > 0 || j > 0 {
+				// On the edges the "previous" cell is outside the matrix;
+				// local alignment restarts at 0 through diagM=0 only when
+				// both coordinates allow it.
+				diagM, diagIx, diagIy = 0, negInf, negInf
+			}
+			sub := Score(int(q[i]), int(s[j]))
+			mm := maxInt3(diagM, diagIx, diagIy) + sub
+			if mm < 0 {
+				mm = 0 // local alignment restart
+			}
+			var left, up int = negInf, negInf
+			var leftIx, upIy int = negInf, negInf
+			if w > 0 {
+				left = m[w-1] - p.GapOpen
+				leftIx = ix[w-1] - p.GapExtend
+			}
+			if w < width-1 && i > 0 {
+				up = pm[w+1] - p.GapOpen
+				upIy = piy[w+1] - p.GapExtend
+			}
+			ixv := maxInt2(left, leftIx)
+			iyv := maxInt2(up, upIy)
+			m[w], ix[w], iy[w] = mm, ixv, iyv
+			if mm > bestScore {
+				bestScore = mm
+				bi, bj = i+1, j+1
+			}
+		}
+		copy(pm, m)
+		copy(pix, ix)
+		copy(piy, iy)
+	}
+	return bestScore, bi, bj
+}
+
+func maxInt2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt3(a, b, c int) int { return maxInt2(maxInt2(a, b), c) }

@@ -1,0 +1,93 @@
+package imagecmp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Result carries every similarity measure for one image pair.
+type Result struct {
+	// MSE is the mean squared error (0 = identical).
+	MSE float64
+	// PSNR is the peak signal-to-noise ratio in dB (+Inf for identical).
+	PSNR float64
+	// NCC is the normalized cross-correlation in [-1, 1].
+	NCC float64
+	// SSIM is the global structural-similarity index in [-1, 1].
+	SSIM float64
+	// HistIntersection is the normalised histogram intersection in [0, 1].
+	HistIntersection float64
+}
+
+// String renders the result as the one-line summary a FRIEDA task reports.
+func (r Result) String() string {
+	return fmt.Sprintf("mse=%.3f psnr=%.2f ncc=%.4f ssim=%.4f hist=%.4f",
+		r.MSE, r.PSNR, r.NCC, r.SSIM, r.HistIntersection)
+}
+
+// Compare computes all measures for two images of identical dimensions.
+func Compare(a, b *Image) (Result, error) {
+	if a.Width != b.Width || a.Height != b.Height {
+		return Result{}, fmt.Errorf("imagecmp: dimension mismatch %dx%d vs %dx%d",
+			a.Width, a.Height, b.Width, b.Height)
+	}
+	n := float64(len(a.Pix))
+	if n == 0 {
+		return Result{}, fmt.Errorf("imagecmp: empty images")
+	}
+
+	// Single pass for sums; everything below derives from these moments.
+	var sumA, sumB, sumAA, sumBB, sumAB, sumSq float64
+	var histA, histB [256]int
+	for i := range a.Pix {
+		pa, pb := float64(a.Pix[i]), float64(b.Pix[i])
+		sumA += pa
+		sumB += pb
+		sumAA += pa * pa
+		sumBB += pb * pb
+		sumAB += pa * pb
+		d := pa - pb
+		sumSq += d * d
+		histA[a.Pix[i]]++
+		histB[b.Pix[i]]++
+	}
+	meanA, meanB := sumA/n, sumB/n
+	varA := sumAA/n - meanA*meanA
+	varB := sumBB/n - meanB*meanB
+	cov := sumAB/n - meanA*meanB
+
+	res := Result{MSE: sumSq / n}
+
+	if res.MSE == 0 {
+		res.PSNR = math.Inf(1)
+	} else {
+		res.PSNR = 10 * math.Log10(255*255/res.MSE)
+	}
+
+	if varA > 0 && varB > 0 {
+		res.NCC = cov / math.Sqrt(varA*varB)
+	} else if varA == varB {
+		res.NCC = 1 // two flat images
+	}
+
+	// Global SSIM with the standard stabilisation constants.
+	const (
+		c1 = (0.01 * 255) * (0.01 * 255)
+		c2 = (0.03 * 255) * (0.03 * 255)
+	)
+	res.SSIM = ((2*meanA*meanB + c1) * (2*cov + c2)) /
+		((meanA*meanA + meanB*meanB + c1) * (varA + varB + c2))
+
+	inter := 0
+	for i := 0; i < 256; i++ {
+		inter += min(histA[i], histB[i])
+	}
+	res.HistIntersection = float64(inter) / n
+	return res, nil
+}
+
+// Similar applies the decision rule the beamline pipeline uses: images are
+// "similar" when correlation and structure both clear a threshold.
+func Similar(r Result, threshold float64) bool {
+	return r.NCC >= threshold && r.SSIM >= threshold
+}

@@ -1,0 +1,95 @@
+package imagecmp
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultSSIMWindow is the classic local-statistics window size.
+const DefaultSSIMWindow = 8
+
+// CompareWindowed computes the mean structural-similarity index (MSSIM)
+// over non-overlapping window×window tiles — the standard form of SSIM.
+// The global variant in Compare collapses the whole image to one set of
+// moments and is blind to spatially localised distortion; MSSIM scores
+// each region and averages, which is what the beamline pipeline needs to
+// notice a single moved diffraction spot. window 0 selects
+// DefaultSSIMWindow; edge tiles smaller than half a window merge into
+// their neighbours.
+func CompareWindowed(a, b *Image, window int) (float64, error) {
+	if a.Width != b.Width || a.Height != b.Height {
+		return 0, fmt.Errorf("imagecmp: dimension mismatch %dx%d vs %dx%d",
+			a.Width, a.Height, b.Width, b.Height)
+	}
+	if window == 0 {
+		window = DefaultSSIMWindow
+	}
+	if window < 2 {
+		return 0, fmt.Errorf("imagecmp: SSIM window %d < 2", window)
+	}
+	if a.Width < window || a.Height < window {
+		return 0, fmt.Errorf("imagecmp: image %dx%d smaller than window %d",
+			a.Width, a.Height, window)
+	}
+	const (
+		c1 = (0.01 * 255) * (0.01 * 255)
+		c2 = (0.03 * 255) * (0.03 * 255)
+	)
+	var sum float64
+	tiles := 0
+	for y0 := 0; y0 < a.Height; y0 += window {
+		y1 := y0 + window
+		if a.Height-y1 < window/2 {
+			y1 = a.Height // absorb the short edge strip
+		}
+		for x0 := 0; x0 < a.Width; x0 += window {
+			x1 := x0 + window
+			if a.Width-x1 < window/2 {
+				x1 = a.Width
+			}
+			sum += tileSSIM(a, b, x0, y0, x1, y1, c1, c2)
+			tiles++
+			if x1 == a.Width {
+				break
+			}
+		}
+		if y1 == a.Height {
+			break
+		}
+	}
+	return sum / float64(tiles), nil
+}
+
+// tileSSIM computes SSIM over one rectangle.
+func tileSSIM(a, b *Image, x0, y0, x1, y1 int, c1, c2 float64) float64 {
+	n := float64((x1 - x0) * (y1 - y0))
+	var sumA, sumB, sumAA, sumBB, sumAB float64
+	for y := y0; y < y1; y++ {
+		rowA := a.Pix[y*a.Width+x0 : y*a.Width+x1]
+		rowB := b.Pix[y*b.Width+x0 : y*b.Width+x1]
+		for i := range rowA {
+			pa, pb := float64(rowA[i]), float64(rowB[i])
+			sumA += pa
+			sumB += pb
+			sumAA += pa * pa
+			sumBB += pb * pb
+			sumAB += pa * pb
+		}
+	}
+	meanA, meanB := sumA/n, sumB/n
+	varA := sumAA/n - meanA*meanA
+	varB := sumBB/n - meanB*meanB
+	cov := sumAB/n - meanA*meanB
+	return ((2*meanA*meanB + c1) * (2*cov + c2)) /
+		((meanA*meanA + meanB*meanB + c1) * (varA + varB + c2))
+}
+
+// SimilarWindowed applies the pipeline decision rule using MSSIM, which is
+// stricter about local structure than the global measures.
+func SimilarWindowed(a, b *Image, threshold float64) (bool, error) {
+	mssim, err := CompareWindowed(a, b, 0)
+	if err != nil {
+		return false, err
+	}
+	return !math.IsNaN(mssim) && mssim >= threshold, nil
+}

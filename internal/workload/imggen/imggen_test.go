@@ -1,0 +1,67 @@
+package imggen
+
+import (
+	"bytes"
+	"testing"
+
+	"frieda/internal/workload/imagecmp"
+)
+
+func TestSeriesDeterministic(t *testing.T) {
+	p := Params{Width: 64, Height: 64, Seed: 7}
+	a := Series(p, 3)
+	b := Series(p, 3)
+	for i := range a {
+		if !bytes.Equal(a[i].Pix, b[i].Pix) {
+			t.Fatalf("frame %d differs between identical-seed runs", i)
+		}
+	}
+	c := Series(Params{Width: 64, Height: 64, Seed: 8}, 1)
+	if bytes.Equal(a[0].Pix, c[0].Pix) {
+		t.Fatal("different seeds produced identical frames")
+	}
+}
+
+func TestSeriesDimensionsAndContent(t *testing.T) {
+	frames := Series(Params{Width: 128, Height: 96, Seed: 1, Spots: 10}, 2)
+	if len(frames) != 2 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	for _, f := range frames {
+		if f.Width != 128 || f.Height != 96 {
+			t.Fatalf("dims %dx%d", f.Width, f.Height)
+		}
+		// Spots must create bright pixels well above the background.
+		maxPix := uint8(0)
+		for _, v := range f.Pix {
+			if v > maxPix {
+				maxPix = v
+			}
+		}
+		if maxPix < 100 {
+			t.Fatalf("no bright spots rendered (max %d)", maxPix)
+		}
+	}
+}
+
+func TestConsecutiveFramesMoreSimilarThanDistant(t *testing.T) {
+	frames := Series(Params{Width: 128, Height: 128, Seed: 3, Drift: 4}, 12)
+	near, err := imagecmp.Compare(frames[0], frames[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := imagecmp.Compare(frames[0], frames[11])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near.NCC <= far.NCC {
+		t.Fatalf("drift model broken: near NCC %.4f <= far NCC %.4f", near.NCC, far.NCC)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	frames := Series(Params{Seed: 1}, 1)
+	if frames[0].Width != 1024 || frames[0].Height != 1024 {
+		t.Fatalf("default dims %dx%d", frames[0].Width, frames[0].Height)
+	}
+}

@@ -1,0 +1,156 @@
+package seqgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"frieda/internal/workload/blast"
+)
+
+func TestRandomResidueDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := map[byte]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[RandomResidue(rng)]++
+	}
+	// Leucine (L) is the most common residue (~9%); tryptophan (W) the
+	// rarest (~1.3%). Check the gross shape.
+	if counts['L'] < counts['W'] {
+		t.Fatalf("L (%d) should outnumber W (%d)", counts['L'], counts['W'])
+	}
+	lFrac := float64(counts['L']) / n
+	if lFrac < 0.07 || lFrac > 0.11 {
+		t.Fatalf("L frequency = %.4f, want ~0.09", lFrac)
+	}
+	for r := range counts {
+		if blast.IndexOf(r) < 0 {
+			t.Fatalf("generated non-residue %q", r)
+		}
+	}
+}
+
+func TestGenerateLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seqs := Generate(rng, 50, 100, 200)
+	if len(seqs) != 50 {
+		t.Fatalf("generated %d", len(seqs))
+	}
+	for _, s := range seqs {
+		if s.Len() < 100 || s.Len() > 200 {
+			t.Fatalf("length %d outside [100,200]", s.Len())
+		}
+		if s.ID == "" {
+			t.Fatal("missing ID")
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for inverted range")
+		}
+	}()
+	Generate(rand.New(rand.NewSource(1)), 1, 10, 5)
+}
+
+func TestMutateRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seq := Random(rng, 2000)
+	light := Mutate(rng, seq, 0.05)
+	heavy := Mutate(rng, seq, 0.5)
+	diff := func(a, b []byte) int {
+		n := min(len(a), len(b))
+		d := abs(len(a) - len(b))
+		for i := 0; i < n; i++ {
+			if a[i] != b[i] {
+				d++
+			}
+		}
+		return d
+	}
+	if diff(seq, light) >= diff(seq, heavy) {
+		t.Fatalf("mutation rate not monotone: light %d heavy %d", diff(seq, light), diff(seq, heavy))
+	}
+	if len(Mutate(rng, []byte("M"), 0.99)) == 0 {
+		t.Fatal("Mutate produced empty sequence")
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestWorkloadReproducible(t *testing.T) {
+	p := WorkloadParams{Seed: 11, Queries: 20, DBSequences: 40}
+	a := NewWorkload(p)
+	b := NewWorkload(p)
+	for i := range a.Queries {
+		if string(a.Queries[i].Residues) != string(b.Queries[i].Residues) {
+			t.Fatal("workload not reproducible")
+		}
+	}
+	if len(a.Queries) != 20 || len(a.Database) != 40 {
+		t.Fatalf("sizes %d/%d", len(a.Queries), len(a.Database))
+	}
+}
+
+func TestWorkloadPlantsHomologs(t *testing.T) {
+	w := NewWorkload(WorkloadParams{Seed: 5, Queries: 30, DBSequences: 60, HomologFraction: 0.9})
+	planted := 0
+	for _, s := range w.Database {
+		if strings.HasPrefix(s.Description, "homolog-of") {
+			planted++
+		}
+	}
+	if planted < 10 {
+		t.Fatalf("only %d homologs planted", planted)
+	}
+	// Planted homologs must actually be findable by the aligner.
+	db, err := blast.BuildDB(w.Database, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, q := range w.Queries[:10] {
+		hits, err := blast.Search(db, q, blast.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range hits {
+			if strings.HasSuffix(w.Database[h.SubjectIndex].Description, q.ID) {
+				found++
+				break
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no planted homolog found by search")
+	}
+}
+
+// Property: generated sequences contain only valid residues, and mutation
+// preserves validity.
+func TestValidResiduesProperty(t *testing.T) {
+	prop := func(seed int64, rateRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rate := float64(rateRaw%100) / 100
+		seq := Random(rng, 200)
+		mut := Mutate(rng, seq, rate)
+		for _, r := range append(seq, mut...) {
+			if blast.IndexOf(r) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
