@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt reproduce ablations examples clean
+.PHONY: all build test race bench bench-netsim vet fmt reproduce ablations examples clean
 
 all: build test
 
@@ -24,6 +24,12 @@ fmt:
 # One testing.B benchmark per paper table/figure series plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The allocator perf trajectory: compare against BENCH_netsim.json before
+# merging allocator or engine changes, and update the file with the new
+# numbers.
+bench-netsim:
+	$(GO) test -bench='BenchmarkNetsimChurn' -benchmem ./internal/netsim/
 
 # Regenerate the paper's evaluation (Table I, Fig 6a/6b, Fig 7a/7b).
 reproduce:

@@ -8,6 +8,7 @@
 //	friedabench -exp fig6a -gantt   # plus a worker timeline
 //	friedabench -exp ablations      # prefetch / bandwidth / variance /
 //	                                # failures / elasticity sweeps
+//	friedabench -exp scale          # BLAST at 256/1024/4096 workers
 //
 // -scale shrinks the workloads for quick runs (1.0 = paper size; the full
 // sweep takes well under a second of real time — virtual time does the
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	fs := flag.NewFlagSet("friedabench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment: table1 | fig6a | fig6b | fig7a | fig7b | ablations | all")
+	exp := fs.String("exp", "all", "experiment: table1 | fig6a | fig6b | fig7a | fig7b | ablations | scale | all")
 	scale := fs.Float64("scale", 1.0, "workload scale (1.0 = paper size)")
 	gantt := fs.Bool("gantt", false, "print a worker timeline for figure experiments")
 	fs.Parse(os.Args[1:])
@@ -141,6 +142,15 @@ func runExperiment(name string, scale float64, gantt bool) error {
 			return err
 		}
 		fmt.Print(experiments.RenderSweep("Ablation: GridFTP-style striping on a contended fabric", "stripes", rows))
+		fmt.Println()
+	case "scale":
+		rows, err := experiments.ScaleSweep(experiments.DefaultScaleWorkers, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSweep(
+			"Large-scale sweep: BLAST real-time beyond the paper's 4 VMs (wall_ms = real time to simulate)",
+			"workers", rows))
 		fmt.Println()
 	case "ablation-storage":
 		rows, err := experiments.AblationStorage(scale)

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"time"
+
+	"frieda/internal/simrun"
+)
+
+// DefaultScaleWorkers is the cluster-size sweep the README quotes: the
+// paper's evaluation stops at 4 VMs; these sizes exercise the regime the
+// incremental component-scoped allocator exists for, where the master's
+// uplink carries thousands of concurrent staging and dispatch flows.
+var DefaultScaleWorkers = []int{256, 1024, 4096}
+
+// ScaleSweep runs the BLAST workload under the real-time strategy at each
+// cluster size, reporting virtual makespan, bytes moved, total simulator
+// events, and the real (wall-clock) milliseconds the simulation took — the
+// last column is the allocator's own benchmark at production scale.
+func ScaleSweep(workerCounts []int, scale float64) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, workers := range workerCounts {
+		wl := BLASTWorkload(scale, 1)
+		start := time.Now()
+		tb := NewTestbed(workers, 1)
+		cfg := realTime()
+		cfg.ModelDiskIO = true
+		r, err := simrun.NewRunner(tb.Cluster, tb.Source, cfg, wl)
+		if err != nil {
+			return nil, err
+		}
+		for _, vm := range tb.Workers {
+			r.AddWorker(vm)
+		}
+		res, err := r.Run()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{
+			Param: float64(workers),
+			Series: map[string]float64{
+				"makespan_sec":   res.MakespanSec,
+				"bytes_moved_gb": res.BytesMoved / 1e9,
+				"sim_events":     float64(tb.Engine.Fired()),
+				"wall_ms":        float64(time.Since(start).Milliseconds()),
+			},
+		})
+	}
+	return rows, nil
+}

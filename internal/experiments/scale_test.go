@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"frieda/internal/simrun"
+	"frieda/internal/strategy"
+)
+
+// The sweep must run at cluster sizes beyond the paper's 4 VMs and keep the
+// workload conserved: every byte staged, every task terminal.
+func TestScaleSweepSmall(t *testing.T) {
+	rows, err := ScaleSweep([]int{8, 32}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Series["makespan_sec"] <= 0 {
+			t.Fatalf("workers=%v: non-positive makespan %v", r.Param, r.Series["makespan_sec"])
+		}
+		if r.Series["bytes_moved_gb"] <= 0 {
+			t.Fatalf("workers=%v: no bytes moved", r.Param)
+		}
+	}
+	// More workers stage more DB copies, so bytes strictly grow.
+	if rows[1].Series["bytes_moved_gb"] <= rows[0].Series["bytes_moved_gb"] {
+		t.Fatalf("bytes did not grow with workers: %v vs %v",
+			rows[0].Series["bytes_moved_gb"], rows[1].Series["bytes_moved_gb"])
+	}
+}
+
+// Determinism guard: the same seed and configuration must produce an
+// identical Result — completions, per-worker counts, phase accounting, all
+// of it — across repeated runs on the incremental allocator.
+func TestRunDeterminism(t *testing.T) {
+	run := func() simrun.Result {
+		res, err := RunStrategy(simrun.Config{Strategy: strategy.RealTimeRemote},
+			BLASTWorkload(0.02, 1), 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed runs diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}

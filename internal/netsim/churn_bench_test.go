@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"frieda/internal/sim"
+)
+
+// churnTopology describes the benchmark cluster: nSources racks each fan out
+// to workersPerSource receivers, so the network holds nSources independent
+// contention domains (connected components). Real clusters are multi-source
+// — every worker that finished staging turns around and serves peers — so
+// allocator work must stay proportional to the touched component, not the
+// whole network.
+const (
+	churnSources          = 32
+	churnWorkersPerSource = 8
+	// churnEpochFlows bounds per-component concurrency: starts are staggered
+	// in epochs of this many flows, so completions and arrivals interleave
+	// for the whole run regardless of total flow count.
+	churnEpochFlows = 32
+)
+
+// runChurn drives nFlows transfers through the benchmark topology until the
+// network drains, returning the engine for inspection.
+func runChurn(nFlows int, seed int64) *sim.Engine {
+	rng := rand.New(rand.NewSource(seed))
+	eng := sim.NewEngine()
+	net := New(eng)
+	srcs := make([]*Host, churnSources)
+	dsts := make([][]*Host, churnSources)
+	for s := range srcs {
+		srcs[s] = net.NewHost(hostName("src", s), Mbps(1000), Mbps(1000))
+		dsts[s] = make([]*Host, churnWorkersPerSource)
+		for w := range dsts[s] {
+			dsts[s][w] = net.NewHost(hostName("src", s)+"/"+hostName("w", w), Mbps(500), Mbps(500))
+		}
+	}
+	perSource := nFlows / churnSources
+	if perSource == 0 {
+		perSource = 1
+	}
+	// Epoch length ~ time for churnEpochFlows 10 MB flows to clear a
+	// 1000 Mbps uplink, so arrivals keep pace with completions.
+	epochSec := float64(churnEpochFlows) * 10e6 * 8 / Mbps(1000)
+	for s := 0; s < churnSources; s++ {
+		for i := 0; i < perSource; i++ {
+			bytes := float64(rng.Intn(19e6) + 1e6)
+			dst := dsts[s][rng.Intn(churnWorkersPerSource)]
+			start := sim.Duration(float64(i/churnEpochFlows)*epochSec + rng.Float64()*epochSec)
+			src := srcs[s]
+			eng.Schedule(start, func() {
+				net.Transfer(src, dst, nil, bytes, nil)
+			})
+		}
+	}
+	eng.Run()
+	return eng
+}
+
+// hostName avoids fmt in the hot benchmark setup.
+func hostName(prefix string, i int) string {
+	buf := []byte(prefix)
+	if i >= 10 {
+		buf = append(buf, byte('0'+i/10))
+	}
+	buf = append(buf, byte('0'+i%10))
+	return string(buf)
+}
+
+func benchmarkChurn(b *testing.B, nFlows int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runChurn(nFlows, 42)
+	}
+}
+
+func BenchmarkNetsimChurn64(b *testing.B)   { benchmarkChurn(b, 64) }
+func BenchmarkNetsimChurn1024(b *testing.B) { benchmarkChurn(b, 1024) }
+func BenchmarkNetsimChurn4096(b *testing.B) { benchmarkChurn(b, 4096) }

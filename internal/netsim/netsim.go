@@ -10,9 +10,19 @@
 // master's 100 Mbps uplink being shared by 16 concurrent worker transfers,
 // and transfer/computation overlap under the real-time strategy — without
 // the cost of packet-level simulation.
+//
+// Allocation is incremental and component-scoped: a flow start, finish,
+// cancel, or capacity change settles and re-solves only the connected
+// component of links and flows reachable from the affected links, leaving
+// every other component's rates and completion events untouched. One solve
+// runs progressive filling over an indexed min-heap of link fair shares in
+// O((F+L)·log L) for a component of F flows and L links, and completions
+// are rescheduled only for flows whose rate actually changed. The retained
+// reference solver in oracle.go cross-checks rate vectors in tests.
 package netsim
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -37,6 +47,14 @@ type Link struct {
 	capacity float64 // bits per second
 	latency  sim.Duration
 	flows    map[*Flow]struct{}
+
+	// Allocator scratch, valid only inside one reallocation. mark is the
+	// component-BFS generation; the rest is progressive-filling state.
+	mark     uint64
+	residual float64 // unallocated capacity this solve
+	unfrozen int     // flows on this link not yet frozen at a fair share
+	share    float64 // residual/unfrozen; +Inf once all flows are frozen
+	hidx     int     // index in the solver's link heap
 }
 
 // Name returns the link's diagnostic name.
@@ -60,6 +78,15 @@ func (l *Link) SetLatency(d sim.Duration) {
 // ActiveFlows returns the number of flows currently traversing the link.
 func (l *Link) ActiveFlows() int { return len(l.flows) }
 
+// updateShare refreshes the link's fair-share heap key.
+func (l *Link) updateShare() {
+	if l.unfrozen == 0 {
+		l.share = math.Inf(1)
+	} else {
+		l.share = l.residual / float64(l.unfrozen)
+	}
+}
+
 // Flow is an in-flight transfer across a path of links.
 type Flow struct {
 	id         uint64
@@ -75,14 +102,25 @@ type Flow struct {
 	finished   bool
 	cancelled  bool
 	pending    bool // latency delay not yet elapsed; not joined to links
+
+	// Allocator scratch: component-BFS generation and the solver's staged
+	// rate/freeze state for the in-progress solve.
+	mark     uint64
+	nextRate float64
+	frozen   bool
 }
 
 // Bytes returns the flow's total size in bytes.
 func (f *Flow) Bytes() float64 { return f.bytes }
 
-// Remaining returns the unsent byte count as of the last allocation change.
-// Call Network.Settle first for an up-to-the-instant value.
-func (f *Flow) Remaining() float64 { return f.remaining }
+// Remaining returns the unsent byte count, settled to the current virtual
+// instant — no prior Network.Settle call is needed.
+func (f *Flow) Remaining() float64 {
+	if f.net != nil && !f.finished && !f.pending {
+		f.settleTo(f.net.eng.Now())
+	}
+	return f.remaining
+}
 
 // Rate returns the flow's current max-min fair rate in bits per second.
 func (f *Flow) Rate() float64 { return f.rate }
@@ -93,12 +131,31 @@ func (f *Flow) Started() sim.Time { return f.started }
 // Finished reports whether the flow has completed.
 func (f *Flow) Finished() bool { return f.finished }
 
+// settleTo advances the flow's remaining-byte accounting to now.
+func (f *Flow) settleTo(now sim.Time) {
+	dt := float64(now - f.lastUpdate)
+	if dt > 0 && f.rate > 0 {
+		f.remaining -= f.rate / 8 * dt
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+	f.lastUpdate = now
+}
+
 // Network is a set of links plus the active flows over them.
 type Network struct {
 	eng    *Engine
 	links  map[string]*Link
 	flows  map[*Flow]struct{}
 	nextID uint64
+
+	// mark is the component-BFS generation counter; compLinks/compFlows and
+	// lheap are reusable scratch for the current reallocation.
+	mark      uint64
+	compLinks []*Link
+	compFlows []*Flow
+	lheap     linkHeap
 
 	// BytesMoved accumulates total completed-flow volume, for reports.
 	BytesMoved float64
@@ -138,15 +195,17 @@ func (n *Network) NewLink(name string, bitsPerSec float64) *Link {
 func (n *Network) Link(name string) *Link { return n.links[name] }
 
 // SetCapacity changes a link's capacity at the current virtual time and
-// reallocates all flows (models provisioned-bandwidth changes or congestion
-// from co-tenants).
+// reallocates the link's connected component (models provisioned-bandwidth
+// changes or congestion from co-tenants).
 func (n *Network) SetCapacity(l *Link, bitsPerSec float64) {
 	if bitsPerSec <= 0 {
 		panic("netsim: non-positive capacity")
 	}
-	n.settleAll()
+	n.component(l)
+	n.settleComponent()
 	l.capacity = bitsPerSec
-	n.reallocate()
+	n.solveComponent()
+	n.applyRates()
 }
 
 // StartFlow begins a transfer of the given byte count across path. The
@@ -188,12 +247,15 @@ func (n *Network) StartFlow(bytes float64, path []*Link, onComplete func(sim.Tim
 			return
 		}
 		f.lastUpdate = n.eng.Now()
-		n.settleAll()
+		n.component(path...)
+		n.settleComponent()
 		n.flows[f] = struct{}{}
 		for _, l := range path {
 			l.flows[f] = struct{}{}
 		}
-		n.reallocate()
+		n.compFlows = append(n.compFlows, f)
+		n.solveComponent()
+		n.applyRates()
 	}
 	if latency > 0 {
 		f.pending = true
@@ -218,35 +280,69 @@ func (n *Network) Cancel(f *Flow) {
 	if f.pending {
 		return // still in its latency delay; it will never join the links
 	}
-	n.settleAll()
+	n.component(f.path...)
+	n.settleComponent()
 	n.removeFlow(f)
-	n.reallocate()
+	n.solveComponent()
+	n.applyRates()
 }
 
 // ActiveFlows returns the number of in-flight flows.
 func (n *Network) ActiveFlows() int { return len(n.flows) }
 
 // Settle brings every flow's Remaining up to the current instant without
-// changing allocations. Useful before inspecting progress.
-func (n *Network) Settle() { n.settleAll() }
-
-// settleAll advances each active flow's remaining-byte accounting to now.
-func (n *Network) settleAll() {
+// changing allocations. Useful before inspecting progress; Flow.Remaining
+// settles itself, so this is only needed for bulk inspection.
+func (n *Network) Settle() {
 	now := n.eng.Now()
 	for f := range n.flows {
-		dt := float64(now - f.lastUpdate)
-		if dt > 0 && f.rate > 0 {
-			f.remaining -= f.rate / 8 * dt
-			if f.remaining < 0 {
-				f.remaining = 0
-			}
-		}
-		f.lastUpdate = now
+		f.settleTo(now)
 	}
 }
 
-// removeFlow detaches a flow from its links and the active set and cancels
-// its completion event.
+// component collects the connected component of links and flows reachable
+// from the seed links (BFS alternating links → their flows → those flows'
+// links) into compLinks/compFlows. Everything outside the component is
+// untouched by the ensuing settle and solve.
+func (n *Network) component(seeds ...*Link) {
+	n.mark++
+	m := n.mark
+	links := n.compLinks[:0]
+	flows := n.compFlows[:0]
+	for _, l := range seeds {
+		if l.mark != m {
+			l.mark = m
+			links = append(links, l)
+		}
+	}
+	for i := 0; i < len(links); i++ {
+		for f := range links[i].flows {
+			if f.mark == m {
+				continue
+			}
+			f.mark = m
+			flows = append(flows, f)
+			for _, l := range f.path {
+				if l.mark != m {
+					l.mark = m
+					links = append(links, l)
+				}
+			}
+		}
+	}
+	n.compLinks, n.compFlows = links, flows
+}
+
+// settleComponent advances every component flow's byte accounting to now.
+func (n *Network) settleComponent() {
+	now := n.eng.Now()
+	for _, f := range n.compFlows {
+		f.settleTo(now)
+	}
+}
+
+// removeFlow detaches a flow from its links, the active set, and the
+// current component scratch, and cancels its completion event.
 func (n *Network) removeFlow(f *Flow) {
 	delete(n.flows, f)
 	for _, l := range f.path {
@@ -256,25 +352,118 @@ func (n *Network) removeFlow(f *Flow) {
 		f.done.Cancel()
 		f.done = nil
 	}
+	flows := n.compFlows
+	for i, cf := range flows {
+		if cf == f {
+			flows[i] = flows[len(flows)-1]
+			n.compFlows = flows[:len(flows)-1]
+			break
+		}
+	}
 }
 
-// reallocate recomputes max-min fair rates for all active flows and
-// reschedules their completion events. Must be called with all flows
-// settled to the current instant.
-func (n *Network) reallocate() {
-	if len(n.flows) == 0 {
+// linkHeap is an indexed min-heap of links keyed by (fair share, name), so
+// the top is always the current bottleneck and ties resolve by name —
+// exactly the reference solver's scan order.
+type linkHeap []*Link
+
+func (h linkHeap) Len() int { return len(h) }
+func (h linkHeap) Less(i, j int) bool {
+	if h[i].share != h[j].share {
+		return h[i].share < h[j].share
+	}
+	return h[i].name < h[j].name
+}
+func (h linkHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].hidx = i
+	h[j].hidx = j
+}
+func (h *linkHeap) Push(x any) {
+	l := x.(*Link)
+	l.hidx = len(*h)
+	*h = append(*h, l)
+}
+func (h *linkHeap) Pop() any {
+	old := *h
+	n := len(old)
+	l := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return l
+}
+
+// solveComponent runs progressive filling over the current component,
+// staging each flow's new rate in nextRate: repeatedly freeze the bottleneck
+// link's flows at its fair share (heap top), charging the share against
+// every link on each frozen flow's path. Fair shares only rise as filling
+// proceeds, so eager heap fixes keep the top exact. O((F+L)·log L).
+func (n *Network) solveComponent() {
+	flows := n.compFlows
+	if len(flows) == 0 {
 		return
 	}
-	rates := maxMinFair(n.flows)
-	// Schedule completions in flow-id order so same-time completions are
-	// deterministic across runs.
-	ordered := make([]*Flow, 0, len(rates))
-	for f := range rates {
-		ordered = append(ordered, f)
+	h := n.lheap[:0]
+	for _, l := range n.compLinks {
+		l.residual = l.capacity
+		l.unfrozen = len(l.flows)
+		l.updateShare()
+		l.hidx = len(h)
+		h = append(h, l)
 	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].id < ordered[j].id })
-	for _, f := range ordered {
-		r := rates[f]
+	heap.Init(&h)
+	for _, f := range flows {
+		f.frozen = false
+	}
+	remaining := len(flows)
+	for remaining > 0 {
+		top := h[0]
+		if top.unfrozen == 0 {
+			// Every link is fully frozen yet flows remain — cannot occur
+			// with positive capacities; starve the leftovers defensively.
+			for _, f := range flows {
+				if !f.frozen {
+					f.frozen = true
+					f.nextRate = 0
+					remaining--
+				}
+			}
+			break
+		}
+		best := top.share
+		for f := range top.flows {
+			if f.frozen {
+				continue
+			}
+			f.frozen = true
+			f.nextRate = best
+			remaining--
+			for _, l := range f.path {
+				l.residual -= best
+				if l.residual < 0 {
+					l.residual = 0
+				}
+				l.unfrozen--
+				l.updateShare()
+				heap.Fix(&h, l.hidx)
+			}
+		}
+	}
+	n.lheap = h
+}
+
+// applyRates commits the staged rates, rescheduling completions only for
+// flows whose rate actually changed: an untouched flow's event time
+// t₀ + remaining(t₀)·8/rate is still exact. Changed flows are visited in
+// flow-id order so same-time completions stay deterministic across runs.
+func (n *Network) applyRates() {
+	flows := n.compFlows
+	sort.Slice(flows, func(i, j int) bool { return flows[i].id < flows[j].id })
+	for _, f := range flows {
+		r := f.nextRate
+		if r == f.rate && (f.done != nil || r <= 0) {
+			continue // allocation unchanged; the scheduled completion holds
+		}
 		f.rate = r
 		if f.done != nil {
 			f.done.Cancel()
@@ -291,12 +480,15 @@ func (n *Network) reallocate() {
 
 // complete finishes a flow at the current virtual time.
 func (n *Network) complete(f *Flow) {
-	n.settleAll()
+	f.done = nil // the completion event just fired
+	n.component(f.path...)
+	n.settleComponent()
 	if f.remaining > completionEpsilon && f.rate > 0 &&
 		f.remaining*8/f.rate > minRescheduleEta {
 		// A genuine early fire (rates changed underneath the event);
-		// reallocate reschedules the real completion.
-		n.reallocate()
+		// reschedule the real completion from the settled residual.
+		ff := f
+		f.done = n.eng.Schedule(sim.Duration(f.remaining*8/f.rate), func() { n.complete(ff) })
 		return
 	}
 	f.finished = true
@@ -304,86 +496,9 @@ func (n *Network) complete(f *Flow) {
 	n.BytesMoved += f.bytes
 	n.FlowsCompleted++
 	n.removeFlow(f)
-	n.reallocate()
+	n.solveComponent()
+	n.applyRates()
 	if f.onComplete != nil {
 		f.onComplete(n.eng.Now())
 	}
-}
-
-// maxMinFair computes the max-min fair rate for each flow via progressive
-// filling: repeatedly find the most-constrained link (smallest residual
-// capacity per unfrozen flow), freeze its flows at that fair share, and
-// continue until every flow is frozen.
-func maxMinFair(flows map[*Flow]struct{}) map[*Flow]float64 {
-	rates := make(map[*Flow]float64, len(flows))
-	frozen := make(map[*Flow]bool, len(flows))
-
-	// Collect the links in play, deterministically ordered for tie-breaks.
-	linkSet := make(map[*Link]struct{})
-	for f := range flows {
-		for _, l := range f.path {
-			linkSet[l] = struct{}{}
-		}
-	}
-	links := make([]*Link, 0, len(linkSet))
-	for l := range linkSet {
-		links = append(links, l)
-	}
-	sort.Slice(links, func(i, j int) bool { return links[i].name < links[j].name })
-
-	remaining := len(flows)
-	residual := make(map[*Link]float64, len(links))
-	for _, l := range links {
-		residual[l] = l.capacity
-	}
-
-	for remaining > 0 {
-		// Find the bottleneck link: min residual / unfrozen-count.
-		var bottleneck *Link
-		best := math.Inf(1)
-		for _, l := range links {
-			unfrozen := 0
-			for f := range l.flows {
-				if !frozen[f] {
-					unfrozen++
-				}
-			}
-			if unfrozen == 0 {
-				continue
-			}
-			share := residual[l] / float64(unfrozen)
-			if share < best {
-				best = share
-				bottleneck = l
-			}
-		}
-		if bottleneck == nil {
-			// Flows whose links all have zero unfrozen count cannot occur;
-			// any leftover flows get starved rates.
-			for f := range flows {
-				if !frozen[f] {
-					rates[f] = 0
-					remaining--
-				}
-			}
-			break
-		}
-		// Freeze every unfrozen flow through the bottleneck at the share and
-		// charge it against the residual of every link on its path.
-		for f := range bottleneck.flows {
-			if frozen[f] {
-				continue
-			}
-			frozen[f] = true
-			rates[f] = best
-			remaining--
-			for _, l := range f.path {
-				residual[l] -= best
-				if residual[l] < 0 {
-					residual[l] = 0
-				}
-			}
-		}
-	}
-	return rates
 }

@@ -35,6 +35,7 @@ type Event struct {
 	when      Time
 	seq       uint64
 	fn        func()
+	owner     *Engine
 	index     int // heap index; -1 once removed
 	cancelled bool
 }
@@ -45,9 +46,21 @@ func (e *Event) When() Time { return e.when }
 // Cancelled reports whether Cancel was called before the event fired.
 func (e *Event) Cancelled() bool { return e.cancelled }
 
-// Cancel prevents the event from firing. Cancelling an event that already
+// Cancel prevents the event from firing and removes it from the engine's
+// queue immediately, so cancel-heavy workloads (the flow-level network
+// model reschedules completions whenever rates change) keep the heap
+// bounded by the number of live events. Cancelling an event that already
 // fired or was already cancelled is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+func (e *Event) Cancel() {
+	if e.cancelled {
+		return
+	}
+	e.cancelled = true
+	if e.owner != nil && e.index >= 0 {
+		heap.Remove(&e.owner.queue, e.index)
+	}
+	e.fn = nil // release the closure promptly
+}
 
 // eventHeap orders events by (when, seq) so same-time events fire FIFO.
 type eventHeap []*Event
@@ -101,8 +114,8 @@ func (e *Engine) Now() Time { return e.now }
 // tests and as a progress metric for long sweeps.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports how many events are queued (including cancelled events not
-// yet reaped).
+// Pending reports how many live events are queued. Cancelled events leave
+// the queue immediately, so they never count.
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // Schedule queues fn to run after delay. A negative delay panics: virtual
@@ -125,7 +138,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		panic("sim: nil event function")
 	}
 	e.seq++
-	ev := &Event{when: t, seq: e.seq, fn: fn, index: -1}
+	ev := &Event{when: t, seq: e.seq, fn: fn, owner: e, index: -1}
 	heap.Push(&e.queue, ev)
 	return ev
 }
@@ -151,12 +164,14 @@ func (e *Engine) RunUntil(deadline Time) Time {
 			break
 		}
 		heap.Pop(&e.queue)
-		if next.cancelled {
+		if next.cancelled || next.fn == nil {
 			continue
 		}
+		fn := next.fn
+		next.fn = nil // release the closure once delivered
 		e.now = next.when
 		e.fired++
-		next.fn()
+		fn()
 	}
 	if deadline != Infinity && e.now < deadline && len(e.queue) == 0 {
 		e.now = deadline
@@ -169,12 +184,14 @@ func (e *Engine) RunUntil(deadline Time) Time {
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		next := heap.Pop(&e.queue).(*Event)
-		if next.cancelled {
+		if next.cancelled || next.fn == nil {
 			continue
 		}
+		fn := next.fn
+		next.fn = nil
 		e.now = next.when
 		e.fired++
-		next.fn()
+		fn()
 		return true
 	}
 	return false

@@ -421,3 +421,64 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 		eng.Run()
 	}
 }
+
+// Regression: Cancel must remove the event from the heap immediately, so a
+// cancel-heavy workload (the flow network reschedules completions whenever
+// fair-share rates change) keeps the queue bounded by the live event count
+// instead of flooding it with dead entries.
+func TestCancelRemovesFromHeap(t *testing.T) {
+	eng := NewEngine()
+	anchor := eng.Schedule(1e6, func() {})
+	for i := 0; i < 10000; i++ {
+		ev := eng.Schedule(Duration(1000+float64(i)), func() {})
+		ev.Cancel()
+		if p := eng.Pending(); p != 1 {
+			t.Fatalf("Pending = %d after cancel %d, want 1 (dead events linger)", p, i)
+		}
+	}
+	anchor.Cancel()
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending = %d after cancelling everything", eng.Pending())
+	}
+}
+
+// A sustained cancel-and-reschedule churn (the allocator's pattern) must
+// hold the heap at exactly the live event count at every step.
+func TestCancelRescheduleChurnBoundedHeap(t *testing.T) {
+	eng := NewEngine()
+	rng := rand.New(rand.NewSource(7))
+	const live = 50
+	events := make([]*Event, live)
+	for i := range events {
+		events[i] = eng.Schedule(Duration(rng.Float64()*100+1), func() {})
+	}
+	for round := 0; round < 2000; round++ {
+		i := rng.Intn(live)
+		events[i].Cancel()
+		events[i] = eng.Schedule(Duration(rng.Float64()*100+1), func() {})
+		if p := eng.Pending(); p != live {
+			t.Fatalf("round %d: Pending = %d, want %d", round, p, live)
+		}
+	}
+}
+
+// Cancelling from inside a firing event, and double-cancel, stay no-ops.
+func TestCancelEdgeCases(t *testing.T) {
+	eng := NewEngine()
+	var later *Event
+	fired := false
+	eng.Schedule(1, func() {
+		later.Cancel()
+		later.Cancel() // double cancel is a no-op
+	})
+	later = eng.Schedule(2, func() { fired = true })
+	self := eng.Schedule(3, func() {})
+	eng.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	self.Cancel() // cancel after firing is a no-op
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", eng.Pending())
+	}
+}
