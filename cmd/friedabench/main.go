@@ -7,7 +7,8 @@
 //	friedabench -exp table1
 //	friedabench -exp fig6a -gantt   # plus a worker timeline
 //	friedabench -exp ablations      # prefetch / bandwidth / variance /
-//	                                # failures / elasticity sweeps
+//	                                # failures / elasticity / netfail sweeps
+//	friedabench -exp netfail        # link faults: isolate vs retry vs resume
 //	friedabench -exp scale          # BLAST at 256/1024/4096 workers
 //
 // -scale shrinks the workloads for quick runs (1.0 = paper size; the full
@@ -47,7 +48,7 @@ func main() {
 	case "ablations":
 		for _, name := range []string{"ablation-prefetch", "ablation-bandwidth", "ablation-variance",
 			"ablation-failures", "ablation-elastic", "ablation-federated", "ablation-stripes",
-			"ablation-storage"} {
+			"ablation-storage", "ablation-netfail"} {
 			run(name)
 		}
 	default:
@@ -142,6 +143,24 @@ func runExperiment(name string, scale float64, gantt bool) error {
 			return err
 		}
 		fmt.Print(experiments.RenderSweep("Ablation: GridFTP-style striping on a contended fabric", "stripes", rows))
+		fmt.Println()
+	case "ablation-netfail", "netfail":
+		for _, app := range []string{"ALS", "BLAST"} {
+			rows, err := experiments.AblationNetFail(app, scale)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderSweep(
+				fmt.Sprintf("Ablation: link faults — %s (mean outage 25s; isolate=prototype, retry=requeue, resume=+offset+replicas)", app),
+				"mtbf_sec", rows))
+			fmt.Println()
+		}
+		rows, err := experiments.AblationPartition(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSweep(
+			"Ablation: partition duration — BLAST (per-worker link MTBF 8000s)", "mttr_sec", rows))
 		fmt.Println()
 	case "scale":
 		rows, err := experiments.ScaleSweep(experiments.DefaultScaleWorkers, scale)

@@ -171,6 +171,60 @@ func TestReplicas(t *testing.T) {
 	r.Remove("nope", "w9")
 }
 
+func TestReplicasRemoveEdgeCases(t *testing.T) {
+	r := NewReplicas()
+	r.Add("f1", "w0")
+
+	// Unknown file and unknown node: both no-ops, state intact.
+	r.Remove("ghost", "w0")
+	r.Remove("f1", "ghost")
+	if !r.Has("f1", "w0") {
+		t.Fatal("no-op Remove disturbed existing replica")
+	}
+
+	// Removing the last replica must fully forget the file, not leave an
+	// empty holder set behind.
+	r.Remove("f1", "w0")
+	if r.Has("f1", "w0") || len(r.Holders("f1")) != 0 {
+		t.Fatal("last replica not removed")
+	}
+	// The file can be re-added afterwards.
+	r.Add("f1", "w2")
+	if h := r.Holders("f1"); len(h) != 1 || h[0] != "w2" {
+		t.Fatalf("re-add after last-replica removal: Holders = %v", h)
+	}
+}
+
+func TestReplicasDropNodeEdgeCases(t *testing.T) {
+	r := NewReplicas()
+
+	// Dropping an unknown node loses nothing.
+	if lost := r.DropNode("ghost"); len(lost) != 0 {
+		t.Fatalf("DropNode(ghost) lost %v", lost)
+	}
+
+	// A failed node holding the only copy: the file is lost entirely and
+	// reported, while replicated files keep their surviving holders.
+	r.Add("only", "w0")
+	r.Add("shared", "w0")
+	r.Add("shared", "w1")
+	lost := r.DropNode("w0")
+	if len(lost) != 2 || lost[0] != "only" || lost[1] != "shared" {
+		t.Fatalf("DropNode lost = %v", lost)
+	}
+	if len(r.Holders("only")) != 0 {
+		t.Fatal("sole-copy file still has holders")
+	}
+	if h := r.Holders("shared"); len(h) != 1 || h[0] != "w1" {
+		t.Fatalf("shared file holders = %v", h)
+	}
+
+	// Dropping the same node twice is a no-op the second time.
+	if lost := r.DropNode("w0"); len(lost) != 0 {
+		t.Fatalf("second DropNode lost %v", lost)
+	}
+}
+
 // Property: after adding n distinct files, Names has length n, preserves
 // insertion order, and TotalSize is the sum of sizes.
 func TestCatalogInvariantProperty(t *testing.T) {

@@ -327,6 +327,22 @@ func (c *Cluster) Terminate(vm *VM) {
 	}
 }
 
+// InjectLinkFaults arms a seeded link-fault injector over the NIC links of
+// the given VMs: each VM's uplink and downlink form one fault group that
+// fails and recovers together, so an outage is a network partition of that
+// VM — the link-level counterpart of Options.FailureMTBFSec, for fabrics
+// that fail partially far more often than machines crash outright. The
+// caller picks the VMs (experiments typically exclude the master, the
+// paper's acknowledged single point of failure) and stops the injector
+// when the run is over.
+func (c *Cluster) InjectLinkFaults(vms []*VM, opts netsim.FaultOptions) *netsim.LinkFaultInjector {
+	groups := make([][]*netsim.Link, 0, len(vms))
+	for _, vm := range vms {
+		groups = append(groups, []*netsim.Link{vm.host.Up(), vm.host.Down()})
+	}
+	return netsim.NewLinkFaultInjector(c.net, groups, opts)
+}
+
 // AttachBlock provisions and attaches a block-store volume to a VM.
 func (c *Cluster) AttachBlock(vm *VM, spec storage.Spec) (*storage.Volume, error) {
 	v, err := storage.NewVolume(fmt.Sprintf("%s/block%d", vm.name, len(vm.blockVols)), spec)

@@ -191,6 +191,7 @@ func runWithFailures(wl simrun.Workload, mtbfSec float64, mode string) (simrun.R
 	}
 	finished := false
 	var result simrun.Result
+	var provisionErr error
 	if mode == "replace" {
 		// The controller's remediation: each failure triggers a fresh
 		// provision that joins as soon as it is up. Replacement stops once
@@ -200,8 +201,13 @@ func runWithFailures(wl simrun.Workload, mtbfSec float64, mode string) (simrun.R
 			if finished || dead.Host() == vms[0].Host() {
 				return
 			}
-			fresh, err := cluster.Provision(1, cloud.C1XLarge)
-			if err != nil {
+			fresh, perr := cluster.Provision(1, cloud.C1XLarge)
+			if perr != nil {
+				// Surface the failure after the run instead of silently
+				// degrading "replace" into "recover".
+				if provisionErr == nil {
+					provisionErr = fmt.Errorf("experiments: replacement provision: %w", perr)
+				}
 				return
 			}
 			replacement := fresh[0]
@@ -228,6 +234,9 @@ func runWithFailures(wl simrun.Workload, mtbfSec float64, mode string) (simrun.R
 	}
 	if !finished {
 		return simrun.Result{}, fmt.Errorf("experiments: failure sweep deadlocked (%s, mtbf %.0f)", mode, mtbfSec)
+	}
+	if provisionErr != nil {
+		return simrun.Result{}, provisionErr
 	}
 	return result, nil
 }

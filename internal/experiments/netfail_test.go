@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Without faults the three robustness modes are behaviourally identical:
+// the resilience machinery must add zero overhead when nothing fails.
+func TestNetFailNoFaultModesCoincide(t *testing.T) {
+	wl := BLASTWorkload(0.05, 1)
+	row, err := netFailRow(wl, 0, netFailSpec{mtbfSec: 0, mttrSec: 25, flap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range netFailModes {
+		if pct := row.Series[mode+"_done_pct"]; pct != 100 {
+			t.Fatalf("%s done %.2f%% with no faults", mode, pct)
+		}
+	}
+	iso, re, rs := row.Series["isolate_makespan_s"], row.Series["retry_makespan_s"], row.Series["resume_makespan_s"]
+	if iso != re || re != rs {
+		t.Fatalf("fault-free makespans differ: isolate %v retry %v resume %v", iso, re, rs)
+	}
+	if row.Series["resume_retries"] != 0 {
+		t.Fatalf("resume retried %v transfers with no faults", row.Series["resume_retries"])
+	}
+}
+
+// The headline ordering under link faults: resume completes everything and
+// strictly beats the prototype's isolate mode on makespan, and is never
+// slower than retry-from-zero.
+func TestNetFailResumeBeatsIsolate(t *testing.T) {
+	wl := BLASTWorkload(0.05, 1)
+	spec := netFailSpec{mtbfSec: 300, mttrSec: 30, flap: 1}
+	row, err := netFailRow(wl, spec.mtbfSec, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct := row.Series["resume_done_pct"]; pct != 100 {
+		t.Fatalf("resume finished only %.2f%%: %v", pct, row.Series)
+	}
+	if row.Series["resume_done_pct"] < row.Series["isolate_done_pct"] {
+		t.Fatalf("resume completed less than isolate: %v", row.Series)
+	}
+	if row.Series["resume_makespan_s"] >= row.Series["isolate_makespan_s"] {
+		t.Fatalf("resume (%.2fs) not strictly faster than isolate (%.2fs)",
+			row.Series["resume_makespan_s"], row.Series["isolate_makespan_s"])
+	}
+	if row.Series["resume_makespan_s"] > row.Series["retry_makespan_s"] {
+		t.Fatalf("resume (%.2fs) slower than retry-from-zero (%.2fs)",
+			row.Series["resume_makespan_s"], row.Series["retry_makespan_s"])
+	}
+	if row.Series["resume_retries"] == 0 {
+		t.Fatal("fault regime never interrupted a transfer; tighten MTBF so the test exercises resume")
+	}
+}
+
+// Seeded virtual-time runs are bit-identical: the CI determinism guard
+// depends on it, and any drift would poison A/B comparisons.
+func TestNetFailRowDeterministic(t *testing.T) {
+	wl := BLASTWorkload(0.05, 1)
+	spec := netFailSpec{mtbfSec: 300, mttrSec: 30, flap: 1}
+	a, err := netFailRow(wl, spec.mtbfSec, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := netFailRow(wl, spec.mtbfSec, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed netfail rows diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}

@@ -65,58 +65,145 @@ func (r RetrySpec) Allow(attempts int) bool {
 	return r.Policy == Retry && attempts < r.MaxAttempts
 }
 
+// NodeState is a monitored node's liveness level: not the binary dead/alive
+// of the published prototype but the suspect→confirm ladder that makes
+// detection partition-tolerant. A node that misses one heartbeat deadline
+// is only *suspected* — its tasks are not yet requeued, so a short network
+// partition does not trigger duplicate execution; declaration (and the
+// recovery machinery behind it) waits for K consecutive missed deadlines.
+type NodeState int
+
+const (
+	// Alive means heartbeats are arriving within the deadline.
+	Alive NodeState = iota
+	// Suspect means at least one deadline was missed but fewer than K; a
+	// heartbeat clears the suspicion.
+	Suspect
+	// Declared means K consecutive deadlines passed in silence; the node is
+	// considered failed and the on-fail callback has run.
+	Declared
+)
+
+// String names the state.
+func (s NodeState) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Declared:
+		return "declared"
+	default:
+		return fmt.Sprintf("NodeState(%d)", int(s))
+	}
+}
+
+// Transition is one recorded detector state change, the observability
+// surface internal/trace renders.
+type Transition struct {
+	Node string
+	At   sim.Time
+	// State is the state entered: Suspect on the first missed deadline,
+	// Declared on the K-th, Alive when a heartbeat clears a suspicion.
+	State NodeState
+	// Missed is the consecutive missed-deadline count at the transition.
+	Missed int
+}
+
+// watch is the per-node monitoring state.
+type watch struct {
+	timer  *sim.Timer
+	missed int
+}
+
 // Detector is a heartbeat failure detector on virtual time: each node must
-// heartbeat within Timeout or it is declared failed. The controller-master
-// channel of the paper carries exactly this liveness information.
+// heartbeat within Timeout or it accrues a missed deadline; after one miss
+// the node is suspected, after K consecutive misses it is declared failed.
+// The controller-master channel of the paper carries exactly this liveness
+// information; K = 1 (NewDetector) reproduces the prototype's binary
+// behaviour, where the first silence is fatal.
 type Detector struct {
 	eng     *sim.Engine
 	timeout sim.Duration
+	k       int
 
-	nodes    map[string]*sim.Timer
-	onFail   func(node string)
-	declared map[string]bool
+	nodes     map[string]*watch
+	declared  map[string]bool
+	onFail    func(node string)
+	onSuspect func(node string)
+	onRecover func(node string)
+
+	transitions []Transition
 }
 
-// NewDetector builds a detector declaring failure after timeout without a
-// heartbeat. onFail runs at declaration time.
+// NewDetector builds a binary (K = 1) detector declaring failure after one
+// timeout without a heartbeat. onFail runs at declaration time.
 func NewDetector(eng *sim.Engine, timeout sim.Duration, onFail func(node string)) *Detector {
+	return NewDetectorK(eng, timeout, 1, onFail)
+}
+
+// NewDetectorK builds a detector that suspects a node after one missed
+// timeout and declares failure after k consecutive missed timeouts.
+func NewDetectorK(eng *sim.Engine, timeout sim.Duration, k int, onFail func(node string)) *Detector {
 	if timeout <= 0 {
 		panic("fault: non-positive detector timeout")
+	}
+	if k < 1 {
+		panic("fault: detector K below 1")
 	}
 	return &Detector{
 		eng:      eng,
 		timeout:  timeout,
-		nodes:    make(map[string]*sim.Timer),
-		onFail:   onFail,
+		k:        k,
+		nodes:    make(map[string]*watch),
 		declared: make(map[string]bool),
+		onFail:   onFail,
 	}
 }
 
+// OnSuspect registers a callback run when a node enters Suspect.
+func (d *Detector) OnSuspect(fn func(node string)) { d.onSuspect = fn }
+
+// OnRecover registers a callback run when a heartbeat clears a suspicion.
+func (d *Detector) OnRecover(fn func(node string)) { d.onRecover = fn }
+
 // Watch starts monitoring a node; the first deadline is one timeout from
-// now.
+// now. Watching an already-watched node is a no-op. Watching a node that
+// was declared failed clears the declared state and monitors it afresh — a
+// replacement worker reusing the name must not inherit its predecessor's
+// death certificate.
 func (d *Detector) Watch(node string) {
 	if _, ok := d.nodes[node]; ok {
 		return
 	}
-	t := sim.NewTimer(d.eng, func() { d.declare(node) })
-	d.nodes[node] = t
-	t.Reset(d.timeout)
+	delete(d.declared, node)
+	w := &watch{}
+	w.timer = sim.NewTimer(d.eng, func() { d.miss(node, w) })
+	d.nodes[node] = w
+	w.timer.Reset(d.timeout)
 }
 
-// Heartbeat records life from a node, pushing its deadline out. Heartbeats
-// from declared or unknown nodes are ignored.
+// Heartbeat records life from a node, pushing its deadline out and clearing
+// any suspicion. Heartbeats from declared or unknown nodes are ignored.
 func (d *Detector) Heartbeat(node string) {
-	t, ok := d.nodes[node]
+	w, ok := d.nodes[node]
 	if !ok || d.declared[node] {
 		return
 	}
-	t.Reset(d.timeout)
+	if w.missed > 0 {
+		w.missed = 0
+		d.record(node, Alive, 0)
+		if d.onRecover != nil {
+			d.onRecover(node)
+		}
+	}
+	w.timer.Reset(d.timeout)
 }
 
 // Stop stops monitoring (graceful departure; no failure declared).
 func (d *Detector) Stop(node string) {
-	if t, ok := d.nodes[node]; ok {
-		t.Stop()
+	if w, ok := d.nodes[node]; ok {
+		w.timer.Stop()
 		delete(d.nodes, node)
 	}
 }
@@ -124,16 +211,65 @@ func (d *Detector) Stop(node string) {
 // Failed reports whether node was declared failed.
 func (d *Detector) Failed(node string) bool { return d.declared[node] }
 
+// Suspected reports whether node is currently suspected (missed at least
+// one deadline but not yet declared).
+func (d *Detector) Suspected(node string) bool {
+	w, ok := d.nodes[node]
+	return ok && w.missed > 0
+}
+
+// State returns the node's current liveness state (Alive for unknown
+// nodes — an unwatched node has given no cause for suspicion).
+func (d *Detector) State(node string) NodeState {
+	if d.declared[node] {
+		return Declared
+	}
+	if d.Suspected(node) {
+		return Suspect
+	}
+	return Alive
+}
+
+// Transitions returns a copy of every recorded suspect/declare/recover
+// transition, in virtual-time order.
+func (d *Detector) Transitions() []Transition {
+	return append([]Transition(nil), d.transitions...)
+}
+
+// miss handles one expired deadline.
+func (d *Detector) miss(node string, w *watch) {
+	w.missed++
+	if w.missed >= d.k {
+		d.declare(node, w.missed)
+		return
+	}
+	if w.missed == 1 {
+		d.record(node, Suspect, 1)
+		if d.onSuspect != nil {
+			d.onSuspect(node)
+		}
+	}
+	w.timer.Reset(d.timeout)
+}
+
 // declare marks the node failed and fires the callback.
-func (d *Detector) declare(node string) {
+func (d *Detector) declare(node string, missed int) {
 	if d.declared[node] {
 		return
 	}
 	d.declared[node] = true
 	delete(d.nodes, node)
+	d.record(node, Declared, missed)
 	if d.onFail != nil {
 		d.onFail(node)
 	}
+}
+
+// record appends a transition stamped with the current virtual time.
+func (d *Detector) record(node string, s NodeState, missed int) {
+	d.transitions = append(d.transitions, Transition{
+		Node: node, At: d.eng.Now(), State: s, Missed: missed,
+	})
 }
 
 // Event is one recorded failure.

@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"frieda/internal/sim"
@@ -58,6 +60,116 @@ func TestDetectorIgnoresUnknownAndDeclared(t *testing.T) {
 	}
 	// Double-watch is a no-op.
 	d.Watch("w0")
+}
+
+// Regression: a node re-watched after being declared failed must be
+// monitored afresh, not stay declared forever — a replacement worker
+// reusing the name would otherwise never be detected again.
+func TestDetectorRewatchAfterDeclareClearsState(t *testing.T) {
+	eng := sim.NewEngine()
+	var failed []string
+	d := NewDetector(eng, 5, func(n string) { failed = append(failed, n) })
+	d.Watch("w0")
+	eng.RunUntil(10)
+	if len(failed) != 1 || !d.Failed("w0") {
+		t.Fatalf("setup: failed = %v", failed)
+	}
+	// A replacement worker boots with the same name.
+	d.Watch("w0")
+	if d.Failed("w0") {
+		t.Fatal("re-watched node still declared")
+	}
+	// Its heartbeats must count again: beat every 3 s through t=28, then
+	// go silent and get declared anew at 33.
+	var beat func()
+	beat = func() {
+		if eng.Now() < 28 {
+			d.Heartbeat("w0")
+			eng.Schedule(3, beat)
+		}
+	}
+	eng.Schedule(3, beat)
+	eng.RunUntil(28)
+	if len(failed) != 1 {
+		t.Fatalf("heartbeating replacement was declared: %v", failed)
+	}
+	eng.RunUntil(60)
+	if len(failed) != 2 || failed[1] != "w0" {
+		t.Fatalf("silent replacement not re-declared: %v", failed)
+	}
+}
+
+func TestDetectorSuspectConfirmLadder(t *testing.T) {
+	eng := sim.NewEngine()
+	var failed, suspected, recovered []string
+	d := NewDetectorK(eng, 10, 3, func(n string) { failed = append(failed, n) })
+	d.OnSuspect(func(n string) { suspected = append(suspected, n) })
+	d.OnRecover(func(n string) { recovered = append(recovered, n) })
+	d.Watch("w0")
+	// Silence through one deadline (t=10): suspect, not declared.
+	eng.RunUntil(15)
+	if len(suspected) != 1 || len(failed) != 0 {
+		t.Fatalf("after one miss: suspected %v failed %v", suspected, failed)
+	}
+	if !d.Suspected("w0") || d.State("w0") != Suspect {
+		t.Fatal("state not Suspect after one miss")
+	}
+	// A heartbeat while suspect clears the suspicion.
+	d.Heartbeat("w0")
+	if d.Suspected("w0") || len(recovered) != 1 {
+		t.Fatalf("heartbeat did not clear suspicion (recovered %v)", recovered)
+	}
+	if d.State("w0") != Alive {
+		t.Fatal("state not Alive after recovery")
+	}
+	// Full silence after the t=10 heartbeat: misses at 20, 30, 40 ->
+	// declared on the third.
+	eng.RunUntil(100)
+	if len(failed) != 1 || !d.Failed("w0") {
+		t.Fatalf("failed = %v", failed)
+	}
+	if d.State("w0") != Declared {
+		t.Fatal("state not Declared")
+	}
+	// Transition log: suspect, recover, suspect, declared.
+	trs := d.Transitions()
+	var got []string
+	for _, tr := range trs {
+		got = append(got, fmt.Sprintf("%s@%.0f", tr.State, float64(tr.At)))
+	}
+	want := []string{"suspect@10", "alive@10", "suspect@20", "declared@40"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	if trs[3].Missed != 3 {
+		t.Fatalf("declaration Missed = %d, want 3", trs[3].Missed)
+	}
+}
+
+func TestDetectorKOnePreservesBinaryBehaviour(t *testing.T) {
+	eng := sim.NewEngine()
+	var failed []string
+	d := NewDetectorK(eng, 10, 1, func(n string) { failed = append(failed, n) })
+	d.Watch("w0")
+	eng.RunUntil(11)
+	if len(failed) != 1 {
+		t.Fatalf("K=1 did not declare on first miss: %v", failed)
+	}
+	// No intermediate suspect transition is recorded at K=1.
+	for _, tr := range d.Transitions() {
+		if tr.State == Suspect {
+			t.Fatal("K=1 recorded a Suspect transition")
+		}
+	}
+}
+
+func TestDetectorPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for K=0")
+		}
+	}()
+	NewDetectorK(sim.NewEngine(), 1, 0, nil)
 }
 
 func TestDetectorPanicsOnBadTimeout(t *testing.T) {
@@ -119,5 +231,34 @@ func TestLog(t *testing.T) {
 	events[0].Node = "mutated"
 	if l.Events()[0].Node == "mutated" {
 		t.Fatal("Events returned shared slice")
+	}
+}
+
+// Run with -race: concurrent Record/Events/ByNode/Len must be safe — the
+// log is shared between the controller goroutine and worker RPC handlers.
+func TestLogConcurrentAccess(t *testing.T) {
+	l := NewLog()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				switch g % 4 {
+				case 0, 1:
+					l.Record(Event{Node: fmt.Sprintf("w%d", g), Detail: "err"})
+				case 2:
+					_ = l.Events()
+					_ = l.Len()
+				case 3:
+					_ = l.ByNode()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 400 {
+		t.Fatalf("Len = %d, want 400", l.Len())
 	}
 }

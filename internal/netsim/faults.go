@@ -1,0 +1,157 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"frieda/internal/sim"
+)
+
+// FaultOptions configures a LinkFaultInjector — the link-level analogue of
+// cloud.Options.FailureMTBFSec for whole-VM crashes. Up-times and outage
+// durations are exponential draws from a dedicated seeded RNG, so runs with
+// equal seeds inject the identical fault schedule.
+type FaultOptions struct {
+	// Seed drives every draw; equal seeds give identical schedules.
+	Seed int64
+	// MTBFSec is the mean up-time between faults per link group (> 0).
+	MTBFSec float64
+	// MTTRSec is the mean outage duration (> 0).
+	MTTRSec float64
+	// FlapCount, when > 1, turns each outage into a burst of that many
+	// short down/up cycles (a flapping carrier) whose total expected
+	// downtime is still MTTRSec.
+	FlapCount int
+	// DegradeFactor, when in (0, 1), degrades links to this fraction of
+	// capacity instead of failing them outright: flows crawl rather than
+	// die. Zero means full failure.
+	DegradeFactor float64
+}
+
+// Validate checks the options.
+func (o FaultOptions) Validate() error {
+	if o.MTBFSec <= 0 {
+		return fmt.Errorf("netsim: fault MTBF %v not positive", o.MTBFSec)
+	}
+	if o.MTTRSec <= 0 {
+		return fmt.Errorf("netsim: fault MTTR %v not positive", o.MTTRSec)
+	}
+	if o.FlapCount < 0 {
+		return fmt.Errorf("netsim: negative flap count %d", o.FlapCount)
+	}
+	if o.DegradeFactor != 0 && (o.DegradeFactor < 0 || o.DegradeFactor >= 1) {
+		return fmt.Errorf("netsim: degrade factor %v outside (0,1)", o.DegradeFactor)
+	}
+	return nil
+}
+
+// LinkFaultInjector injects seeded link faults on virtual time. Links are
+// organised into groups that fail and recover together — a VM's uplink and
+// downlink form one group, so a group fault is a network partition of that
+// VM rather than a half-open link.
+type LinkFaultInjector struct {
+	net    *Network
+	eng    *sim.Engine
+	rng    *rand.Rand
+	opts   FaultOptions
+	groups [][]*Link
+	next   []*sim.Event // pending fault/restore event per group
+
+	faults   int
+	restores int
+	stopped  bool
+}
+
+// NewLinkFaultInjector arms one fault schedule per link group on the
+// network's engine. It panics on invalid options (fault plans are built
+// once at experiment setup, like NewLink).
+func NewLinkFaultInjector(net *Network, groups [][]*Link, opts FaultOptions) *LinkFaultInjector {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	if opts.FlapCount < 1 {
+		opts.FlapCount = 1
+	}
+	inj := &LinkFaultInjector{
+		net:    net,
+		eng:    net.eng,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		opts:   opts,
+		groups: groups,
+		next:   make([]*sim.Event, len(groups)),
+	}
+	for gi := range groups {
+		inj.armFault(gi, opts.FlapCount, opts.MTBFSec)
+	}
+	return inj
+}
+
+// Faults reports how many group outages have been injected so far.
+func (inj *LinkFaultInjector) Faults() int { return inj.faults }
+
+// Restores reports how many outages have been repaired so far.
+func (inj *LinkFaultInjector) Restores() int { return inj.restores }
+
+// Stop disarms the injector: no further faults or restores fire, and its
+// pending events leave the queue so an idle engine can drain. Links
+// currently down stay down; restore them explicitly if needed.
+func (inj *LinkFaultInjector) Stop() {
+	inj.stopped = true
+	for _, ev := range inj.next {
+		if ev != nil {
+			ev.Cancel()
+		}
+	}
+}
+
+// expDraw samples an exponential with the given mean.
+func (inj *LinkFaultInjector) expDraw(mean float64) sim.Duration {
+	u := inj.rng.Float64()
+	for u == 0 {
+		u = inj.rng.Float64()
+	}
+	return sim.Duration(-mean * math.Log(u))
+}
+
+// armFault schedules the group's next outage after an up-time drawn with
+// the given mean. cyclesLeft counts the remaining flap cycles of the
+// current burst.
+func (inj *LinkFaultInjector) armFault(gi, cyclesLeft int, upMean float64) {
+	inj.next[gi] = inj.eng.Schedule(inj.expDraw(upMean), func() { inj.down(gi, cyclesLeft) })
+}
+
+// down takes the group offline (or degrades it) and schedules the repair.
+func (inj *LinkFaultInjector) down(gi, cyclesLeft int) {
+	if inj.stopped {
+		return
+	}
+	inj.faults++
+	for _, l := range inj.groups[gi] {
+		if inj.opts.DegradeFactor > 0 {
+			inj.net.DegradeLink(l, inj.opts.DegradeFactor)
+		} else {
+			inj.net.FailLink(l)
+		}
+	}
+	outage := inj.expDraw(inj.opts.MTTRSec / float64(inj.opts.FlapCount))
+	inj.next[gi] = inj.eng.Schedule(outage, func() { inj.up(gi, cyclesLeft-1) })
+}
+
+// up repairs the group, then arms either the next flap cycle of the burst
+// (short intra-burst up-time) or, once the burst is spent, the next fault a
+// full MTBF away.
+func (inj *LinkFaultInjector) up(gi, cyclesLeft int) {
+	if inj.stopped {
+		return
+	}
+	inj.restores++
+	for _, l := range inj.groups[gi] {
+		inj.net.RestoreLink(l)
+	}
+	if cyclesLeft > 0 {
+		inj.armFault(gi, cyclesLeft, inj.opts.MTTRSec/float64(inj.opts.FlapCount))
+		return
+	}
+	inj.armFault(gi, inj.opts.FlapCount, inj.opts.MTBFSec)
+}

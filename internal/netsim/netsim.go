@@ -19,6 +19,12 @@
 // O((F+L)·log L) for a component of F flows and L links, and completions
 // are rescheduled only for flows whose rate actually changed. The retained
 // reference solver in oracle.go cross-checks rate vectors in tests.
+//
+// Links have a fault lifecycle (FailLink / DegradeLink / RestoreLink): a
+// failed link kills the flows crossing it — each reports its delivered
+// byte count through Flow.OnInterrupt so the sender can resume from that
+// offset — and a seeded LinkFaultInjector (faults.go) drives MTBF/MTTR
+// outage schedules, optionally as flapping bursts or partial degradations.
 package netsim
 
 import (
@@ -44,7 +50,9 @@ const minRescheduleEta = 1e-9
 // a shared fabric).
 type Link struct {
 	name     string
-	capacity float64 // bits per second
+	capacity float64 // effective bits per second (base, possibly degraded)
+	base     float64 // provisioned capacity RestoreLink returns to
+	failed   bool
 	latency  sim.Duration
 	flows    map[*Flow]struct{}
 
@@ -60,8 +68,12 @@ type Link struct {
 // Name returns the link's diagnostic name.
 func (l *Link) Name() string { return l.name }
 
-// Capacity returns the link capacity in bits per second.
+// Capacity returns the link's effective capacity in bits per second (the
+// provisioned rate, unless the link is currently degraded).
 func (l *Link) Capacity() float64 { return l.capacity }
+
+// Failed reports whether the link is currently down (see Network.FailLink).
+func (l *Link) Failed() bool { return l.failed }
 
 // Latency returns the link's one-way propagation delay.
 func (l *Link) Latency() sim.Duration { return l.latency }
@@ -89,19 +101,21 @@ func (l *Link) updateShare() {
 
 // Flow is an in-flight transfer across a path of links.
 type Flow struct {
-	id         uint64
-	bytes      float64
-	remaining  float64
-	path       []*Link
-	rate       float64 // bits per second under the current allocation
-	lastUpdate sim.Time
-	done       *sim.Event
-	net        *Network
-	onComplete func(sim.Time)
-	started    sim.Time
-	finished   bool
-	cancelled  bool
-	pending    bool // latency delay not yet elapsed; not joined to links
+	id          uint64
+	bytes       float64
+	remaining   float64
+	path        []*Link
+	rate        float64 // bits per second under the current allocation
+	lastUpdate  sim.Time
+	done        *sim.Event
+	net         *Network
+	onComplete  func(sim.Time)
+	onInterrupt func(delivered float64, at sim.Time)
+	started     sim.Time
+	finished    bool
+	cancelled   bool
+	interrupted bool
+	pending     bool // latency delay not yet elapsed; not joined to links
 
 	// Allocator scratch: component-BFS generation and the solver's staged
 	// rate/freeze state for the in-progress solve.
@@ -130,6 +144,21 @@ func (f *Flow) Started() sim.Time { return f.started }
 
 // Finished reports whether the flow has completed.
 func (f *Flow) Finished() bool { return f.finished }
+
+// Interrupted reports whether the flow was killed by a link failure before
+// completing.
+func (f *Flow) Interrupted() bool { return f.interrupted }
+
+// Delivered returns the bytes that reached the receiver so far (all of them
+// once the flow finishes) — the resume offset for an interrupted transfer.
+func (f *Flow) Delivered() float64 { return f.bytes - f.Remaining() }
+
+// OnInterrupt registers a callback invoked when a link failure kills the
+// flow, with the bytes delivered up to the interruption. A flow with no
+// interrupt callback dies silently, like a cancelled flow. Set it right
+// after StartFlow; the completion callback never runs for an interrupted
+// flow.
+func (f *Flow) OnInterrupt(fn func(delivered float64, at sim.Time)) { f.onInterrupt = fn }
 
 // settleTo advances the flow's remaining-byte accounting to now.
 func (f *Flow) settleTo(now sim.Time) {
@@ -161,6 +190,8 @@ type Network struct {
 	BytesMoved float64
 	// FlowsCompleted counts completed flows.
 	FlowsCompleted uint64
+	// FlowsInterrupted counts flows killed by link failures.
+	FlowsInterrupted uint64
 }
 
 // Engine aliases the simulation engine type for callers that only import
@@ -186,7 +217,7 @@ func (n *Network) NewLink(name string, bitsPerSec float64) *Link {
 	if _, dup := n.links[name]; dup {
 		panic(fmt.Sprintf("netsim: duplicate link %q", name))
 	}
-	l := &Link{name: name, capacity: bitsPerSec, flows: make(map[*Flow]struct{})}
+	l := &Link{name: name, capacity: bitsPerSec, base: bitsPerSec, flows: make(map[*Flow]struct{})}
 	n.links[name] = l
 	return l
 }
@@ -194,9 +225,10 @@ func (n *Network) NewLink(name string, bitsPerSec float64) *Link {
 // Link returns the named link, or nil.
 func (n *Network) Link(name string) *Link { return n.links[name] }
 
-// SetCapacity changes a link's capacity at the current virtual time and
-// reallocates the link's connected component (models provisioned-bandwidth
-// changes or congestion from co-tenants).
+// SetCapacity changes a link's provisioned capacity at the current virtual
+// time and reallocates the link's connected component (models
+// provisioned-bandwidth changes or congestion from co-tenants). The new
+// value becomes the base that RestoreLink returns to.
 func (n *Network) SetCapacity(l *Link, bitsPerSec float64) {
 	if bitsPerSec <= 0 {
 		panic("netsim: non-positive capacity")
@@ -204,6 +236,72 @@ func (n *Network) SetCapacity(l *Link, bitsPerSec float64) {
 	n.component(l)
 	n.settleComponent()
 	l.capacity = bitsPerSec
+	l.base = bitsPerSec
+	n.solveComponent()
+	n.applyRates()
+}
+
+// FailLink takes a link down at the current virtual time. Every flow
+// traversing it is killed: the flow's byte accounting settles to now, its
+// interrupt callback (if any) receives the delivered byte count, and its
+// completion callback never runs. Flows sharing other links of the
+// component re-rate over the freed capacity. New flows whose path crosses
+// a failed link are interrupted at join time with zero bytes delivered.
+// FailLink of a failed link is a no-op.
+func (n *Network) FailLink(l *Link) {
+	if l.failed {
+		return
+	}
+	n.component(l)
+	n.settleComponent()
+	l.failed = true
+	victims := make([]*Flow, 0, len(l.flows))
+	for f := range l.flows {
+		victims = append(victims, f)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+	for _, f := range victims {
+		n.removeFlow(f)
+		f.interrupted = true
+		f.rate = 0
+		n.FlowsInterrupted++
+	}
+	n.solveComponent()
+	n.applyRates()
+	now := n.eng.Now()
+	for _, f := range victims {
+		if f.onInterrupt != nil {
+			f.onInterrupt(f.bytes-f.remaining, now)
+		}
+	}
+}
+
+// RestoreLink brings a failed or degraded link back to its provisioned
+// capacity and reallocates its component. Interrupted flows do not come
+// back — recovery (retry/resume) is the sender's job.
+func (n *Network) RestoreLink(l *Link) {
+	if !l.failed && l.capacity == l.base {
+		return
+	}
+	n.component(l)
+	n.settleComponent()
+	l.failed = false
+	l.capacity = l.base
+	n.solveComponent()
+	n.applyRates()
+}
+
+// DegradeLink re-rates a link to the given fraction of its provisioned
+// capacity (partial fault: packet loss, a flapping carrier, co-tenant
+// congestion) and re-rates the flows crossing it. factor must be in (0, 1].
+// RestoreLink undoes the degradation.
+func (n *Network) DegradeLink(l *Link, factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("netsim: degrade factor %v outside (0,1]", factor))
+	}
+	n.component(l)
+	n.settleComponent()
+	l.capacity = l.base * factor
 	n.solveComponent()
 	n.applyRates()
 }
@@ -246,6 +344,23 @@ func (n *Network) StartFlow(bytes float64, path []*Link, onComplete func(sim.Tim
 		if f.cancelled {
 			return
 		}
+		for _, l := range path {
+			if l.failed {
+				// The connection attempt hits a dead link: the flow is born
+				// interrupted with nothing delivered. Delivery of the
+				// callback is deferred one event so a caller that registers
+				// OnInterrupt right after a zero-latency StartFlow still
+				// hears about it.
+				f.interrupted = true
+				n.FlowsInterrupted++
+				n.eng.Schedule(0, func() {
+					if f.onInterrupt != nil {
+						f.onInterrupt(0, n.eng.Now())
+					}
+				})
+				return
+			}
+		}
 		f.lastUpdate = n.eng.Now()
 		n.component(path...)
 		n.settleComponent()
@@ -271,9 +386,10 @@ func (n *Network) StartFlow(bytes float64, path []*Link, onComplete func(sim.Tim
 }
 
 // Cancel aborts an in-flight flow (e.g. the receiving worker failed). The
-// completion callback never runs. Cancel of a finished flow is a no-op.
+// completion callback never runs. Cancel of a finished or interrupted flow
+// is a no-op.
 func (n *Network) Cancel(f *Flow) {
-	if f.finished || f.cancelled {
+	if f.finished || f.cancelled || f.interrupted {
 		return
 	}
 	f.cancelled = true

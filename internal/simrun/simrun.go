@@ -16,16 +16,30 @@ package simrun
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 	"sort"
 
 	"frieda/internal/catalog"
 	"frieda/internal/cloud"
+	"frieda/internal/fault"
 	"frieda/internal/netsim"
 	"frieda/internal/partition"
 	"frieda/internal/sim"
 	"frieda/internal/storage"
 	"frieda/internal/strategy"
 )
+
+// commonFile is the replica-map pseudo-file standing for the workload's
+// common dataset (the BLAST database).
+const commonFile = "__common__"
+
+// connectTimeoutSec is the master's dispatch-failure observation delay: a
+// transfer that dies on a faulted link costs this long before the worker
+// asks for more work. Without it a partitioned-but-undeclared worker would
+// churn through the whole queue in zero virtual time, abandoning a task per
+// rejected connection.
+const connectTimeoutSec = 15.0
 
 // TaskSpec is one simulated task: its input files and its compute cost on a
 // single reference core.
@@ -95,6 +109,46 @@ type Config struct {
 	// this tier spec instead of the instance-local disk — the paper's
 	// storage-selection dimension (local vs block store vs networked).
 	Storage *storage.Spec
+	// NetFaults, when non-nil, makes transfers survivable: a flow killed by
+	// a link fault is retried with capped exponential backoff instead of
+	// failing the task or isolating the worker. Nil reproduces the published
+	// prototype, where a broken stream is fatal to its transfer.
+	NetFaults *NetFaultConfig
+	// Detection, when non-nil, runs a heartbeat failure detector between
+	// the master and each worker over the simulated network: heartbeats
+	// stop crossing failed links, so network partitions become suspicions
+	// and (after K missed deadlines) declared failures. Nil keeps the
+	// cloud-level VM failure callback as the only death signal.
+	Detection *DetectionConfig
+}
+
+// NetFaultConfig tunes transfer retry and resume behaviour.
+type NetFaultConfig struct {
+	// Resume continues an interrupted transfer from the delivered-byte
+	// offset and re-stages from the best surviving replica instead of
+	// restarting from byte zero at the master.
+	Resume bool
+	// MaxAttempts bounds attempts per transfer (default 8).
+	MaxAttempts int
+	// BackoffSec is the first retry delay, doubling per attempt
+	// (default 1).
+	BackoffSec float64
+	// BackoffCapSec caps the exponential backoff (default 60).
+	BackoffCapSec float64
+	// JitterSeed seeds the backoff jitter RNG; the RNG is consumed only on
+	// retries, so fault-free runs are bit-identical regardless of seed.
+	JitterSeed int64
+}
+
+// DetectionConfig tunes the heartbeat failure detector.
+type DetectionConfig struct {
+	// HeartbeatSec is the worker heartbeat period (> 0).
+	HeartbeatSec float64
+	// TimeoutSec is the detector deadline per heartbeat (> HeartbeatSec).
+	TimeoutSec float64
+	// K is the consecutive missed deadlines before a worker is declared
+	// failed (default 1, the prototype's binary detector).
+	K int
 }
 
 // Completion records one finished task.
@@ -128,6 +182,13 @@ type Result struct {
 	Completions []Completion
 	// PerWorker counts successful tasks by worker.
 	PerWorker map[string]int
+	// TransferInterrupts counts flows killed by link faults.
+	TransferInterrupts int
+	// TransferRetries counts re-attempts after interrupted transfers.
+	TransferRetries int
+	// Detections lists the detector's suspect/declare/recover transitions
+	// (nil without Config.Detection).
+	Detections []fault.Transition
 }
 
 // Runner drives one simulated run. Create with NewRunner, add workers, then
@@ -146,7 +207,16 @@ type Runner struct {
 	retries  map[int]int
 	terminal int
 	started  bool
+	finished bool
 	startAt  sim.Time
+
+	// replicas tracks which worker holds which file after staging, the
+	// source pool for replica-aware transfer resume.
+	replicas *catalog.Replicas
+	// rng jitters retry backoff; non-nil only with NetFaults, and consumed
+	// only on retries.
+	rng      *rand.Rand
+	detector *fault.Detector
 
 	// Phase accounting.
 	activeFlows    int
@@ -179,9 +249,17 @@ type simWorker struct {
 // taskAttempt tracks cancellation state of one admitted task.
 type taskAttempt struct {
 	task    int
-	flow    *netsim.Flow
+	stage   *stageIn
 	compute *sim.Event
 	started sim.Time
+}
+
+// stageIn is the handle of one logical transfer: the current flow plus any
+// pending backoff retry, so worker death can abandon the whole retry chain.
+type stageIn struct {
+	flow      *netsim.Flow
+	retry     *sim.Event
+	abandoned bool
 }
 
 // NewRunner builds a runner for the cluster. The master VM hosts the data
@@ -197,14 +275,42 @@ func NewRunner(cluster *cloud.Cluster, master *cloud.VM, cfg Config, wl Workload
 	if len(wl.Tasks) == 0 {
 		return nil, fmt.Errorf("simrun: empty workload")
 	}
+	if cfg.NetFaults != nil {
+		nf := *cfg.NetFaults // don't mutate the caller's struct
+		if nf.MaxAttempts <= 0 {
+			nf.MaxAttempts = 8
+		}
+		if nf.BackoffSec <= 0 {
+			nf.BackoffSec = 1
+		}
+		if nf.BackoffCapSec <= 0 {
+			nf.BackoffCapSec = 60
+		}
+		cfg.NetFaults = &nf
+	}
+	if dc := cfg.Detection; dc != nil {
+		if dc.HeartbeatSec <= 0 || dc.TimeoutSec <= dc.HeartbeatSec {
+			return nil, fmt.Errorf("simrun: detection needs 0 < heartbeat < timeout, got %v/%v",
+				dc.HeartbeatSec, dc.TimeoutSec)
+		}
+		d := *dc
+		if d.K < 1 {
+			d.K = 1
+		}
+		cfg.Detection = &d
+	}
 	r := &Runner{
-		eng:     cluster.Engine(),
-		cluster: cluster,
-		cfg:     cfg,
-		wl:      wl,
-		master:  master,
-		byVM:    make(map[*cloud.VM]*simWorker),
-		retries: make(map[int]int),
+		eng:      cluster.Engine(),
+		cluster:  cluster,
+		cfg:      cfg,
+		wl:       wl,
+		master:   master,
+		byVM:     make(map[*cloud.VM]*simWorker),
+		retries:  make(map[int]int),
+		replicas: catalog.NewReplicas(),
+	}
+	if cfg.NetFaults != nil {
+		r.rng = rand.New(rand.NewSource(cfg.NetFaults.JitterSeed))
 	}
 	r.res.PerWorker = make(map[string]int)
 	cluster.OnFailure(func(vm *cloud.VM) {
@@ -270,9 +376,63 @@ func (r *Runner) AddWorker(vm *cloud.VM) *simWorker {
 	r.workers = append(r.workers, w)
 	r.byVM[vm] = w
 	if r.started {
+		r.startDetection(w)
 		r.stageCommon(w, func() { r.admit(w) })
 	}
 	return w
+}
+
+// initDetector builds the suspect→confirm heartbeat detector; declaration
+// isolates the worker exactly as a cloud-level VM failure does.
+func (r *Runner) initDetector() {
+	dc := r.cfg.Detection
+	r.detector = fault.NewDetectorK(r.eng, sim.Duration(dc.TimeoutSec), dc.K, func(node string) {
+		for _, w := range r.workers {
+			if w.name == node {
+				r.workerDied(w)
+				return
+			}
+		}
+	})
+}
+
+// startDetection watches the worker and starts its heartbeat loop. A
+// heartbeat only reaches the master while the worker's network path is up,
+// so link faults surface as missed deadlines — the false-positive source
+// the K > 1 suspicion ladder exists to absorb.
+func (r *Runner) startDetection(w *simWorker) {
+	if r.detector == nil {
+		return
+	}
+	r.detector.Watch(w.name)
+	period := sim.Duration(r.cfg.Detection.HeartbeatSec)
+	var beat func()
+	beat = func() {
+		if w.dead || r.finished {
+			return
+		}
+		if r.pathUp(w) {
+			r.detector.Heartbeat(w.name)
+		}
+		r.eng.Schedule(period, beat)
+	}
+	r.eng.Schedule(period, beat)
+}
+
+// pathUp reports whether the worker's control channel to the master is
+// usable in both directions (no failed link on either transfer path).
+func (r *Runner) pathUp(w *simWorker) bool {
+	for _, l := range r.cluster.TransferPath(w.vm, r.master) {
+		if l.Failed() {
+			return false
+		}
+	}
+	for _, l := range r.cluster.TransferPath(r.master, w.vm) {
+		if l.Failed() {
+			return false
+		}
+	}
+	return true
 }
 
 // Run executes the whole simulation synchronously and returns the result.
@@ -303,6 +463,13 @@ func (r *Runner) Start(done func(Result)) error {
 	r.started = true
 	r.startAt = r.eng.Now()
 
+	if r.cfg.Detection != nil {
+		r.initDetector()
+		for _, w := range r.workers {
+			r.startDetection(w)
+		}
+	}
+
 	switch r.cfg.Strategy.Kind {
 	case strategy.PrePartition:
 		return r.startPrePartition()
@@ -322,20 +489,149 @@ func (r *Runner) Start(done func(Result)) error {
 	}
 }
 
+// transfer moves bytes of the named files from the master (first attempt)
+// to w. With cfg.NetFaults set, a flow killed by a link fault retries after
+// a capped, jittered exponential backoff — resuming from the delivered-byte
+// offset and from the best surviving replica when Resume is on, restarting
+// from zero at the master otherwise. done runs exactly once with lost=true
+// when the transfer cannot complete (no retry budget, or the worker died
+// between attempts); it never runs at all if the stage is abandoned by
+// workerDied. The fault-free path is event-for-event identical to a plain
+// cluster.Transfer.
+func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func(lost bool)) *stageIn {
+	s := &stageIn{}
+	var attempt func(remaining float64, n int)
+	attempt = func(remaining float64, n int) {
+		src := r.master
+		if n > 1 {
+			src = r.bestSource(w, files)
+		}
+		r.flowStarted()
+		r.res.BytesMoved += remaining
+		s.flow = r.cluster.Transfer(src, w.vm, remaining, func(sim.Time) {
+			r.flowEnded()
+			s.flow = nil
+			if s.abandoned {
+				return
+			}
+			done(false)
+		})
+		s.flow.OnInterrupt(func(delivered float64, _ sim.Time) {
+			r.flowEnded()
+			s.flow = nil
+			r.res.BytesMoved -= remaining - delivered
+			if s.abandoned {
+				return
+			}
+			r.res.TransferInterrupts++
+			nf := r.cfg.NetFaults
+			if nf == nil || n >= nf.MaxAttempts || w.dead {
+				done(true)
+				return
+			}
+			next := remaining
+			if nf.Resume {
+				next = remaining - delivered
+			}
+			r.res.TransferRetries++
+			s.retry = r.eng.Schedule(r.backoff(n), func() {
+				s.retry = nil
+				if s.abandoned {
+					return
+				}
+				if w.dead {
+					done(true)
+					return
+				}
+				attempt(next, n+1)
+			})
+		})
+	}
+	attempt(bytes, 1)
+	return s
+}
+
+// bestSource picks a retry's source: the live worker holding every needed
+// file whose uplink is healthy and carries the fewest active flows (first
+// such worker in registration order on ties), falling back to the master.
+func (r *Runner) bestSource(dst *simWorker, files []string) *cloud.VM {
+	nf := r.cfg.NetFaults
+	if nf == nil || !nf.Resume {
+		return r.master
+	}
+	var best *simWorker
+	for _, o := range r.workers {
+		if o == dst || o.dead || o.draining || o.vm.Host().Up().Failed() {
+			continue
+		}
+		holds := true
+		for _, f := range files {
+			if !r.replicas.Has(f, o.name) {
+				holds = false
+				break
+			}
+		}
+		if !holds {
+			continue
+		}
+		if best == nil || o.vm.Host().Up().ActiveFlows() < best.vm.Host().Up().ActiveFlows() {
+			best = o
+		}
+	}
+	if best == nil {
+		return r.master
+	}
+	return best.vm
+}
+
+// backoff returns the delay before attempt n+1: BackoffSec doubling per
+// attempt, capped, with seeded jitter in [0.5, 1.5) to de-synchronise
+// retry storms across workers sharing a restored link.
+func (r *Runner) backoff(n int) sim.Duration {
+	nf := r.cfg.NetFaults
+	d := nf.BackoffSec * math.Pow(2, float64(n-1))
+	if d > nf.BackoffCapSec {
+		d = nf.BackoffCapSec
+	}
+	return sim.Duration(d * (0.5 + r.rng.Float64()))
+}
+
+// abandonStage kills a transfer's current flow and pending retry; its done
+// callback will never run.
+func (r *Runner) abandonStage(s *stageIn) {
+	if s == nil || s.abandoned {
+		return
+	}
+	s.abandoned = true
+	if s.flow != nil {
+		r.cluster.Network().Cancel(s.flow)
+		s.flow = nil
+		r.flowEnded()
+	}
+	if s.retry != nil {
+		s.retry.Cancel()
+		s.retry = nil
+	}
+}
+
 // stageCommon transfers the common dataset (if any) and marks the worker
-// ready.
+// ready. A transfer lost to link faults isolates the worker: without its
+// database it can never run a task, matching the prototype's behaviour of
+// dropping a worker whose staging failed.
 func (r *Runner) stageCommon(w *simWorker, then func()) {
 	if r.wl.CommonBytes <= 0 || r.cfg.Strategy.Locality == strategy.Local {
 		w.ready = true
 		then()
 		return
 	}
-	r.flowStarted()
-	r.res.BytesMoved += r.wl.CommonBytes
-	r.cluster.Transfer(r.master, w.vm, r.wl.CommonBytes, func(sim.Time) {
-		r.flowEnded()
+	r.transfer(w, []string{commonFile}, r.wl.CommonBytes, func(lost bool) {
 		if w.dead {
 			then() // keep barrier counts balanced; dead path is a no-op
+			return
+		}
+		if lost {
+			r.workerDied(w)
+			then()
 			return
 		}
 		r.chargeDiskWrite(w, r.wl.CommonBytes, func() {
@@ -344,6 +640,7 @@ func (r *Runner) stageCommon(w *simWorker, then func()) {
 				return
 			}
 			w.ready = true
+			r.replicas.Add(commonFile, w.name)
 			then()
 		})
 	})
@@ -412,7 +709,9 @@ func (r *Runner) startPrePartition() error {
 	return nil
 }
 
-// streamChain sends files[i:] to w one flow at a time.
+// streamChain sends files[i:] to w one flow at a time. A file lost to link
+// faults isolates the worker (its staging is incomplete), and the chain's
+// barrier callback still runs.
 func (r *Runner) streamChain(w *simWorker, files []catalog.FileMeta, i int, then func()) {
 	if i >= len(files) || w.dead {
 		then()
@@ -423,16 +722,19 @@ func (r *Runner) streamChain(w *simWorker, files []catalog.FileMeta, i int, then
 		r.streamChain(w, files, i+1, then)
 		return
 	}
-	r.flowStarted()
-	r.res.BytesMoved += float64(f.Size)
-	r.cluster.Transfer(r.master, w.vm, float64(f.Size), func(sim.Time) {
-		r.flowEnded()
+	r.transfer(w, []string{f.Name}, float64(f.Size), func(lost bool) {
 		if w.dead {
+			then()
+			return
+		}
+		if lost {
+			r.workerDied(w)
 			then()
 			return
 		}
 		r.chargeDiskWrite(w, float64(f.Size), func() {
 			w.has[f.Name] = true
+			r.replicas.Add(f.Name, w.name)
 			r.streamChain(w, files, i+1, then)
 		})
 	})
@@ -535,10 +837,12 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 	w.inflight[gi] = att
 
 	var missing float64
+	var names []string
 	if r.cfg.Strategy.Kind == strategy.RealTime && r.cfg.Strategy.Locality == strategy.Remote {
 		for _, f := range task.Files {
 			if !w.has[f.Name] {
 				missing += float64(f.Size)
+				names = append(names, f.Name)
 				// Claim at dispatch, exactly as the real master marks the
 				// replica before streaming: a concurrent slot fetching a
 				// shared file (one-to-all's pivot, all-to-all pairs) must
@@ -557,15 +861,32 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 		start()
 		return
 	}
-	r.flowStarted()
-	r.res.BytesMoved += missing
-	att.flow = r.cluster.Transfer(r.master, w.vm, missing, func(sim.Time) {
-		r.flowEnded()
-		att.flow = nil
+	att.stage = r.transfer(w, names, missing, func(lost bool) {
+		att.stage = nil
 		if w.dead {
 			return
 		}
-		r.chargeDiskWrite(w, missing, start)
+		if lost {
+			// The fetch is unrecoverable: un-claim the files so a future
+			// attempt re-fetches them, and fail this attempt. The worker
+			// itself stays (the detector isolates it separately if it is
+			// truly partitioned), but it only asks for more work after a
+			// connection timeout.
+			for _, name := range names {
+				delete(w.has, name)
+			}
+			delete(w.inflight, gi)
+			w.admitted--
+			r.taskDone(w, att, false)
+			r.eng.Schedule(sim.Duration(connectTimeoutSec), func() { r.admit(w) })
+			return
+		}
+		r.chargeDiskWrite(w, missing, func() {
+			for _, name := range names {
+				r.replicas.Add(name, w.name)
+			}
+			start()
+		})
 	})
 }
 
@@ -632,16 +953,19 @@ func (r *Runner) workerDied(w *simWorker) {
 		return
 	}
 	w.dead = true
+	r.replicas.DropNode(w.name)
+	if r.detector != nil {
+		r.detector.Stop(w.name)
+	}
 	attempts := make([]*taskAttempt, 0, len(w.inflight))
 	for _, att := range w.inflight {
 		attempts = append(attempts, att)
 	}
 	sort.Slice(attempts, func(i, j int) bool { return attempts[i].task < attempts[j].task })
 	for _, att := range attempts {
-		if att.flow != nil {
-			r.cluster.Network().Cancel(att.flow)
-			att.flow = nil
-			r.flowEnded()
+		if att.stage != nil {
+			r.abandonStage(att.stage)
+			att.stage = nil
 		}
 		if att.compute != nil {
 			att.compute.Cancel()
@@ -710,6 +1034,15 @@ func (r *Runner) checkDone() {
 	}
 	done := r.done
 	r.done = nil
+	r.finished = true
+	if r.detector != nil {
+		// Disarm watchdog timers so an idle engine can drain; heartbeat
+		// loops stop themselves on r.finished.
+		for _, w := range r.workers {
+			r.detector.Stop(w.name)
+		}
+		r.res.Detections = r.detector.Transitions()
+	}
 	r.res.MakespanSec = float64(r.eng.Now() - r.startAt)
 	done(r.res)
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"frieda/internal/fault"
 	"frieda/internal/simrun"
 )
 
@@ -119,6 +120,36 @@ func Summary(res simrun.Result) string {
 	}
 	fmt.Fprintf(&b, "makespan %.1fs, transfer wall %.1fs, exec wall %.1fs, %.0f bytes moved\n",
 		res.MakespanSec, res.TransferWallSec, res.ExecWallSec, res.BytesMoved)
+	return b.String()
+}
+
+// DetectionTimeline renders the failure detector's suspect/declare/recover
+// transitions as one line per event in virtual-time order, with a per-node
+// tally footer — the operator's view of how partitions were interpreted.
+func DetectionTimeline(transitions []fault.Transition) string {
+	if len(transitions) == 0 {
+		return "(no detector transitions)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s  %-10s %-9s %s\n", "t(s)", "node", "state", "missed")
+	counts := map[string]map[fault.NodeState]int{}
+	for _, tr := range transitions {
+		fmt.Fprintf(&b, "%10.1f  %-10s %-9s %d\n", float64(tr.At), tr.Node, tr.State, tr.Missed)
+		if counts[tr.Node] == nil {
+			counts[tr.Node] = map[fault.NodeState]int{}
+		}
+		counts[tr.Node][tr.State]++
+	}
+	nodes := make([]string, 0, len(counts))
+	for n := range counts {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		c := counts[n]
+		fmt.Fprintf(&b, "%-10s suspected %d, recovered %d, declared %d\n",
+			n, c[fault.Suspect], c[fault.Alive], c[fault.Declared])
+	}
 	return b.String()
 }
 

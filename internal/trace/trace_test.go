@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"frieda/internal/fault"
 	"frieda/internal/simrun"
 )
 
@@ -93,5 +94,37 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if !strings.Contains(lines[4], "false,2") {
 		t.Fatalf("failed row = %q", lines[4])
+	}
+}
+
+func TestDetectionTimeline(t *testing.T) {
+	if got := DetectionTimeline(nil); got != "(no detector transitions)\n" {
+		t.Fatalf("empty timeline = %q", got)
+	}
+	out := DetectionTimeline([]fault.Transition{
+		{Node: "vm-2", At: 10, State: fault.Suspect, Missed: 1},
+		{Node: "vm-2", At: 12, State: fault.Alive},
+		{Node: "vm-1", At: 30, State: fault.Suspect, Missed: 1},
+		{Node: "vm-1", At: 50, State: fault.Declared, Missed: 3},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 4 transitions + 2 per-node footers.
+	if len(lines) != 7 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"t(s)", "suspect", "alive", "declared"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Footers are sorted by node and count each state.
+	if !strings.Contains(lines[5], "vm-1") || !strings.Contains(lines[6], "vm-2") {
+		t.Fatalf("footers unsorted:\n%s", out)
+	}
+	if !strings.Contains(lines[5], "suspected 1, recovered 0, declared 1") {
+		t.Fatalf("vm-1 footer wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[6], "suspected 1, recovered 1, declared 0") {
+		t.Fatalf("vm-2 footer wrong:\n%s", out)
 	}
 }
