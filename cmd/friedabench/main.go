@@ -14,6 +14,13 @@
 // -scale shrinks the workloads for quick runs (1.0 = paper size; the full
 // sweep takes well under a second of real time — virtual time does the
 // waiting).
+//
+// Observability: -trace writes a Chrome trace-event JSON covering every run
+// of the selected experiments (open in Perfetto or chrome://tracing; one
+// process per run, one track per worker core / transfer lane / link), and
+// -metrics writes a virtual-time-sampled CSV of queue depth, goodput, slot
+// occupancy and friends plus task/transfer histograms. Both are byte-
+// deterministic for a fixed seed and change no experiment results.
 package main
 
 import (
@@ -22,21 +29,125 @@ import (
 	"log"
 	"os"
 
+	"frieda/internal/cloud"
 	"frieda/internal/experiments"
+	"frieda/internal/obs"
 	"frieda/internal/simrun"
 	"frieda/internal/strategy"
 	"frieda/internal/trace"
 )
+
+// collector gathers per-run tracers and metrics installed through the
+// experiments.Instrument hook, for export after all experiments finish.
+type collector struct {
+	traceOut, metricsOut string
+	periodSec            float64
+	seq                  int
+	tracers              []*obs.Tracer
+	metrics              []*obs.Metrics
+	last                 *obs.Tracer
+}
+
+// maxUtilLinks caps how many per-link utilisation gauges a metered run
+// registers, so scale-sweep runs with thousands of VMs keep a sane CSV.
+const maxUtilLinks = 16
+
+// install registers the Instrument hook when -trace or -metrics was given.
+func (c *collector) install() {
+	if c.traceOut == "" && c.metricsOut == "" {
+		return
+	}
+	experiments.Instrument = func(label string, cluster *cloud.Cluster, cfg *simrun.Config) {
+		c.seq++
+		name := fmt.Sprintf("%03d %s", c.seq, label)
+		if c.traceOut != "" {
+			tr := obs.NewTracer(cluster.Engine(), name)
+			cfg.Tracer = tr
+			cluster.Network().SetTracer(tr)
+			c.tracers = append(c.tracers, tr)
+			c.last = tr
+		}
+		if c.metricsOut != "" {
+			m := obs.NewMetrics(cluster.Engine(), name, c.periodSec)
+			cfg.Metrics = m
+			for i, vm := range cluster.VMs() {
+				if i >= maxUtilLinks {
+					break
+				}
+				l := vm.Host().Up()
+				m.Gauge("util:"+l.Name(), func() float64 {
+					if l.Capacity() <= 0 {
+						return 0
+					}
+					return l.UtilisedBps() / l.Capacity()
+				})
+			}
+			c.metrics = append(c.metrics, m)
+		}
+	}
+}
+
+// export writes the collected trace and metrics files.
+func (c *collector) export() error {
+	if c.traceOut != "" {
+		f, err := os.Create(c.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, c.tracers...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		total := 0
+		for _, tr := range c.tracers {
+			total += tr.Len()
+		}
+		fmt.Printf("wrote %s: %d runs, %d events (open in https://ui.perfetto.dev)\n",
+			c.traceOut, len(c.tracers), total)
+	}
+	if c.metricsOut != "" {
+		f, err := os.Create(c.metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteMetricsCSV(f, c.metrics...); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := fmt.Fprintln(f, "# histograms"); err != nil {
+			f.Close()
+			return err
+		}
+		if err := obs.WriteHistogramsCSV(f, c.metrics...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d runs\n", c.metricsOut, len(c.metrics))
+	}
+	return nil
+}
 
 func main() {
 	fs := flag.NewFlagSet("friedabench", flag.ExitOnError)
 	exp := fs.String("exp", "all", "experiment: table1 | fig6a | fig6b | fig7a | fig7b | ablations | scale | all")
 	scale := fs.Float64("scale", 1.0, "workload scale (1.0 = paper size)")
 	gantt := fs.Bool("gantt", false, "print a worker timeline for figure experiments")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of every run to this file (Perfetto-loadable)")
+	metricsOut := fs.String("metrics", "", "write virtual-time-sampled metrics CSV of every run to this file")
+	metricsPeriod := fs.Float64("metrics-period", 10, "metrics sampling period in virtual seconds")
 	fs.Parse(os.Args[1:])
 
+	col := &collector{traceOut: *traceOut, metricsOut: *metricsOut, periodSec: *metricsPeriod}
+	col.install()
+
 	run := func(name string) {
-		if err := runExperiment(name, *scale, *gantt); err != nil {
+		if err := runExperiment(name, *scale, *gantt, col); err != nil {
 			log.Fatalf("friedabench: %s: %v", name, err)
 		}
 	}
@@ -54,10 +165,13 @@ func main() {
 	default:
 		run(*exp)
 	}
+	if err := col.export(); err != nil {
+		log.Fatalf("friedabench: export: %v", err)
+	}
 }
 
 // runExperiment executes and prints one experiment.
-func runExperiment(name string, scale float64, gantt bool) error {
+func runExperiment(name string, scale float64, gantt bool, col *collector) error {
 	switch name {
 	case "table1":
 		rows, err := experiments.RunTable1(scale)
@@ -80,7 +194,7 @@ func runExperiment(name string, scale float64, gantt bool) error {
 		fmt.Print(experiments.RenderBars(title, bars))
 		fmt.Println()
 		if gantt {
-			return printGantt(app, scale)
+			return printGantt(app, scale, col)
 		}
 	case "fig7a", "fig7b":
 		app := "ALS"
@@ -184,8 +298,9 @@ func runExperiment(name string, scale float64, gantt bool) error {
 	return nil
 }
 
-// printGantt renders a real-time run's worker timeline.
-func printGantt(app string, scale float64) error {
+// printGantt renders a real-time run's worker timeline; with -trace active
+// it also prints the run's span-level phase breakdown.
+func printGantt(app string, scale float64, col *collector) error {
 	var wl simrun.Workload
 	if app == "ALS" {
 		wl = experiments.ALSWorkload(scale)
@@ -198,6 +313,9 @@ func printGantt(app string, scale float64) error {
 	}
 	fmt.Print(trace.Gantt(res, 72))
 	fmt.Print(trace.Summary(res))
+	if col.last != nil {
+		fmt.Print(trace.SpanSummary(col.last))
+	}
 	fmt.Println()
 	return nil
 }

@@ -8,6 +8,7 @@ package elastic
 import (
 	"fmt"
 
+	"frieda/internal/obs"
 	"frieda/internal/sim"
 )
 
@@ -133,6 +134,7 @@ type Autoscaler struct {
 	timer    *sim.Timer
 	lastAct  sim.Time
 	acted    bool
+	tracer   *obs.Tracer
 
 	// Decisions records the trace of non-Hold actions for reports.
 	Decisions []struct {
@@ -154,6 +156,11 @@ func NewAutoscaler(eng *sim.Engine, policy Policy, actions Actions, pollEverySec
 	return a, nil
 }
 
+// SetTracer attaches an observability tracer (nil detaches): every executed
+// scaling action emits an instant event on the "autoscale" track carrying
+// the load signal that triggered it.
+func (a *Autoscaler) SetTracer(t *obs.Tracer) { a.tracer = t }
+
 // Start begins polling.
 func (a *Autoscaler) Start() { a.timer.Reset(a.interval) }
 
@@ -167,7 +174,8 @@ func (a *Autoscaler) tick() {
 	if a.acted && float64(now-a.lastAct) < a.policy.CooldownSec {
 		return
 	}
-	d := a.policy.Decide(a.actions.Observe())
+	sig := a.actions.Observe()
+	d := a.policy.Decide(sig)
 	if d == Hold {
 		return
 	}
@@ -187,4 +195,10 @@ func (a *Autoscaler) tick() {
 		At       sim.Time
 		Decision Decision
 	}{now, d})
+	if a.tracer.Enabled() {
+		a.tracer.Instant("autoscale", "elastic", d.String(), obs.Args{
+			"queued": sig.QueuedTasks, "busy_slots": sig.BusySlots,
+			"total_slots": sig.TotalSlots, "workers": sig.Workers,
+		})
+	}
 }

@@ -32,6 +32,7 @@ func RunStrategyBW(cfg simrun.Config, wl simrun.Workload, workers int, seed int6
 	}
 	eng.RunUntil(eng.Now())
 	cfg.ModelDiskIO = true
+	instrument(fmt.Sprintf("%s %s bw=%.0fMbps", wl.Name, cfg.Strategy.String(), mbps), cluster, &cfg)
 	r, err := simrun.NewRunner(cluster, vms[0], cfg, wl)
 	if err != nil {
 		return simrun.Result{}, err
@@ -180,12 +181,14 @@ func runWithFailures(wl simrun.Workload, mtbfSec float64, mode string) (simrun.R
 		return simrun.Result{}, err
 	}
 	eng.RunUntil(eng.Now())
-	r, err := simrun.NewRunner(cluster, vms[0], simrun.Config{
+	cfg := simrun.Config{
 		Strategy:    strategy.RealTimeRemote,
 		Recover:     mode != "isolate",
 		MaxRetries:  5,
 		ModelDiskIO: true,
-	}, wl)
+	}
+	instrument(fmt.Sprintf("%s failures mtbf=%.0f %s", wl.Name, mtbfSec, mode), cluster, &cfg)
+	r, err := simrun.NewRunner(cluster, vms[0], cfg, wl)
 	if err != nil {
 		return simrun.Result{}, err
 	}
@@ -274,10 +277,12 @@ func runElastic(wl simrun.Workload, initial, adds int, addAt float64) (simrun.Re
 		return simrun.Result{}, err
 	}
 	eng.RunUntil(eng.Now())
-	r, err := simrun.NewRunner(cluster, vms[0], simrun.Config{
+	cfg := simrun.Config{
 		Strategy:    strategy.RealTimeRemote,
 		ModelDiskIO: true,
-	}, wl)
+	}
+	instrument(fmt.Sprintf("%s elastic %d+%d", wl.Name, initial, adds), cluster, &cfg)
+	r, err := simrun.NewRunner(cluster, vms[0], cfg, wl)
 	if err != nil {
 		return simrun.Result{}, err
 	}

@@ -56,10 +56,12 @@ func RunFederated(wl simrun.Workload, localN, remoteN int, wanBps, wanLatencySec
 	for _, vm := range vms[1+localN:] {
 		cluster.SetSite(vm, 2)
 	}
-	r, err := simrun.NewRunner(cluster, vms[0], simrun.Config{
+	cfg := simrun.Config{
 		Strategy:    strategy.RealTimeRemote,
 		ModelDiskIO: true,
-	}, wl)
+	}
+	instrument(fmt.Sprintf("%s federated %dL+%dR", wl.Name, localN, remoteN), cluster, &cfg)
+	r, err := simrun.NewRunner(cluster, vms[0], cfg, wl)
 	if err != nil {
 		return simrun.Result{}, err
 	}

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"frieda/internal/cloud"
+	"frieda/internal/simrun"
+)
+
+// Instrument, when non-nil, runs just before each experiment builds its
+// simrun.Runner, receiving a human-readable run label, the run's cluster,
+// and the mutable run config. friedabench installs a hook here to attach an
+// obs.Tracer and obs.Metrics to every run behind its -trace/-metrics flags
+// without widening each experiment's signature. Nil (the default) leaves
+// every run untouched, so instrumentation is strictly opt-in.
+var Instrument func(label string, cluster *cloud.Cluster, cfg *simrun.Config)
+
+// instrument invokes the hook if one is installed.
+func instrument(label string, cluster *cloud.Cluster, cfg *simrun.Config) {
+	if Instrument != nil {
+		Instrument(label, cluster, cfg)
+	}
+}

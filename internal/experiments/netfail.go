@@ -60,6 +60,7 @@ func runNetFail(wl simrun.Workload, spec netFailSpec, mode string) (simrun.Resul
 	default:
 		return simrun.Result{}, fmt.Errorf("experiments: unknown netfail mode %q", mode)
 	}
+	instrument(fmt.Sprintf("%s netfail mtbf=%.0f %s", wl.Name, spec.mtbfSec, mode), cluster, &cfg)
 	r, err := simrun.NewRunner(cluster, vms[0], cfg, wl)
 	if err != nil {
 		return simrun.Result{}, err

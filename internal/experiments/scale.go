@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"frieda/internal/simrun"
@@ -24,6 +25,7 @@ func ScaleSweep(workerCounts []int, scale float64) ([]SweepRow, error) {
 		tb := NewTestbed(workers, 1)
 		cfg := realTime()
 		cfg.ModelDiskIO = true
+		instrument(fmt.Sprintf("%s scale w=%d", wl.Name, workers), tb.Cluster, &cfg)
 		r, err := simrun.NewRunner(tb.Cluster, tb.Source, cfg, wl)
 		if err != nil {
 			return nil, err

@@ -153,6 +153,7 @@ func RunStrategy(cfg simrun.Config, wl simrun.Workload, workers int, seed int64)
 	}
 	tb := NewTestbed(workers, seed)
 	cfg.ModelDiskIO = true
+	instrument(fmt.Sprintf("%s %s w=%d", wl.Name, cfg.Strategy.String(), workers), tb.Cluster, &cfg)
 	r, err := simrun.NewRunner(tb.Cluster, tb.Source, cfg, wl)
 	if err != nil {
 		return simrun.Result{}, err

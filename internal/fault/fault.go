@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"frieda/internal/obs"
 	"frieda/internal/sim"
 )
 
@@ -134,6 +135,7 @@ type Detector struct {
 	onRecover func(node string)
 
 	transitions []Transition
+	tracer      *obs.Tracer
 }
 
 // NewDetector builds a binary (K = 1) detector declaring failure after one
@@ -160,6 +162,11 @@ func NewDetectorK(eng *sim.Engine, timeout sim.Duration, k int, onFail func(node
 		onFail:   onFail,
 	}
 }
+
+// SetTracer attaches an observability tracer (nil detaches): every recorded
+// suspect/declare/recover transition also emits an instant event on the
+// "detector" track.
+func (d *Detector) SetTracer(t *obs.Tracer) { d.tracer = t }
 
 // OnSuspect registers a callback run when a node enters Suspect.
 func (d *Detector) OnSuspect(fn func(node string)) { d.onSuspect = fn }
@@ -270,6 +277,9 @@ func (d *Detector) record(node string, s NodeState, missed int) {
 	d.transitions = append(d.transitions, Transition{
 		Node: node, At: d.eng.Now(), State: s, Missed: missed,
 	})
+	if d.tracer.Enabled() {
+		d.tracer.Instant("detector", "fault", s.String(), obs.Args{"node": node, "missed": missed})
+	}
 }
 
 // Event is one recorded failure.

@@ -33,6 +33,7 @@ import (
 	"math"
 	"sort"
 
+	"frieda/internal/obs"
 	"frieda/internal/sim"
 )
 
@@ -63,6 +64,10 @@ type Link struct {
 	unfrozen int     // flows on this link not yet frozen at a fair share
 	share    float64 // residual/unfrozen; +Inf once all flows are frozen
 	hidx     int     // index in the solver's link heap
+
+	// tracedBps is the last utilised rate emitted to the tracer, so counter
+	// events fire only when the solver actually changed the link's load.
+	tracedBps float64
 }
 
 // Name returns the link's diagnostic name.
@@ -89,6 +94,25 @@ func (l *Link) SetLatency(d sim.Duration) {
 
 // ActiveFlows returns the number of flows currently traversing the link.
 func (l *Link) ActiveFlows() int { return len(l.flows) }
+
+// UtilisedBps returns the sum of the link's flow rates under the current
+// allocation. The sum is accumulated in flow-id order so the float64 result
+// is deterministic across runs.
+func (l *Link) UtilisedBps() float64 {
+	if len(l.flows) == 0 {
+		return 0
+	}
+	flows := make([]*Flow, 0, len(l.flows))
+	for f := range l.flows {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i].id < flows[j].id })
+	var sum float64
+	for _, f := range flows {
+		sum += f.rate
+	}
+	return sum
+}
 
 // updateShare refreshes the link's fair-share heap key.
 func (l *Link) updateShare() {
@@ -186,6 +210,10 @@ type Network struct {
 	compFlows []*Flow
 	lheap     linkHeap
 
+	// tracer, when non-nil, receives a counter event per link whose utilised
+	// rate the solver changed, plus link fault lifecycle instants.
+	tracer *obs.Tracer
+
 	// BytesMoved accumulates total completed-flow volume, for reports.
 	BytesMoved float64
 	// FlowsCompleted counts completed flows.
@@ -225,6 +253,31 @@ func (n *Network) NewLink(name string, bitsPerSec float64) *Link {
 // Link returns the named link, or nil.
 func (n *Network) Link(name string) *Link { return n.links[name] }
 
+// SetTracer attaches an observability tracer (nil detaches): every solver
+// rate change emits a per-link utilised-bps counter event, and link fault
+// transitions emit instants on the link's track. Recording never alters
+// allocation behaviour.
+func (n *Network) SetTracer(t *obs.Tracer) { n.tracer = t }
+
+// AggregateRateBps returns the summed rate of every active flow — the
+// network's instantaneous goodput. Accumulated in flow-id order for
+// deterministic float64 results.
+func (n *Network) AggregateRateBps() float64 {
+	if len(n.flows) == 0 {
+		return 0
+	}
+	flows := make([]*Flow, 0, len(n.flows))
+	for f := range n.flows {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i].id < flows[j].id })
+	var sum float64
+	for _, f := range flows {
+		sum += f.rate
+	}
+	return sum
+}
+
 // SetCapacity changes a link's provisioned capacity at the current virtual
 // time and reallocates the link's connected component (models
 // provisioned-bandwidth changes or congestion from co-tenants). The new
@@ -255,6 +308,9 @@ func (n *Network) FailLink(l *Link) {
 	n.component(l)
 	n.settleComponent()
 	l.failed = true
+	if n.tracer.Enabled() {
+		n.tracer.Instant(l.name, "linkfault", "fail", obs.Args{"flows_killed": len(l.flows)})
+	}
 	victims := make([]*Flow, 0, len(l.flows))
 	for f := range l.flows {
 		victims = append(victims, f)
@@ -287,6 +343,7 @@ func (n *Network) RestoreLink(l *Link) {
 	n.settleComponent()
 	l.failed = false
 	l.capacity = l.base
+	n.tracer.Instant(l.name, "linkfault", "restore", nil)
 	n.solveComponent()
 	n.applyRates()
 }
@@ -302,6 +359,9 @@ func (n *Network) DegradeLink(l *Link, factor float64) {
 	n.component(l)
 	n.settleComponent()
 	l.capacity = l.base * factor
+	if n.tracer.Enabled() {
+		n.tracer.Instant(l.name, "linkfault", "degrade", obs.Args{"factor": factor})
+	}
 	n.solveComponent()
 	n.applyRates()
 }
@@ -591,6 +651,26 @@ func (n *Network) applyRates() {
 		eta := sim.Duration(f.remaining * 8 / r)
 		ff := f
 		f.done = n.eng.Schedule(eta, func() { n.complete(ff) })
+	}
+	if n.tracer != nil {
+		n.traceLinkRates()
+	}
+}
+
+// traceLinkRates emits one counter event per component link whose utilised
+// rate changed in the solve that just committed. Links are visited in name
+// order and rates summed in flow-id order (UtilisedBps), so the emitted
+// stream is deterministic.
+func (n *Network) traceLinkRates() {
+	links := append([]*Link(nil), n.compLinks...)
+	sort.Slice(links, func(i, j int) bool { return links[i].name < links[j].name })
+	for _, l := range links {
+		bps := l.UtilisedBps()
+		if bps == l.tracedBps {
+			continue
+		}
+		l.tracedBps = bps
+		n.tracer.Counter(l.name, "utilised_bps", bps)
 	}
 }
 

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// chromeEvent is one Chrome trace-event JSON object. Field order is the
+// declaration order, and encoding/json sorts Args map keys, so output bytes
+// are deterministic for a deterministic event stream.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the tracers as one Chrome trace-event JSON
+// document loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Each
+// tracer becomes one process (pid = position + 1, process_name = the
+// tracer's name) — runs share the document but not timelines, so a multi-run
+// friedabench invocation exports every run side by side. Within a process,
+// each track becomes one named thread (tid assigned in first-appearance
+// order), so spans on a track nest by time containment: a transfer span
+// contains its attempt spans. Spans carry ts/dur/ph/pid/tid; instants carry
+// the thread scope; counters render as Perfetto counter tracks.
+func WriteChromeTrace(w io.Writer, tracers ...*Tracer) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = w.Write(b)
+		return err
+	}
+	for i, t := range tracers {
+		if t == nil {
+			continue
+		}
+		pid := i + 1
+		// Pass 1: assign tids in first-appearance order and emit metadata.
+		tids := make(map[string]int)
+		var order []string
+		for _, e := range t.events {
+			if _, ok := tids[e.Track]; !ok {
+				tids[e.Track] = len(tids) + 1
+				order = append(order, e.Track)
+			}
+		}
+		if err := emit(chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": t.name},
+		}); err != nil {
+			return err
+		}
+		for _, track := range order {
+			if err := emit(chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tids[track],
+				Args: map[string]any{"name": track},
+			}); err != nil {
+				return err
+			}
+		}
+		// Pass 2: the events themselves, in recorded order.
+		for _, e := range t.events {
+			ce := chromeEvent{
+				Name: e.Name,
+				Cat:  e.Cat,
+				Ph:   string(rune(e.Phase)),
+				// Chrome trace time unit is µs; emit whole ticks. Fractional
+				// µs would let a viewer's ts+dur land a ulp past the next
+				// span's ts, micro-overlapping back-to-back spans on a track
+				// and breaking slice nesting; integer ticks make boundary
+				// arithmetic exact, and sub-µs virtual time is noise here.
+				Ts:   math.Round(float64(e.Ts) * 1e6),
+				Pid:  pid,
+				Tid:  tids[e.Track],
+				Args: e.Args,
+			}
+			switch e.Phase {
+			case PhaseSpan:
+				dur := math.Round(float64(e.End())*1e6) - ce.Ts
+				ce.Dur = &dur
+			case PhaseInstant:
+				ce.S = "t"
+			case PhaseCounter:
+				ce.Args = map[string]any{"value": e.Value}
+			default:
+				return fmt.Errorf("obs: unknown event phase %q", e.Phase)
+			}
+			if err := emit(ce); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"frieda/internal/sim"
+)
+
+func TestNilMetricsIsNoOp(t *testing.T) {
+	var m *Metrics
+	if m.Enabled() {
+		t.Fatal("nil metrics reports enabled")
+	}
+	if m.Name() != "" || m.Rows() != 0 {
+		t.Fatal("nil metrics accessors not zero")
+	}
+	c := m.Counter("tasks")
+	c.Inc()
+	c.Add(5)
+	m.Gauge("queue", func() float64 { return 1 })
+	h := m.Histogram("sec", []float64{1, 10})
+	h.Observe(3)
+	m.Sample()
+	m.StartSampling()
+	m.StopSampling()
+}
+
+func TestCounterAccumulates(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMetrics(eng, "run", 10)
+	c := m.Counter("tasks")
+	c.Inc()
+	c.Add(2)
+	m.Sample()
+	c.Inc()
+	m.Sample()
+
+	var buf bytes.Buffer
+	if err := WriteMetricsCSV(&buf, m); err != nil {
+		t.Fatalf("WriteMetricsCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{"run,t_sec,tasks", "run,0,3", "run,0,4"}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), buf.String())
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestSamplingTickerStartsAndStops(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMetrics(eng, "run", 5)
+	m.Gauge("t", func() float64 { return float64(eng.Now()) })
+	eng.Schedule(0, m.StartSampling)
+	eng.Schedule(12, m.StopSampling)
+	end := eng.Run()
+	// Samples at 0, 5, 10 from the ticker plus the final one at 12; the
+	// ticker must be disarmed after Stop or Run would never drain.
+	if m.Rows() != 4 {
+		t.Fatalf("got %d samples, want 4", m.Rows())
+	}
+	if end != 12 {
+		t.Fatalf("engine drained at %v, want 12 (ticker still armed?)", end)
+	}
+	m.StopSampling() // stopping again is a no-op
+	if m.Rows() != 4 {
+		t.Fatal("double Stop took an extra sample")
+	}
+}
+
+func TestColumnsRegisteredMidRunExportEmptyCells(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMetrics(eng, "r", 10)
+	m.Counter("a").Inc()
+	m.Sample()
+	m.Counter("late").Add(7)
+	m.Sample()
+
+	var buf bytes.Buffer
+	if err := WriteMetricsCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{"run,t_sec,a,late", "r,0,1,", "r,0,1,7"}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestMetricsCSVUnionAcrossRuns(t *testing.T) {
+	eng := sim.NewEngine()
+	m1 := NewMetrics(eng, "one", 10)
+	m1.Counter("a").Inc()
+	m1.Sample()
+	m2 := NewMetrics(eng, "two", 10)
+	m2.Counter("b").Add(2)
+	m2.Sample()
+
+	var buf bytes.Buffer
+	if err := WriteMetricsCSV(&buf, m1, m2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{"run,t_sec,a,b", "one,0,1,", "two,0,,2"}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMetrics(eng, "run", 10)
+	h := m.Histogram("task_sec", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := WriteHistogramsCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "run,histogram,le,count,sum,mean\n" +
+		"run,task_sec,1,2,,\n" + // 0.5 and the boundary value 1
+		"run,task_sec,10,3,,\n" +
+		"run,task_sec,100,4,,\n" +
+		"run,task_sec,inf,5,,\n" +
+		"run,task_sec,total,5,556.5,111.3\n"
+	if got != want {
+		t.Fatalf("histogram CSV:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramSameNameShared(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMetrics(eng, "run", 10)
+	h1 := m.Histogram("sec", []float64{1})
+	h2 := m.Histogram("sec", []float64{2, 3})
+	if h1 != h2 {
+		t.Fatal("re-registering a histogram name returned a different histogram")
+	}
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"frieda/internal/sim"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Name() != "" || tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer accessors not zero")
+	}
+	sp := tr.Begin("track", "cat", "span", Args{"k": 1})
+	if sp != nil {
+		t.Fatal("nil tracer Begin returned non-nil span")
+	}
+	sp.End(Args{"extra": true}) // must not panic
+	tr.Instant("track", "cat", "evt", nil)
+	tr.Counter("track", "n", 1)
+}
+
+func TestSpanRecordsOnEnd(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracer(eng, "run")
+	var sp *Span
+	eng.Schedule(1, func() { sp = tr.Begin("vm-1/cpu0", "task", "task 7", Args{"worker": "vm-1"}) })
+	eng.Schedule(3, func() { sp.End(Args{"outcome": "ok"}) })
+	eng.Run()
+
+	if tr.Len() != 1 {
+		t.Fatalf("got %d events, want 1", tr.Len())
+	}
+	e := tr.Events()[0]
+	if e.Phase != PhaseSpan || e.Name != "task 7" || e.Cat != "task" || e.Track != "vm-1/cpu0" {
+		t.Fatalf("bad span event: %+v", e)
+	}
+	if e.Ts != 1 || e.Dur != 2 || e.End() != 3 {
+		t.Fatalf("bad span timing: ts=%v dur=%v end=%v", e.Ts, e.Dur, e.End())
+	}
+	if e.Args["worker"] != "vm-1" || e.Args["outcome"] != "ok" {
+		t.Fatalf("args not merged: %v", e.Args)
+	}
+	// End is idempotent: a second End must not record a duplicate.
+	sp.End(nil)
+	if tr.Len() != 1 {
+		t.Fatalf("second End recorded a duplicate: %d events", tr.Len())
+	}
+}
+
+func TestUnendedSpanNotRecorded(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracer(eng, "run")
+	tr.Begin("track", "task", "abandoned", nil)
+	if tr.Len() != 0 {
+		t.Fatal("open span was recorded before End")
+	}
+}
+
+func TestInstantAndCounter(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracer(eng, "run")
+	eng.Schedule(2, func() {
+		tr.Instant("sched", "sched", "dispatch", Args{"task": 4})
+		tr.Counter("metrics", "queue", 9)
+	})
+	eng.Run()
+	if tr.Len() != 2 {
+		t.Fatalf("got %d events, want 2", tr.Len())
+	}
+	in, c := tr.Events()[0], tr.Events()[1]
+	if in.Phase != PhaseInstant || in.Ts != 2 || in.End() != 2 {
+		t.Fatalf("bad instant: %+v", in)
+	}
+	if c.Phase != PhaseCounter || c.Value != 9 {
+		t.Fatalf("bad counter: %+v", c)
+	}
+}
+
+// buildTrace records a fixed little scenario and exports it.
+func buildTrace(t *testing.T) []byte {
+	t.Helper()
+	eng := sim.NewEngine()
+	tr := NewTracer(eng, "001 demo")
+	var task, xfer, att *Span
+	eng.Schedule(0, func() {
+		xfer = tr.Begin("vm-1/net0", "transfer", "xfer a.dat", Args{"bytes": 1024})
+		att = tr.Begin("vm-1/net0", "attempt", "attempt 1", nil)
+	})
+	eng.Schedule(1, func() { task = tr.Begin("vm-1/cpu0", "task", "task 0", nil) })
+	eng.Schedule(2, func() {
+		att.End(Args{"outcome": "ok"})
+		xfer.End(Args{"outcome": "ok"})
+		tr.Instant("detector", "fault", "suspect", Args{"node": "vm-2"})
+	})
+	eng.Schedule(4, func() {
+		task.End(Args{"outcome": "ok"})
+		tr.Counter("metrics", "queue_depth", 3)
+	})
+	eng.Run()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestChromeTraceSchema(t *testing.T) {
+	out := buildTrace(t)
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		ph := e["ph"].(string)
+		phases[ph]++
+		if _, ok := e["pid"]; !ok {
+			t.Fatalf("event missing pid: %v", e)
+		}
+		if _, ok := e["tid"]; !ok {
+			t.Fatalf("event missing tid: %v", e)
+		}
+		switch ph {
+		case "X":
+			ts, tsOK := e["ts"].(float64)
+			dur, durOK := e["dur"].(float64)
+			if !tsOK || !durOK {
+				t.Fatalf("span missing ts/dur: %v", e)
+			}
+			// Whole-µs ticks keep viewer-side ts+dur arithmetic exact.
+			if ts != float64(int64(ts)) || dur != float64(int64(dur)) {
+				t.Fatalf("span ts/dur not whole µs: %v", e)
+			}
+		case "i":
+			if e["s"] != "t" {
+				t.Fatalf("instant missing thread scope: %v", e)
+			}
+		case "C":
+			args := e["args"].(map[string]any)
+			if _, ok := args["value"]; !ok {
+				t.Fatalf("counter missing value: %v", e)
+			}
+		}
+	}
+	// 1 process_name + 4 thread_name metadata, 3 spans, 1 instant, 1 counter.
+	if phases["M"] != 5 || phases["X"] != 3 || phases["i"] != 1 || phases["C"] != 1 {
+		t.Fatalf("unexpected phase counts: %v", phases)
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	a, b := buildTrace(t), buildTrace(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical runs exported different bytes")
+	}
+}
+
+func TestChromeTraceSkipsNilTracer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, nil); err != nil {
+		t.Fatalf("WriteChromeTrace with nil tracers: %v", err)
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("expected empty traceEvents, got %d", len(doc.TraceEvents))
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"frieda/internal/cloud"
 	"frieda/internal/fault"
 	"frieda/internal/netsim"
+	"frieda/internal/obs"
 	"frieda/internal/partition"
 	"frieda/internal/sim"
 	"frieda/internal/storage"
@@ -120,6 +121,20 @@ type Config struct {
 	// and (after K missed deadlines) declared failures. Nil keeps the
 	// cloud-level VM failure callback as the only death signal.
 	Detection *DetectionConfig
+	// Tracer, when non-nil, records typed spans and instant events for the
+	// run: task dispatch/run spans on per-core lanes, transfer spans with
+	// attempt spans nested under them on per-worker transfer lanes, retry
+	// and worker-death instants, and detector transitions. Recording never
+	// schedules events or consumes randomness, so a traced run is
+	// event-for-event identical to an untraced one; nil disables tracing at
+	// the cost of one branch per site.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, is sampled on a virtual-time ticker for the
+	// run's duration: queue depth, live workers, busy/total slots, active
+	// flows, aggregate goodput, bytes moved, plus task/transfer outcome
+	// counters and duration histograms. Sampling is read-only and does not
+	// change run results.
+	Metrics *obs.Metrics
 }
 
 // NetFaultConfig tunes transfer retry and resume behaviour.
@@ -224,6 +239,12 @@ type Runner struct {
 	flowSince      sim.Time
 	computeSince   sim.Time
 
+	// Metric handles; the zero values ignore updates when Metrics is nil.
+	mTasksOK, mTasksFailed obs.Counter
+	mRequeues              obs.Counter
+	mInterrupts, mRetries  obs.Counter
+	hTaskSec, hXferSec     *obs.Histogram
+
 	res  Result
 	done func(Result)
 }
@@ -244,6 +265,11 @@ type simWorker struct {
 	backlog  []int
 	dead     bool
 	draining bool
+	// cpuLanes and xferLanes allocate trace tracks so concurrent spans on
+	// one worker render as properly nested per-lane timelines. Populated
+	// only when tracing is enabled.
+	cpuLanes  []bool
+	xferLanes []bool
 }
 
 // taskAttempt tracks cancellation state of one admitted task.
@@ -252,6 +278,9 @@ type taskAttempt struct {
 	stage   *stageIn
 	compute *sim.Event
 	started sim.Time
+	// span is the open compute span on cpu lane `lane` (tracing only).
+	span *obs.Span
+	lane int
 }
 
 // stageIn is the handle of one logical transfer: the current flow plus any
@@ -260,6 +289,15 @@ type stageIn struct {
 	flow      *netsim.Flow
 	retry     *sim.Event
 	abandoned bool
+	// startAt timestamps the logical transfer for the duration histogram.
+	startAt sim.Time
+	// Tracing state: the open transfer span and current attempt span on the
+	// worker's transfer lane `lane` of track `track`.
+	w       *simWorker
+	span    *obs.Span
+	attempt *obs.Span
+	track   string
+	lane    int
 }
 
 // NewRunner builds a runner for the cluster. The master VM hosts the data
@@ -312,6 +350,23 @@ func NewRunner(cluster *cloud.Cluster, master *cloud.VM, cfg Config, wl Workload
 	if cfg.NetFaults != nil {
 		r.rng = rand.New(rand.NewSource(cfg.NetFaults.JitterSeed))
 	}
+	if m := cfg.Metrics; m.Enabled() {
+		m.Gauge("queue_depth", func() float64 { return float64(r.QueueLen()) })
+		m.Gauge("live_workers", func() float64 { return float64(r.LiveWorkers()) })
+		m.Gauge("busy_slots", func() float64 { b, _ := r.SlotStats(); return float64(b) })
+		m.Gauge("total_slots", func() float64 { _, t := r.SlotStats(); return float64(t) })
+		m.Gauge("active_flows", func() float64 { return float64(r.activeFlows) })
+		m.Gauge("goodput_bps", cluster.Network().AggregateRateBps)
+		m.Gauge("terminal_tasks", func() float64 { return float64(r.terminal) })
+		m.Gauge("bytes_moved", func() float64 { return r.res.BytesMoved })
+	}
+	r.mTasksOK = cfg.Metrics.Counter("tasks_ok")
+	r.mTasksFailed = cfg.Metrics.Counter("tasks_failed")
+	r.mRequeues = cfg.Metrics.Counter("task_requeues")
+	r.mInterrupts = cfg.Metrics.Counter("transfer_interrupts")
+	r.mRetries = cfg.Metrics.Counter("transfer_retries")
+	r.hTaskSec = cfg.Metrics.Histogram("task_sec", []float64{1, 3, 10, 30, 100, 300, 1000, 3000, 10000})
+	r.hXferSec = cfg.Metrics.Histogram("transfer_sec", []float64{0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000})
 	r.res.PerWorker = make(map[string]int)
 	cluster.OnFailure(func(vm *cloud.VM) {
 		if w, ok := r.byVM[vm]; ok {
@@ -376,6 +431,9 @@ func (r *Runner) AddWorker(vm *cloud.VM) *simWorker {
 	r.workers = append(r.workers, w)
 	r.byVM[vm] = w
 	if r.started {
+		if tr := r.cfg.Tracer; tr.Enabled() {
+			tr.Instant(w.name, "sched", "worker-joined", nil)
+		}
 		r.startDetection(w)
 		r.stageCommon(w, func() { r.admit(w) })
 	}
@@ -394,6 +452,7 @@ func (r *Runner) initDetector() {
 			}
 		}
 	})
+	r.detector.SetTracer(r.cfg.Tracer)
 }
 
 // startDetection watches the worker and starts its heartbeat loop. A
@@ -462,6 +521,7 @@ func (r *Runner) Start(done func(Result)) error {
 	r.done = done
 	r.started = true
 	r.startAt = r.eng.Now()
+	r.cfg.Metrics.StartSampling()
 
 	if r.cfg.Detection != nil {
 		r.initDetector()
@@ -499,33 +559,58 @@ func (r *Runner) Start(done func(Result)) error {
 // workerDied. The fault-free path is event-for-event identical to a plain
 // cluster.Transfer.
 func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func(lost bool)) *stageIn {
-	s := &stageIn{}
+	s := &stageIn{w: w, startAt: r.eng.Now()}
+	tr := r.cfg.Tracer
+	if tr.Enabled() {
+		s.lane = claimLane(&w.xferLanes)
+		s.track = fmt.Sprintf("%s/net%d", w.name, s.lane)
+		s.span = tr.Begin(s.track, "transfer", transferName(files), obs.Args{
+			"worker": w.name, "bytes": bytes, "files": len(files),
+		})
+	}
 	var attempt func(remaining float64, n int)
 	attempt = func(remaining float64, n int) {
 		src := r.master
 		if n > 1 {
 			src = r.bestSource(w, files)
 		}
+		if s.span != nil {
+			s.attempt = tr.Begin(s.track, "attempt", fmt.Sprintf("attempt %d", n), obs.Args{
+				"src": src.Name(), "bytes": remaining,
+			})
+		}
 		r.flowStarted()
 		r.res.BytesMoved += remaining
 		s.flow = r.cluster.Transfer(src, w.vm, remaining, func(sim.Time) {
 			r.flowEnded()
 			s.flow = nil
+			if s.attempt != nil {
+				s.attempt.End(obs.Args{"outcome": "ok"})
+				s.attempt = nil
+			}
 			if s.abandoned {
 				return
 			}
+			r.hXferSec.Observe(float64(r.eng.Now() - s.startAt))
+			r.endStage(s, "ok")
 			done(false)
 		})
 		s.flow.OnInterrupt(func(delivered float64, _ sim.Time) {
 			r.flowEnded()
 			s.flow = nil
+			if s.attempt != nil {
+				s.attempt.End(obs.Args{"outcome": "interrupted", "delivered": delivered})
+				s.attempt = nil
+			}
 			r.res.BytesMoved -= remaining - delivered
 			if s.abandoned {
 				return
 			}
 			r.res.TransferInterrupts++
+			r.mInterrupts.Inc()
 			nf := r.cfg.NetFaults
 			if nf == nil || n >= nf.MaxAttempts || w.dead {
+				r.endStage(s, "lost")
 				done(true)
 				return
 			}
@@ -534,12 +619,20 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 				next = remaining - delivered
 			}
 			r.res.TransferRetries++
-			s.retry = r.eng.Schedule(r.backoff(n), func() {
+			r.mRetries.Inc()
+			backoff := r.backoff(n)
+			if s.span != nil {
+				tr.Instant(s.track, "transfer", "retry-scheduled", obs.Args{
+					"delay_sec": float64(backoff), "next_attempt": n + 1,
+				})
+			}
+			s.retry = r.eng.Schedule(backoff, func() {
 				s.retry = nil
 				if s.abandoned {
 					return
 				}
 				if w.dead {
+					r.endStage(s, "lost")
 					done(true)
 					return
 				}
@@ -549,6 +642,33 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 	}
 	attempt(bytes, 1)
 	return s
+}
+
+// transferName labels a logical transfer span.
+func transferName(files []string) string {
+	switch {
+	case len(files) == 1 && files[0] == commonFile:
+		return "stage common"
+	case len(files) == 1:
+		return "xfer " + files[0]
+	default:
+		return fmt.Sprintf("xfer %d files", len(files))
+	}
+}
+
+// endStage closes the transfer's spans and frees its trace lane; safe to
+// call on an untraced or already-closed stage.
+func (r *Runner) endStage(s *stageIn, outcome string) {
+	if s.span == nil {
+		return
+	}
+	if s.attempt != nil {
+		s.attempt.End(obs.Args{"outcome": outcome})
+		s.attempt = nil
+	}
+	s.span.End(obs.Args{"outcome": outcome})
+	s.span = nil
+	releaseLane(s.w.xferLanes, s.lane)
 }
 
 // bestSource picks a retry's source: the live worker holding every needed
@@ -612,6 +732,7 @@ func (r *Runner) abandonStage(s *stageIn) {
 		s.retry.Cancel()
 		s.retry = nil
 	}
+	r.endStage(s, "abandoned")
 }
 
 // stageCommon transfers the common dataset (if any) and marks the worker
@@ -835,6 +956,11 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 	task := r.wl.Tasks[gi]
 	att := &taskAttempt{task: gi}
 	w.inflight[gi] = att
+	if tr := r.cfg.Tracer; tr.Enabled() {
+		tr.Instant(w.name, "sched", "dispatch", obs.Args{
+			"task": gi, "bytes": task.InputBytes(),
+		})
+	}
 
 	var missing float64
 	var names []string
@@ -898,6 +1024,13 @@ func (r *Runner) compute(w *simWorker, att *taskAttempt) {
 			return
 		}
 		att.started = r.eng.Now()
+		if tr := r.cfg.Tracer; tr.Enabled() {
+			att.lane = claimLane(&w.cpuLanes)
+			att.span = tr.Begin(fmt.Sprintf("%s/cpu%d", w.name, att.lane), "task",
+				fmt.Sprintf("task %d", att.task), obs.Args{
+					"worker": w.name, "attempt": r.retries[att.task] + 1,
+				})
+		}
 		dur := sim.Duration(task.ComputeSec)
 		if r.cfg.ModelDiskIO {
 			dur += w.disk.Read(task.InputBytes())
@@ -911,6 +1044,7 @@ func (r *Runner) compute(w *simWorker, att *taskAttempt) {
 		att.compute = r.eng.Schedule(dur, func() {
 			r.computeEnded()
 			att.compute = nil
+			r.endTaskSpan(w, att, "ok")
 			delete(w.inflight, att.task)
 			w.admitted--
 			w.cores.Release()
@@ -924,6 +1058,7 @@ func (r *Runner) compute(w *simWorker, att *taskAttempt) {
 func (r *Runner) taskDone(w *simWorker, att *taskAttempt, ok bool) {
 	r.retries[att.task]++
 	if !ok && r.cfg.Recover && r.retries[att.task] <= r.cfg.MaxRetries {
+		r.mRequeues.Inc()
 		r.queue = append(r.queue, att.task)
 		for _, o := range r.workers {
 			if !o.dead {
@@ -940,8 +1075,11 @@ func (r *Runner) taskDone(w *simWorker, att *taskAttempt, ok bool) {
 	if ok {
 		r.res.Succeeded++
 		r.res.PerWorker[w.name]++
+		r.mTasksOK.Inc()
+		r.hTaskSec.Observe(float64(r.eng.Now() - att.started))
 	} else {
 		r.res.Abandoned++
+		r.mTasksFailed.Inc()
 	}
 	r.checkDone()
 }
@@ -953,6 +1091,9 @@ func (r *Runner) workerDied(w *simWorker) {
 		return
 	}
 	w.dead = true
+	if tr := r.cfg.Tracer; tr.Enabled() {
+		tr.Instant(w.name, "fault", "worker-died", nil)
+	}
 	r.replicas.DropNode(w.name)
 	if r.detector != nil {
 		r.detector.Stop(w.name)
@@ -971,6 +1112,7 @@ func (r *Runner) workerDied(w *simWorker) {
 			att.compute.Cancel()
 			r.computeEnded()
 		}
+		r.endTaskSpan(w, att, "killed")
 		delete(w.inflight, att.task)
 		w.admitted--
 		r.taskDone(w, att, false)
@@ -991,11 +1133,13 @@ func (r *Runner) reassign(w *simWorker) {
 	for _, gi := range backlog {
 		r.retries[gi]++
 		if r.cfg.Recover && r.retries[gi] <= r.cfg.MaxRetries {
+			r.mRequeues.Inc()
 			r.queue = append(r.queue, gi)
 			continue
 		}
 		r.terminal++
 		r.res.Abandoned++
+		r.mTasksFailed.Inc()
 		r.res.Completions = append(r.res.Completions, Completion{
 			Task: gi, Worker: w.name, End: r.eng.Now(), OK: false, Attempt: r.retries[gi],
 		})
@@ -1023,6 +1167,7 @@ func (r *Runner) checkDone() {
 			for _, gi := range queue {
 				r.terminal++
 				r.res.Abandoned++
+				r.mTasksFailed.Inc()
 				r.res.Completions = append(r.res.Completions, Completion{
 					Task: gi, End: r.eng.Now(), OK: false, Attempt: r.retries[gi],
 				})
@@ -1044,6 +1189,7 @@ func (r *Runner) checkDone() {
 		r.res.Detections = r.detector.Transitions()
 	}
 	r.res.MakespanSec = float64(r.eng.Now() - r.startAt)
+	r.cfg.Metrics.StopSampling()
 	done(r.res)
 }
 
@@ -1076,6 +1222,35 @@ func (r *Runner) computeEnded() {
 		r.res.ExecWallSec += float64(r.eng.Now() - r.computeSince)
 	}
 }
+
+// --- trace lanes ---
+
+// endTaskSpan closes an attempt's open compute span and frees its cpu lane.
+func (r *Runner) endTaskSpan(w *simWorker, att *taskAttempt, outcome string) {
+	if att.span == nil {
+		return
+	}
+	att.span.End(obs.Args{"outcome": outcome})
+	att.span = nil
+	releaseLane(w.cpuLanes, att.lane)
+}
+
+// claimLane returns the smallest free lane index, growing the lane set on
+// demand. Lanes exist so overlapping spans on one worker land on distinct
+// trace tracks, which viewers require for valid nesting.
+func claimLane(lanes *[]bool) int {
+	for i, busy := range *lanes {
+		if !busy {
+			(*lanes)[i] = true
+			return i
+		}
+	}
+	*lanes = append(*lanes, true)
+	return len(*lanes) - 1
+}
+
+// releaseLane frees a claimed lane.
+func releaseLane(lanes []bool, i int) { lanes[i] = false }
 
 // --- helpers ---
 

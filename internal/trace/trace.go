@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"frieda/internal/fault"
+	"frieda/internal/obs"
 	"frieda/internal/simrun"
 )
 
@@ -18,23 +19,30 @@ import (
 type WorkerLane struct {
 	Worker string
 	Tasks  int
+	// Failed counts the worker's terminal failed attempts.
+	Failed int
 	// BusySec is the summed task durations.
 	BusySec float64
 	// FirstStart and LastEnd bound the lane.
 	FirstStart, LastEnd float64
+	// MakespanSec is the whole run's duration, the utilisation denominator.
+	MakespanSec float64
 }
 
 // Lanes computes per-worker aggregates from completions, sorted by worker.
-func Lanes(completions []simrun.Completion) []WorkerLane {
+// makespanSec is the run's total duration; it denominates Utilisation so a
+// worker idle before its first or after its last task reads as idle.
+func Lanes(completions []simrun.Completion, makespanSec float64) []WorkerLane {
 	byWorker := map[string]*WorkerLane{}
 	for _, c := range completions {
-		if !c.OK {
-			continue
-		}
 		l := byWorker[c.Worker]
 		if l == nil {
-			l = &WorkerLane{Worker: c.Worker, FirstStart: float64(c.Start)}
+			l = &WorkerLane{Worker: c.Worker, FirstStart: float64(c.Start), MakespanSec: makespanSec}
 			byWorker[c.Worker] = l
+		}
+		if !c.OK {
+			l.Failed++
+			continue
 		}
 		l.Tasks++
 		l.BusySec += float64(c.End - c.Start)
@@ -53,19 +61,24 @@ func Lanes(completions []simrun.Completion) []WorkerLane {
 	return out
 }
 
-// Utilisation returns busy time over lane span (0 for an empty lane).
+// Utilisation returns busy time over the run's makespan — the fraction of
+// the whole run this worker spent computing. Lanes built without a makespan
+// fall back to the lane's own span (0 for an empty lane).
 func (l WorkerLane) Utilisation() float64 {
-	span := l.LastEnd - l.FirstStart
+	span := l.MakespanSec
+	if span <= 0 {
+		span = l.LastEnd - l.FirstStart
+	}
 	if span <= 0 {
 		return 0
 	}
-	u := l.BusySec / span
-	return u
+	return l.BusySec / span
 }
 
-// Gantt renders a fixed-width text timeline, one row per worker, '#' for
-// busy buckets and '.' for idle, plus a per-row task count. width is the
-// number of buckets (default 60).
+// Gantt renders a fixed-width text timeline, one row per worker: '#' for
+// busy buckets, '.' for idle, and 'x' marking where a failed or interrupted
+// attempt went terminal — fault runs show where work was lost instead of
+// silently dropping those rows. width is the number of buckets (default 60).
 func Gantt(res simrun.Result, width int) string {
 	if width <= 0 {
 		width = 60
@@ -75,15 +88,24 @@ func Gantt(res simrun.Result, width int) string {
 	}
 	type span struct{ start, end float64 }
 	byWorker := map[string][]span{}
+	failsBy := map[string][]float64{}
 	for _, c := range res.Completions {
 		if !c.OK {
+			failsBy[c.Worker] = append(failsBy[c.Worker], float64(c.End))
 			continue
 		}
 		byWorker[c.Worker] = append(byWorker[c.Worker], span{float64(c.Start), float64(c.End)})
 	}
-	workers := make([]string, 0, len(byWorker))
+	seen := map[string]bool{}
+	var workers []string
 	for w := range byWorker {
+		seen[w] = true
 		workers = append(workers, w)
+	}
+	for w := range failsBy {
+		if !seen[w] {
+			workers = append(workers, w)
+		}
 	}
 	sort.Strings(workers)
 
@@ -105,22 +127,148 @@ func Gantt(res simrun.Result, width int) string {
 				row[i] = '#'
 			}
 		}
-		fmt.Fprintf(&b, "%-8s |%s| %d tasks\n", w, row, len(byWorker[w]))
+		for _, at := range failsBy[w] {
+			i := int(at / bucket)
+			if i >= width {
+				i = width - 1
+			}
+			row[i] = 'x'
+		}
+		label := w
+		if label == "" {
+			label = "(unrun)"
+		}
+		note := fmt.Sprintf("%d tasks", len(byWorker[w]))
+		if nf := len(failsBy[w]); nf > 0 {
+			note = fmt.Sprintf("%d ok, %d failed", len(byWorker[w]), nf)
+		}
+		fmt.Fprintf(&b, "%-8s |%s| %s\n", label, row, note)
 	}
 	return b.String()
 }
 
-// Summary renders per-worker utilisation aggregates.
+// Summary renders per-worker utilisation aggregates. Utilisation is busy
+// time over the run's makespan, so idle tails count against a worker.
 func Summary(res simrun.Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %8s %10s %10s %8s\n", "worker", "tasks", "busy(s)", "span(s)", "util")
-	for _, l := range Lanes(res.Completions) {
-		fmt.Fprintf(&b, "%-10s %8d %10.1f %10.1f %7.1f%%\n",
-			l.Worker, l.Tasks, l.BusySec, l.LastEnd-l.FirstStart, 100*l.Utilisation())
+	fmt.Fprintf(&b, "%-10s %8s %8s %10s %10s %8s\n", "worker", "tasks", "failed", "busy(s)", "span(s)", "util")
+	for _, l := range Lanes(res.Completions, res.MakespanSec) {
+		worker := l.Worker
+		if worker == "" {
+			worker = "(unrun)"
+		}
+		fmt.Fprintf(&b, "%-10s %8d %8d %10.1f %10.1f %7.1f%%\n",
+			worker, l.Tasks, l.Failed, l.BusySec, l.LastEnd-l.FirstStart, 100*l.Utilisation())
 	}
 	fmt.Fprintf(&b, "makespan %.1fs, transfer wall %.1fs, exec wall %.1fs, %.0f bytes moved\n",
 		res.MakespanSec, res.TransferWallSec, res.ExecWallSec, res.BytesMoved)
 	return b.String()
+}
+
+// SpanSummary aggregates a run's recorded spans into a phase breakdown: per
+// worker, real busy seconds from task spans and staging seconds from
+// transfer spans, plus counts of the run's instant events. Returns a note
+// when tracing was disabled.
+func SpanSummary(tr *obs.Tracer) string {
+	if !tr.Enabled() || tr.Len() == 0 {
+		return "(no trace recorded)\n"
+	}
+	type agg struct {
+		tasks, xfers     int
+		taskSec, xferSec float64
+		taskIvs, xferIvs [][2]float64
+		attempts         int
+	}
+	byWorker := map[string]*agg{}
+	worker := func(track string) string {
+		if i := strings.IndexByte(track, '/'); i >= 0 {
+			return track[:i]
+		}
+		return track
+	}
+	instants := map[string]int{}
+	for _, e := range tr.Events() {
+		switch e.Phase {
+		case obs.PhaseSpan:
+			w := worker(e.Track)
+			a := byWorker[w]
+			if a == nil {
+				a = &agg{}
+				byWorker[w] = a
+			}
+			iv := [2]float64{float64(e.Ts), float64(e.End())}
+			switch e.Cat {
+			case "task":
+				a.tasks++
+				a.taskSec += float64(e.Dur)
+				a.taskIvs = append(a.taskIvs, iv)
+			case "transfer":
+				a.xfers++
+				a.xferSec += float64(e.Dur)
+				a.xferIvs = append(a.xferIvs, iv)
+			case "attempt":
+				a.attempts++
+			}
+		case obs.PhaseInstant:
+			instants[e.Cat+"/"+e.Name]++
+		}
+	}
+	workers := make([]string, 0, len(byWorker))
+	var taskIvs, xferIvs [][2]float64
+	for w, a := range byWorker {
+		workers = append(workers, w)
+		taskIvs = append(taskIvs, a.taskIvs...)
+		xferIvs = append(xferIvs, a.xferIvs...)
+	}
+	sort.Strings(workers)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "span summary for %s (%d events)\n", tr.Name(), tr.Len())
+	fmt.Fprintf(&b, "%-10s %6s %10s %6s %9s %9s\n", "worker", "tasks", "task(s)", "xfers", "xfer(s)", "attempts")
+	for _, w := range workers {
+		a := byWorker[w]
+		fmt.Fprintf(&b, "%-10s %6d %10.1f %6d %9.1f %9d\n",
+			w, a.tasks, a.taskSec, a.xfers, a.xferSec, a.attempts)
+	}
+	taskWall := unionSec(taskIvs)
+	xferWall := unionSec(xferIvs)
+	overlap := taskWall + xferWall - unionSec(append(taskIvs, xferIvs...))
+	fmt.Fprintf(&b, "compute wall %.1fs, transfer wall %.1fs, overlap %.1fs\n", taskWall, xferWall, overlap)
+	if len(instants) > 0 {
+		keys := make([]string, 0, len(instants))
+		for k := range instants {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s %d", k, instants[k])
+		}
+		fmt.Fprintf(&b, "instants: %s\n", strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// unionSec returns the total length covered by the union of the intervals.
+func unionSec(ivs [][2]float64) float64 {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sorted := append([][2]float64(nil), ivs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i][0] < sorted[j][0] })
+	total := 0.0
+	lo, hi := sorted[0][0], sorted[0][1]
+	for _, iv := range sorted[1:] {
+		if iv[0] > hi {
+			total += hi - lo
+			lo, hi = iv[0], iv[1]
+			continue
+		}
+		if iv[1] > hi {
+			hi = iv[1]
+		}
+	}
+	return total + (hi - lo)
 }
 
 // DetectionTimeline renders the failure detector's suspect/declare/recover

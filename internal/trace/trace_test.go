@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"frieda/internal/fault"
+	"frieda/internal/obs"
+	"frieda/internal/sim"
 	"frieda/internal/simrun"
 )
 
@@ -26,17 +28,30 @@ func sampleResult() simrun.Result {
 }
 
 func TestLanes(t *testing.T) {
-	lanes := Lanes(sampleResult().Completions)
+	lanes := Lanes(sampleResult().Completions, 10)
 	if len(lanes) != 2 {
 		t.Fatalf("lanes = %d", len(lanes))
 	}
 	if lanes[0].Worker != "vm-1" || lanes[0].Tasks != 2 || lanes[0].BusySec != 6 {
 		t.Fatalf("lane 0 = %+v", lanes[0])
 	}
-	// Failed completion excluded from lanes.
-	if lanes[1].Tasks != 1 || lanes[1].BusySec != 8 {
+	// Failed completion counted separately, not in busy time.
+	if lanes[1].Tasks != 1 || lanes[1].Failed != 1 || lanes[1].BusySec != 8 {
 		t.Fatalf("lane 1 = %+v", lanes[1])
 	}
+	// Utilisation is against the run's makespan: vm-1 is busy 6 of 10 s even
+	// though its own span (0..6) was fully busy.
+	if math.Abs(lanes[0].Utilisation()-0.6) > 1e-9 {
+		t.Fatalf("vm-1 util = %v", lanes[0].Utilisation())
+	}
+	if math.Abs(lanes[1].Utilisation()-0.8) > 1e-9 {
+		t.Fatalf("vm-2 util = %v", lanes[1].Utilisation())
+	}
+}
+
+func TestLanesNoMakespanFallsBack(t *testing.T) {
+	lanes := Lanes(sampleResult().Completions, 0)
+	// Without a makespan the old lane-span denominator applies.
 	if math.Abs(lanes[0].Utilisation()-1.0) > 1e-9 {
 		t.Fatalf("vm-1 util = %v", lanes[0].Utilisation())
 	}
@@ -62,6 +77,16 @@ func TestGantt(t *testing.T) {
 	if !strings.Contains(row, "#") || !strings.Contains(row, ".") {
 		t.Fatalf("row lacks both busy and idle: %q", row)
 	}
+	// vm-2's failed completion ends at t=10: an 'x' in the last bucket and a
+	// failure note instead of a silent drop.
+	vm2 := lines[2]
+	if !strings.HasSuffix(strings.TrimRight(vm2, " "), "1 ok, 1 failed") {
+		t.Fatalf("vm-2 note = %q", vm2)
+	}
+	bar := vm2[strings.IndexByte(vm2, '|')+1 : strings.LastIndexByte(vm2, '|')]
+	if bar[len(bar)-1] != 'x' {
+		t.Fatalf("vm-2 row missing failure glyph: %q", bar)
+	}
 	if Gantt(simrun.Result{}, 20) != "(empty run)\n" {
 		t.Fatal("empty run not handled")
 	}
@@ -71,29 +96,82 @@ func TestGantt(t *testing.T) {
 	}
 }
 
-func TestSummary(t *testing.T) {
-	out := Summary(sampleResult())
-	for _, want := range []string{"vm-1", "vm-2", "makespan 10.0s", "util"} {
-		if !strings.Contains(out, want) {
-			t.Fatalf("summary missing %q:\n%s", want, out)
-		}
+func TestGanttFailedOnlyWorker(t *testing.T) {
+	res := simrun.Result{
+		MakespanSec: 10,
+		Completions: []simrun.Completion{
+			{Task: 0, Worker: "vm-1", Start: 0, End: 4, OK: true, Attempt: 1},
+			{Task: 1, Worker: "", End: 10, OK: false, Attempt: 1},
+		},
+	}
+	out := Gantt(res, 20)
+	if !strings.Contains(out, "(unrun)") {
+		t.Fatalf("unassigned failures dropped:\n%s", out)
+	}
+	if !strings.Contains(out, "0 ok, 1 failed") {
+		t.Fatalf("failure note missing:\n%s", out)
 	}
 }
 
-func TestWriteCSV(t *testing.T) {
+func TestSummaryGolden(t *testing.T) {
+	got := Summary(sampleResult())
+	want := strings.Join([]string{
+		"worker        tasks   failed    busy(s)    span(s)     util",
+		"vm-1              2        0        6.0        6.0    60.0%",
+		"vm-2              1        1        8.0        8.0    80.0%",
+		"makespan 10.0s, transfer wall 4.0s, exec wall 8.0s, 1000000 bytes moved",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("summary golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteCSVGolden(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteCSV(&buf, sampleResult().Completions); err != nil {
 		t.Fatal(err)
 	}
-	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 5 {
-		t.Fatalf("csv lines = %d", len(lines))
+	want := strings.Join([]string{
+		"task,worker,start_sec,end_sec,ok,attempt",
+		"0,vm-1,0.000000,3.000000,true,1",
+		"1,vm-1,3.000000,6.000000,true,1",
+		"2,vm-2,1.000000,9.000000,true,1",
+		"3,vm-2,9.000000,10.000000,false,2",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("csv golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
-	if lines[0] != "task,worker,start_sec,end_sec,ok,attempt" {
-		t.Fatalf("header = %q", lines[0])
+}
+
+func TestSpanSummary(t *testing.T) {
+	if got := SpanSummary(nil); got != "(no trace recorded)\n" {
+		t.Fatalf("nil tracer = %q", got)
 	}
-	if !strings.Contains(lines[4], "false,2") {
-		t.Fatalf("failed row = %q", lines[4])
+	eng := sim.NewEngine()
+	tr := obs.NewTracer(eng, "demo")
+	var task, xfer *obs.Span
+	eng.Schedule(0, func() {
+		xfer = tr.Begin("vm-1/net0", "transfer", "stage common", nil)
+		tr.Instant("vm-1", "sched", "dispatch", nil)
+	})
+	eng.Schedule(4, func() {
+		xfer.End(nil)
+		task = tr.Begin("vm-1/cpu0", "task", "task 0", nil)
+	})
+	eng.Schedule(10, func() { task.End(nil) })
+	eng.Run()
+	out := SpanSummary(tr)
+	for _, want := range []string{
+		"span summary for demo",
+		"vm-1", // aggregated across the worker's cpu and net tracks
+		"compute wall 6.0s, transfer wall 4.0s, overlap 0.0s",
+		"sched/dispatch 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("span summary missing %q:\n%s", want, out)
+		}
 	}
 }
 
