@@ -9,6 +9,7 @@
 //	friedabench -exp ablations      # prefetch / bandwidth / variance /
 //	                                # failures / elasticity / netfail sweeps
 //	friedabench -exp netfail        # link faults: isolate vs retry vs resume
+//	friedabench -exp durability     # chaos: RF sweep under link+disk+worker faults
 //	friedabench -exp scale          # BLAST at 256/1024/4096 workers
 //
 // -scale shrinks the workloads for quick runs (1.0 = paper size; the full
@@ -135,7 +136,7 @@ func (c *collector) export() error {
 
 func main() {
 	fs := flag.NewFlagSet("friedabench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment: table1 | fig6a | fig6b | fig7a | fig7b | ablations | scale | all")
+	exp := fs.String("exp", "all", "experiment: table1 | fig6a | fig6b | fig7a | fig7b | ablations | durability | scale | all")
 	scale := fs.Float64("scale", 1.0, "workload scale (1.0 = paper size)")
 	gantt := fs.Bool("gantt", false, "print a worker timeline for figure experiments")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of every run to this file (Perfetto-loadable)")
@@ -276,6 +277,17 @@ func runExperiment(name string, scale float64, gantt bool, col *collector) error
 		fmt.Print(experiments.RenderSweep(
 			"Ablation: partition duration — BLAST (per-worker link MTBF 8000s)", "mttr_sec", rows))
 		fmt.Println()
+	case "ablation-durability", "durability":
+		for _, app := range []string{"ALS", "BLAST"} {
+			rows, err := experiments.AblationDurability(app, scale)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderSweep(
+				fmt.Sprintf("Ablation: durability chaos — %s (RF 1/2/3 under combined link+disk+worker faults, dead VMs replaced)", app),
+				"mtbf_sec", rows))
+			fmt.Println()
+		}
 	case "scale":
 		rows, err := experiments.ScaleSweep(experiments.DefaultScaleWorkers, scale)
 		if err != nil {

@@ -22,6 +22,33 @@ type FileMeta struct {
 	Name string
 	// Size is the file length in bytes.
 	Size int64
+	// Checksum is the file's end-to-end content checksum (0 = none
+	// recorded). Simulated workloads seed it with SeedChecksum; real sources
+	// would hash actual bytes. Transfers that verify on arrival compare
+	// against it, which is what turns silent corruption into a detected,
+	// re-fetchable event.
+	Checksum uint64
+}
+
+// SeedChecksum derives a deterministic synthetic content checksum for a
+// simulated file from its name and a workload seed (FNV-1a). Equal
+// (name, seed) pairs always produce the same checksum, so seeded runs stay
+// bit-identical.
+func SeedChecksum(name string, seed int64) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(seed>>(8*i)) & 0xff
+		h *= prime64
+	}
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	if h == 0 {
+		h = offset64 // reserve 0 for "no checksum recorded"
+	}
+	return h
 }
 
 // Catalog is an ordered set of file metadata. Order matters: the paper's
@@ -217,11 +244,19 @@ func (s *MemSource) Catalog() (*Catalog, error) {
 type Replicas struct {
 	mu  sync.RWMutex
 	loc map[string]map[string]struct{} // file -> set of node names
+	// known remembers every file ever registered, even after its last
+	// holder vanished (loc entries are deleted when empty). Without it a
+	// zero-replica file would be invisible to UnderReplicated — exactly the
+	// file that most needs repair.
+	known map[string]struct{}
 }
 
 // NewReplicas returns an empty replica map.
 func NewReplicas() *Replicas {
-	return &Replicas{loc: make(map[string]map[string]struct{})}
+	return &Replicas{
+		loc:   make(map[string]map[string]struct{}),
+		known: make(map[string]struct{}),
+	}
 }
 
 // Add records that node holds file.
@@ -234,6 +269,7 @@ func (r *Replicas) Add(file, node string) {
 		r.loc[file] = set
 	}
 	set[node] = struct{}{}
+	r.known[file] = struct{}{}
 }
 
 // Remove forgets one replica (e.g. the node failed).
@@ -286,4 +322,41 @@ func (r *Replicas) Has(file, node string) bool {
 	defer r.mu.RUnlock()
 	_, ok := r.loc[file][node]
 	return ok
+}
+
+// Count returns the number of live replicas of file.
+func (r *Replicas) Count(file string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.loc[file])
+}
+
+// Forget removes file from the replica map entirely, including the known
+// set — used when a file is declared permanently lost and should stop
+// showing up in repair scans.
+func (r *Replicas) Forget(file string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.loc, file)
+	delete(r.known, file)
+}
+
+// UnderReplicated returns, sorted, every known file with fewer than rf live
+// replicas — including files whose replica count has dropped to zero (their
+// loc entry is gone, but the known set remembers them). rf < 1 returns nil:
+// no target means nothing is under target.
+func (r *Replicas) UnderReplicated(rf int) []string {
+	if rf < 1 {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for file := range r.known {
+		if len(r.loc[file]) < rf {
+			out = append(out, file)
+		}
+	}
+	sort.Strings(out)
+	return out
 }

@@ -225,6 +225,75 @@ func TestReplicasDropNodeEdgeCases(t *testing.T) {
 	}
 }
 
+func TestReplicasUnderReplicated(t *testing.T) {
+	r := NewReplicas()
+	r.Add("f1", "w0")
+	r.Add("f1", "w1")
+	r.Add("f2", "w0")
+	r.Add("f3", "w1")
+
+	if ur := r.UnderReplicated(1); len(ur) != 0 {
+		t.Fatalf("UnderReplicated(1) = %v, want none", ur)
+	}
+	ur := r.UnderReplicated(2)
+	if len(ur) != 2 || ur[0] != "f2" || ur[1] != "f3" {
+		t.Fatalf("UnderReplicated(2) = %v, want [f2 f3]", ur)
+	}
+	// rf < 1 means no target: nothing is under it.
+	if ur := r.UnderReplicated(0); ur != nil {
+		t.Fatalf("UnderReplicated(0) = %v, want nil", ur)
+	}
+
+	// Drop-node race: w0 dies while holding the sole copy of f2. The file's
+	// loc entry is deleted, but it must still be reported as under target —
+	// a zero-replica file is the most under-replicated of all.
+	lost := r.DropNode("w0")
+	if len(lost) != 2 || lost[0] != "f1" || lost[1] != "f2" {
+		t.Fatalf("DropNode lost = %v", lost)
+	}
+	ur = r.UnderReplicated(1)
+	if len(ur) != 1 || ur[0] != "f2" {
+		t.Fatalf("after drop, UnderReplicated(1) = %v, want [f2]", ur)
+	}
+	ur = r.UnderReplicated(2)
+	if len(ur) != 3 || ur[0] != "f1" || ur[1] != "f2" || ur[2] != "f3" {
+		t.Fatalf("after drop, UnderReplicated(2) = %v, want [f1 f2 f3]", ur)
+	}
+	if r.Count("f2") != 0 || r.Count("f1") != 1 {
+		t.Fatalf("Count(f2)=%d Count(f1)=%d", r.Count("f2"), r.Count("f1"))
+	}
+
+	// Repairing the zero-replica file takes it back off the list.
+	r.Add("f2", "w1")
+	if ur := r.UnderReplicated(1); len(ur) != 0 {
+		t.Fatalf("after repair, UnderReplicated(1) = %v, want none", ur)
+	}
+
+	// Forget removes a permanently-lost file from future scans entirely.
+	r.DropNode("w1")
+	r.Forget("f2")
+	ur = r.UnderReplicated(1)
+	if len(ur) != 2 || ur[0] != "f1" || ur[1] != "f3" {
+		t.Fatalf("after Forget, UnderReplicated(1) = %v, want [f1 f3]", ur)
+	}
+}
+
+func TestSeedChecksum(t *testing.T) {
+	a := SeedChecksum("img00001.pgm", 7)
+	if a == 0 {
+		t.Fatal("checksum 0 is reserved for 'none recorded'")
+	}
+	if b := SeedChecksum("img00001.pgm", 7); b != a {
+		t.Fatalf("not deterministic: %x vs %x", a, b)
+	}
+	if b := SeedChecksum("img00002.pgm", 7); b == a {
+		t.Fatal("different names collided")
+	}
+	if b := SeedChecksum("img00001.pgm", 8); b == a {
+		t.Fatal("different seeds collided")
+	}
+}
+
 // Property: after adding n distinct files, Names has length n, preserves
 // insertion order, and TotalSize is the sum of sizes.
 func TestCatalogInvariantProperty(t *testing.T) {

@@ -172,8 +172,9 @@ type Cluster struct {
 	vms    []*VM
 	nextID int
 
-	onReady []func(*VM)
-	onFail  []func(*VM)
+	onReady    []func(*VM)
+	onFail     []func(*VM)
+	onDiskFail []func(*VM, *storage.Volume)
 }
 
 // New creates an empty cluster on the engine.
@@ -325,6 +326,52 @@ func (c *Cluster) Terminate(vm *VM) {
 	if vm.failTimer != nil {
 		vm.failTimer.Stop()
 	}
+}
+
+// OnDiskFailure registers a callback invoked when a running VM's local disk
+// dies (wiped by an injector or FailDisk). The VM itself keeps running —
+// media death without machine death is exactly the fault class a
+// replication layer must repair.
+func (c *Cluster) OnDiskFailure(fn func(*VM, *storage.Volume)) {
+	c.onDiskFail = append(c.onDiskFail, fn)
+}
+
+// FailDisk wipes a running VM's local disk at the current virtual time and
+// fires disk-failure callbacks. A no-op on non-running VMs: a dead machine's
+// media has already been lost with the machine. Experiments call this
+// directly for scripted disk deaths.
+func (c *Cluster) FailDisk(vm *VM) {
+	if !vm.Running() {
+		return
+	}
+	vm.localDisk.Wipe()
+	for _, fn := range c.onDiskFail {
+		fn(vm, vm.localDisk)
+	}
+}
+
+// InjectDiskFaults arms a seeded disk-fault injector over the local disks of
+// the given VMs, grouping media faults with VM lifecycle the way
+// InjectLinkFaults groups NIC links: a volume death on a running VM fires
+// the cluster's OnDiskFailure callbacks (deaths on already-dead VMs are
+// swallowed — the machine's loss subsumes the media's). The caller picks the
+// VMs and stops the injector when the run is over.
+func (c *Cluster) InjectDiskFaults(vms []*VM, opts storage.DiskFaultOptions) *storage.DiskFaultInjector {
+	vols := make([]*storage.Volume, len(vms))
+	byVol := make(map[*storage.Volume]*VM, len(vms))
+	for i, vm := range vms {
+		vols[i] = vm.localDisk
+		byVol[vm.localDisk] = vm
+	}
+	return storage.NewDiskFaultInjector(c.eng, vols, opts, func(v *storage.Volume) {
+		vm := byVol[v]
+		if vm == nil || !vm.Running() {
+			return
+		}
+		for _, fn := range c.onDiskFail {
+			fn(vm, v)
+		}
+	})
 }
 
 // InjectLinkFaults arms a seeded link-fault injector over the NIC links of

@@ -330,3 +330,55 @@ func TestIntraSiteBypassSpeeds(t *testing.T) {
 		t.Fatalf("intra-site transfer took %v, want ~1 s", d)
 	}
 }
+
+func TestFailDisk(t *testing.T) {
+	eng := sim.NewEngine()
+	c, vms := Default4VMCluster(eng, 1)
+	vms[1].LocalDisk().Allocate(1e9)
+	var gotVM *VM
+	var gotVol *storage.Volume
+	c.OnDiskFailure(func(vm *VM, v *storage.Volume) { gotVM, gotVol = vm, v })
+	c.FailDisk(vms[1])
+	if gotVM != vms[1] || gotVol != vms[1].LocalDisk() {
+		t.Fatal("disk-failure callback missed or wrong target")
+	}
+	if vms[1].LocalDisk().Used() != 0 || vms[1].LocalDisk().Wipes != 1 {
+		t.Fatal("FailDisk did not wipe the volume")
+	}
+	if !vms[1].Running() {
+		t.Fatal("disk death must not kill the VM")
+	}
+	// A dead VM's disk cannot fail again.
+	c.Fail(vms[1])
+	gotVM = nil
+	c.FailDisk(vms[1])
+	if gotVM != nil {
+		t.Fatal("FailDisk fired on a dead VM")
+	}
+}
+
+func TestInjectDiskFaults(t *testing.T) {
+	eng := sim.NewEngine()
+	c, vms := Default4VMCluster(eng, 1)
+	deaths := map[string]int{}
+	c.OnDiskFailure(func(vm *VM, _ *storage.Volume) { deaths[vm.Name()]++ })
+	// vm-3 dies early: its later disk deaths must be swallowed.
+	eng.Schedule(10, func() { c.Fail(vms[3]) })
+	inj := c.InjectDiskFaults(vms[1:], storage.DiskFaultOptions{Seed: 9, DeathMTBFSec: 100})
+	eng.RunUntil(2000)
+	inj.Stop()
+	if inj.Deaths() == 0 {
+		t.Fatal("no disk deaths over 20×MTBF")
+	}
+	if deaths["vm-3"] != 0 {
+		t.Fatalf("dead VM received %d disk-failure callbacks", deaths["vm-3"])
+	}
+	if deaths["vm-1"]+deaths["vm-2"] == 0 {
+		t.Fatal("no callbacks for live VMs")
+	}
+	if deaths["vm-0"] != 0 {
+		t.Fatal("uninjected VM received a disk fault")
+	}
+	for eng.Step() {
+	}
+}

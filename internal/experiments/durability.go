@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+
+	"frieda/internal/catalog"
+	"frieda/internal/cloud"
+	"frieda/internal/netsim"
+	"frieda/internal/sim"
+	"frieda/internal/simrun"
+	"frieda/internal/storage"
+	"frieda/internal/strategy"
+)
+
+// chaosSpec is one combined-fault regime for the durability ablation. A
+// single knob per fault class keeps the sweep one-dimensional; zero disables
+// that class.
+type chaosSpec struct {
+	// workerMTBFSec is the per-VM crash MTBF (cloud lifecycle faults).
+	workerMTBFSec float64
+	// diskMTBFSec is the per-worker local-disk death MTBF.
+	diskMTBFSec float64
+	// linkMTBFSec is the per-worker link-degrade MTBF; degraded links
+	// corrupt payloads, exercising the checksum/refetch path.
+	linkMTBFSec float64
+}
+
+// chaosFor derives the combined regime from one sweep parameter: worker
+// crashes at the given MTBF, disk deaths slightly less often (distinct
+// phase), and link degradation a few times per crash interval.
+func chaosFor(mtbfSec float64) chaosSpec {
+	if mtbfSec <= 0 {
+		return chaosSpec{}
+	}
+	return chaosSpec{
+		workerMTBFSec: mtbfSec,
+		diskMTBFSec:   1.5 * mtbfSec,
+		linkMTBFSec:   mtbfSec / 2,
+	}
+}
+
+// withChecksums stamps every file in the workload with its seeded content
+// checksum, the end-to-end integrity anchor transfers verify on arrival.
+func withChecksums(wl simrun.Workload, seed int64) simrun.Workload {
+	for ti := range wl.Tasks {
+		for fi := range wl.Tasks[ti].Files {
+			f := &wl.Tasks[ti].Files[fi]
+			f.Checksum = catalog.SeedChecksum(f.Name, seed)
+		}
+	}
+	return wl
+}
+
+// runDurability runs the real-time strategy with the durability layer under
+// combined worker, disk and link faults on the paper's 4-worker testbed.
+// Dead VMs are replaced (the controller's remediation), so the question the
+// experiment answers is purely about data survival: with EvacuateSource the
+// worker pool is the only store, and RF is what stands between a crash and
+// permanent loss. Everything is virtual-time and seeded, so equal arguments
+// produce bit-identical results.
+func runDurability(wl simrun.Workload, rf int, spec chaosSpec) (simrun.Result, error) {
+	eng := sim.NewEngine()
+	cluster := cloud.New(eng, cloud.Options{Seed: 7, InstantBoot: true, FailureMTBFSec: spec.workerMTBFSec})
+	vms, err := cluster.Provision(5, cloud.C1XLarge)
+	if err != nil {
+		return simrun.Result{}, err
+	}
+	eng.RunUntil(eng.Now())
+	cfg := simrun.Config{
+		Strategy:    strategy.RealTimeRemote,
+		Recover:     true,
+		MaxRetries:  5,
+		ModelDiskIO: true,
+		Detection:   &simrun.DetectionConfig{HeartbeatSec: 5, TimeoutSec: 15, K: 3},
+		NetFaults: &simrun.NetFaultConfig{
+			Resume:        true,
+			MaxAttempts:   6,
+			BackoffSec:    1,
+			BackoffCapSec: 30,
+			JitterSeed:    13,
+		},
+		Durability: &simrun.DurabilityConfig{
+			RF:                   rf,
+			ScanPeriodSec:        30,
+			MaxConcurrentRepairs: 2,
+			EvacuateSource:       true,
+			Verify:               true,
+			CorruptionRate:       0.25,
+			Seed:                 17,
+		},
+	}
+	instrument(fmt.Sprintf("%s durability rf=%d mtbf=%.0f", wl.Name, rf, spec.workerMTBFSec), cluster, &cfg)
+	r, err := simrun.NewRunner(cluster, vms[0], cfg, wl)
+	if err != nil {
+		return simrun.Result{}, err
+	}
+
+	var linkInj *netsim.LinkFaultInjector
+	if spec.linkMTBFSec > 0 {
+		// Degrade-mode faults: links stay up at reduced capacity, which is
+		// what makes in-flight payloads corruptible.
+		linkInj = cluster.InjectLinkFaults(vms[1:], netsim.FaultOptions{
+			Seed:          11,
+			MTBFSec:       spec.linkMTBFSec,
+			MTTRSec:       25,
+			DegradeFactor: 0.4,
+		})
+	}
+	var diskInjs []*storage.DiskFaultInjector
+	diskSeed := int64(5)
+	injectDisks := func(targets []*cloud.VM) {
+		if spec.diskMTBFSec <= 0 {
+			return
+		}
+		diskSeed++
+		diskInjs = append(diskInjs, cluster.InjectDiskFaults(targets, storage.DiskFaultOptions{
+			Seed:          diskSeed,
+			DeathMTBFSec:  spec.diskMTBFSec,
+			ReadErrorRate: 0.005,
+		}))
+	}
+	injectDisks(vms[1:])
+
+	finished := false
+	var result simrun.Result
+	var provisionErr error
+	if spec.workerMTBFSec > 0 {
+		// Replace dead workers so the pool keeps repair destinations; stop
+		// once the run is over or the failure/replace chain churns forever.
+		cluster.OnFailure(func(dead *cloud.VM) {
+			if finished || dead.Host() == vms[0].Host() {
+				return
+			}
+			fresh, perr := cluster.Provision(1, cloud.C1XLarge)
+			if perr != nil {
+				if provisionErr == nil {
+					provisionErr = fmt.Errorf("experiments: durability replacement provision: %w", perr)
+				}
+				return
+			}
+			replacement := fresh[0]
+			cluster.OnReadyOnce(replacement, func() {
+				if finished {
+					return
+				}
+				r.AddWorker(replacement)
+				injectDisks([]*cloud.VM{replacement})
+			})
+		})
+	}
+	// The master is the paper's acknowledged single point of failure; its
+	// links and disk stay healthy so the sweep isolates worker-side loss.
+	for _, vm := range vms[1:] {
+		r.AddWorker(vm)
+	}
+	if err := r.Start(func(res simrun.Result) {
+		result = res
+		finished = true
+	}); err != nil {
+		return simrun.Result{}, err
+	}
+	// Injectors perpetually re-arm, so drive by steps until the run
+	// completes rather than draining the queue.
+	for !finished && eng.Step() {
+	}
+	if linkInj != nil {
+		linkInj.Stop()
+	}
+	for _, inj := range diskInjs {
+		inj.Stop()
+	}
+	if !finished {
+		return simrun.Result{}, fmt.Errorf("experiments: durability deadlocked (rf=%d, mtbf %.0f)", rf, spec.workerMTBFSec)
+	}
+	if provisionErr != nil {
+		return simrun.Result{}, provisionErr
+	}
+	return result, nil
+}
+
+// durabilityRow runs RF 1..3 at one chaos regime and collects completion
+// fraction, makespan, permanently lost files and repair traffic per factor.
+func durabilityRow(wl simrun.Workload, param float64, spec chaosSpec) (SweepRow, error) {
+	row := SweepRow{Param: param, Series: map[string]float64{}}
+	for rf := 1; rf <= 3; rf++ {
+		res, err := runDurability(wl, rf, spec)
+		if err != nil {
+			return SweepRow{}, err
+		}
+		total := float64(res.Succeeded + res.Abandoned)
+		key := fmt.Sprintf("rf%d_", rf)
+		row.Series[key+"done_pct"] = 100 * float64(res.Succeeded) / total
+		row.Series[key+"makespan_s"] = res.MakespanSec
+		row.Series[key+"lost"] = float64(res.FilesLost)
+		if rf == 3 {
+			row.Series["rf3_repair_mb"] = res.RepairBytes / 1e6
+		}
+	}
+	return row, nil
+}
+
+// AblationDurability sweeps the combined fault rate (worker-crash MTBF; disk
+// and link faults scale with it, see chaosFor) against replication factor on
+// one application. The headline contrast: with source evacuation, RF=1 loses
+// files permanently at rates where RF>=2 plus background repair keeps every
+// file available — at the cost of repair traffic contending with foreground
+// transfers.
+func AblationDurability(app string, scale float64) ([]SweepRow, error) {
+	wl, err := workloadFor(app, scale)
+	if err != nil {
+		return nil, err
+	}
+	wl = withChecksums(wl, 2012)
+	// MTBFs chosen per app so the sweep spans "no faults" to "every worker
+	// crashes several times per run" (ALS runs ~12 minutes at paper scale,
+	// BLAST ~70).
+	mtbfs := []float64{0, 1000, 500}
+	if app == "BLAST" {
+		mtbfs = []float64{0, 8000, 4000}
+	}
+	var rows []SweepRow
+	for _, mtbf := range mtbfs {
+		row, err := durabilityRow(wl, mtbf, chaosFor(mtbf))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -80,6 +80,11 @@ func (l *Link) Capacity() float64 { return l.capacity }
 // Failed reports whether the link is currently down (see Network.FailLink).
 func (l *Link) Failed() bool { return l.failed }
 
+// Degraded reports whether the link is currently running below its
+// provisioned rate (see Network.DegradeLink) — the regime where transfers
+// crawl and, in the durability model, may corrupt bytes in flight.
+func (l *Link) Degraded() bool { return l.capacity < l.base }
+
 // Latency returns the link's one-way propagation delay.
 func (l *Link) Latency() sim.Duration { return l.latency }
 

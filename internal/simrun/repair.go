@@ -1,0 +1,351 @@
+package simrun
+
+import (
+	"fmt"
+	"sort"
+
+	"frieda/internal/netsim"
+	"frieda/internal/obs"
+	"frieda/internal/sim"
+)
+
+// repairManager is the replication manager: it scans catalog.Replicas for
+// files below the target replication factor — on a virtual-time ticker and
+// immediately after every worker or disk death — and schedules background
+// repair copies as real netsim flows, so repair traffic contends with task
+// transfers on the same links. MaxConcurrentRepairs is the budget knob that
+// keeps repair below foreground work. Created by Runner.Start when
+// Durability.RF > 1.
+type repairManager struct {
+	r      *Runner
+	ticker *sim.Event
+	// active maps file name to its in-flight repair job; its size is the
+	// concurrency budget in use.
+	active  map[string]*repairJob
+	stopped bool
+}
+
+// repairJob is one in-flight repair copy.
+type repairJob struct {
+	file string
+	src  *simWorker // nil when the master is the source
+	dst  *simWorker
+	flow *netsim.Flow
+	span *obs.Span
+	lane int
+}
+
+func newRepairManager(r *Runner) *repairManager {
+	m := &repairManager{r: r, active: make(map[string]*repairJob)}
+	m.armTicker()
+	return m
+}
+
+// goodputBps sums the current fair rates of the active repair flows — the
+// repair-goodput gauge.
+func (m *repairManager) goodputBps() float64 {
+	files := make([]string, 0, len(m.active))
+	for f := range m.active {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var sum float64
+	for _, f := range files {
+		if fl := m.active[f].flow; fl != nil {
+			sum += fl.Rate()
+		}
+	}
+	return sum
+}
+
+func (m *repairManager) armTicker() {
+	m.ticker = m.r.eng.Schedule(sim.Duration(m.r.cfg.Durability.ScanPeriodSec), func() {
+		m.scan()
+		if !m.stopped {
+			m.armTicker()
+		}
+	})
+}
+
+// stop disarms the ticker and cancels in-flight repairs so an idle engine
+// can drain once the run is over. Partial deliveries of cancelled repairs
+// still count toward RepairBytes.
+func (m *repairManager) stop() {
+	if m.stopped {
+		return
+	}
+	m.stopped = true
+	if m.ticker != nil {
+		m.ticker.Cancel()
+		m.ticker = nil
+	}
+	files := make([]string, 0, len(m.active))
+	for f := range m.active {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		m.abort(m.active[f], "stopped")
+	}
+}
+
+// abort cancels a job's flow (Network.Cancel is silent, so cleanup is
+// explicit here) and accounts the bytes it had delivered.
+func (m *repairManager) abort(job *repairJob, outcome string) {
+	delete(m.active, job.file)
+	if job.flow != nil {
+		delivered := job.flow.Delivered()
+		m.r.cluster.Network().Cancel(job.flow)
+		job.flow = nil
+		m.r.res.RepairBytes += delivered
+		m.r.mRepairBytes.Add(delivered)
+	}
+	m.r.mRepairsFailed.Inc()
+	m.endSpan(job, outcome)
+}
+
+func (m *repairManager) endSpan(job *repairJob, outcome string) {
+	if job.span == nil {
+		return
+	}
+	job.span.End(obs.Args{"outcome": outcome})
+	job.span = nil
+	releaseLane(job.dst.xferLanes, job.lane)
+}
+
+// onWorkerDied cancels repairs that the dead worker was sourcing or
+// receiving, then rescans: the death may have pushed more files below
+// target.
+func (m *repairManager) onWorkerDied(w *simWorker) {
+	if m.stopped {
+		return
+	}
+	files := make([]string, 0, len(m.active))
+	for f, job := range m.active {
+		if job.src == w || job.dst == w {
+			files = append(files, f)
+		}
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		m.abort(m.active[f], "worker-died")
+	}
+	m.scan()
+}
+
+// scan walks the under-replicated file list in sorted order, declares files
+// with no remaining source permanently lost, and starts repair copies up to
+// the concurrency budget.
+func (m *repairManager) scan() {
+	if m.stopped {
+		return
+	}
+	r := m.r
+	d := r.cfg.Durability
+	for _, f := range r.replicas.UnderReplicated(d.RF) {
+		if f == commonFile || r.lostFiles[f] {
+			continue
+		}
+		if _, busy := m.active[f]; busy {
+			continue
+		}
+		if !r.sourceExists(f) {
+			r.markFileLost(f)
+			continue
+		}
+		if len(m.active) >= d.MaxConcurrentRepairs {
+			break
+		}
+		m.start(f)
+	}
+}
+
+// start launches one repair copy of the file: best source replica (fewest
+// active uplink flows; the master when no worker holds it and it is not
+// evacuated) to the live, ready worker without a copy that carries the
+// fewest active downlink flows. No-op when every eligible worker already
+// holds the file.
+func (m *repairManager) start(f string) {
+	r := m.r
+	size, ok := r.fileSize[f]
+	if !ok {
+		return // not a workload file (defensive; replicas only hold those)
+	}
+	var src *simWorker
+	for _, o := range r.workers {
+		if o.dead || o.draining || o.vm.Host().Up().Failed() || !r.replicas.Has(f, o.name) {
+			continue
+		}
+		if src == nil || o.vm.Host().Up().ActiveFlows() < src.vm.Host().Up().ActiveFlows() {
+			src = o
+		}
+	}
+	srcVM := r.master
+	if src != nil {
+		srcVM = src.vm
+	} else if r.evacuated[f] {
+		return // no live holder and the master dropped it; scan will declare loss
+	}
+	var dst *simWorker
+	for _, o := range r.workers {
+		if o.dead || o.draining || !o.ready || o.has[f] || o.vm.Host().Down().Failed() {
+			continue
+		}
+		if dst == nil || o.vm.Host().Down().ActiveFlows() < dst.vm.Host().Down().ActiveFlows() {
+			dst = o
+		}
+	}
+	if dst == nil {
+		return // every live worker already holds (or is fetching) the file
+	}
+	job := &repairJob{file: f, src: src, dst: dst}
+	m.active[f] = job
+	if tr := r.cfg.Tracer; tr.Enabled() {
+		job.lane = claimLane(&dst.xferLanes)
+		job.span = tr.Begin(fmt.Sprintf("%s/net%d", dst.name, job.lane), "repair",
+			"repair "+f, obs.Args{"src": srcVM.Name(), "bytes": size})
+	}
+	// The job stays in m.active until the copy has fully landed (flow
+	// delivered AND disk write charged): an active job counts as a
+	// surviving source in sourceExists, because the bytes in flight land
+	// even if the original replica vanishes after they left.
+	job.flow = r.cluster.Transfer(srcVM, dst.vm, size, func(sim.Time) {
+		job.flow = nil
+		if m.stopped || m.active[f] != job {
+			return
+		}
+		r.res.RepairBytes += size
+		r.mRepairBytes.Add(size)
+		if dst.dead {
+			delete(m.active, f)
+			m.endSpan(job, "worker-died")
+			m.r.mRepairsFailed.Inc()
+			return
+		}
+		m.endSpan(job, "ok")
+		r.chargeDiskWrite(dst, size, func() {
+			if m.stopped || m.active[f] != job {
+				return
+			}
+			delete(m.active, f)
+			if dst.dead {
+				m.r.mRepairsFailed.Inc()
+				return
+			}
+			dst.has[f] = true
+			r.replicas.Add(f, dst.name)
+			r.res.RepairsCompleted++
+			r.mRepairsOK.Inc()
+			// Keep draining: the file may still be below target, and the
+			// budget slot just freed.
+			m.scan()
+		})
+	})
+	job.flow.OnInterrupt(func(delivered float64, _ sim.Time) {
+		job.flow = nil
+		if m.active[f] != job {
+			return
+		}
+		delete(m.active, f)
+		r.res.RepairBytes += delivered
+		r.mRepairBytes.Add(delivered)
+		r.mRepairsFailed.Inc()
+		m.endSpan(job, "interrupted")
+		// The ticker retries; immediate retry would hammer a faulted link.
+	})
+}
+
+// sourceExists reports whether any copy of the file survives: a live worker
+// replica, the master when the file was never evacuated, or an in-flight
+// repair copy — bytes already travelling land on their destination even if
+// the replica they were read from vanishes meanwhile, so declaring the file
+// lost while a repair is active would be premature.
+func (r *Runner) sourceExists(f string) bool {
+	if !r.evacuated[f] {
+		return true
+	}
+	if r.replicas.Count(f) > 0 {
+		return true
+	}
+	if r.repair != nil && r.repair.active[f] != nil {
+		return true
+	}
+	return false
+}
+
+// markFileLost declares a file permanently lost: every replica is gone and
+// the master no longer holds it. The file leaves the repair scan; tasks
+// needing it fail their attempts until retries exhaust.
+func (r *Runner) markFileLost(f string) {
+	if r.lostFiles == nil || r.lostFiles[f] {
+		return
+	}
+	r.lostFiles[f] = true
+	r.res.FilesLost++
+	r.mFilesLost.Inc()
+	r.replicas.Forget(f)
+	if tr := r.cfg.Tracer; tr.Enabled() {
+		tr.Instant("master", "fault", "file-lost", obs.Args{"file": f})
+	}
+}
+
+// markStaged records evacuation: with EvacuateSource, the master drops a
+// file once its first copy lands on a worker.
+func (r *Runner) markStaged(f string) {
+	d := r.cfg.Durability
+	if d == nil || !d.EvacuateSource || f == commonFile || r.evacuated[f] {
+		return
+	}
+	r.evacuated[f] = true
+	if tr := r.cfg.Tracer; tr.Enabled() {
+		tr.Instant("master", "durability", "evacuated", obs.Args{"file": f})
+	}
+	// The file just became under-replicated (one worker copy, no master
+	// copy): repair immediately instead of waiting out the ticker, keeping
+	// the loss window to one repair-transfer time.
+	if r.repair != nil {
+		r.repair.scan()
+	}
+}
+
+// diskDied handles a local-disk death on a live worker: every byte the
+// worker held is gone, but the machine keeps running. Resident file
+// knowledge and replica entries are dropped (files left without any copy
+// are declared lost), the common dataset is re-staged, and the repair
+// manager rescans. In-flight computes keep running — their inputs are
+// already in memory — and in-flight fetches land on the fresh media.
+func (r *Runner) diskDied(w *simWorker) {
+	if w.dead || r.finished {
+		return
+	}
+	if tr := r.cfg.Tracer; tr.Enabled() {
+		tr.Instant(w.name, "fault", "disk-died", nil)
+	}
+	files := make([]string, 0, len(w.has))
+	for f := range w.has {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		delete(w.has, f)
+		r.replicas.Remove(f, w.name)
+	}
+	// The common dataset lives in the replica map only (stageCommon marks
+	// readiness, not residence), so check it there.
+	lostCommon := r.replicas.Has(commonFile, w.name)
+	if lostCommon {
+		r.replicas.Remove(commonFile, w.name)
+	}
+	for _, f := range files {
+		if f != commonFile && !r.sourceExists(f) && r.replicas.Count(f) == 0 {
+			r.markFileLost(f)
+		}
+	}
+	if lostCommon {
+		w.ready = false
+		r.stageCommon(w, func() { r.admit(w) })
+	}
+	if r.repair != nil {
+		r.repair.scan()
+	}
+}

@@ -121,6 +121,14 @@ type Config struct {
 	// and (after K missed deadlines) declared failures. Nil keeps the
 	// cloud-level VM failure callback as the only death signal.
 	Detection *DetectionConfig
+	// Durability, when non-nil, turns the replica map into a managed store:
+	// a replication manager repairs under-replicated files over real
+	// network flows, transfers verify checksums on arrival and refetch
+	// corrupt payloads from the next-best replica, and permanently lost
+	// files are detected and accounted instead of silently vanishing. Nil
+	// reproduces the published prototype, where a worker death destroys
+	// every byte it held.
+	Durability *DurabilityConfig
 	// Tracer, when non-nil, records typed spans and instant events for the
 	// run: task dispatch/run spans on per-core lanes, transfer spans with
 	// attempt spans nested under them on per-worker transfer lanes, retry
@@ -153,6 +161,39 @@ type NetFaultConfig struct {
 	// JitterSeed seeds the backoff jitter RNG; the RNG is consumed only on
 	// retries, so fault-free runs are bit-identical regardless of seed.
 	JitterSeed int64
+}
+
+// DurabilityConfig tunes the replication manager and the end-to-end
+// integrity machinery.
+type DurabilityConfig struct {
+	// RF is the target replication factor per file. RF <= 1 keeps the
+	// prototype's single-copy placement and disables the repair manager;
+	// integrity verification still applies.
+	RF int
+	// ScanPeriodSec is the repair ticker period (default 60). The manager
+	// additionally scans immediately after every worker or disk death.
+	ScanPeriodSec float64
+	// MaxConcurrentRepairs caps in-flight repair flows (default 2) — the
+	// budget knob that keeps background repair below foreground transfers.
+	MaxConcurrentRepairs int
+	// EvacuateSource makes the master drop each file once its first copy
+	// lands on a worker — the elastic-archival mode where the worker pool
+	// is the durable store and replication is what stands between a worker
+	// death and data loss. The common dataset is never evacuated.
+	EvacuateSource bool
+	// Verify enables checksum verification on transfer arrival; a mismatch
+	// triggers a refetch from the next-best replica. Corruption injection
+	// requires Verify (silent corruption is out of the model).
+	Verify bool
+	// CorruptionRate is the probability a transfer arriving over a
+	// currently-degraded link delivers a corrupt payload.
+	CorruptionRate float64
+	// MaxRefetch bounds corrupt-payload refetches per transfer (default 3).
+	MaxRefetch int
+	// Seed drives the corruption and disk-read-error draws. Draws happen
+	// only when a fault condition is present, so fault-free runs consume no
+	// randomness from it.
+	Seed int64
 }
 
 // DetectionConfig tunes the heartbeat failure detector.
@@ -204,6 +245,19 @@ type Result struct {
 	// Detections lists the detector's suspect/declare/recover transitions
 	// (nil without Config.Detection).
 	Detections []fault.Transition
+	// FilesLost counts files whose every copy vanished — no live replica
+	// and no master copy left to repair from.
+	FilesLost int
+	// CorruptionsDetected counts verification failures: corrupt transfer
+	// arrivals plus disk read errors caught before compute.
+	CorruptionsDetected int
+	// RepairBytes counts bytes delivered by background repair flows
+	// (including partial deliveries of interrupted repairs). Kept separate
+	// from BytesMoved, which remains foreground staging/dispatch traffic.
+	RepairBytes float64
+	// RepairsCompleted counts replica copies finished by the repair
+	// manager.
+	RepairsCompleted int
 }
 
 // Runner drives one simulated run. Create with NewRunner, add workers, then
@@ -233,6 +287,18 @@ type Runner struct {
 	rng      *rand.Rand
 	detector *fault.Detector
 
+	// Durability state; all nil/empty unless cfg.Durability is set.
+	repair *repairManager
+	// durRng draws corruption and read-error outcomes; consumed only when a
+	// fault condition is present.
+	durRng *rand.Rand
+	// evacuated marks files the master no longer holds (EvacuateSource).
+	evacuated map[string]bool
+	// lostFiles marks files declared permanently lost.
+	lostFiles map[string]bool
+	// fileSize maps file names to sizes for repair scheduling.
+	fileSize map[string]float64
+
 	// Phase accounting.
 	activeFlows    int
 	activeComputes int
@@ -244,6 +310,11 @@ type Runner struct {
 	mRequeues              obs.Counter
 	mInterrupts, mRetries  obs.Counter
 	hTaskSec, hXferSec     *obs.Histogram
+	// Durability metric handles; registered only with cfg.Durability so
+	// legacy runs keep their exact metric column set.
+	mCorruptions, mFilesLost   obs.Counter
+	mRepairsOK, mRepairsFailed obs.Counter
+	mRepairBytes               obs.Counter
 
 	res  Result
 	done func(Result)
@@ -337,6 +408,29 @@ func NewRunner(cluster *cloud.Cluster, master *cloud.VM, cfg Config, wl Workload
 		}
 		cfg.Detection = &d
 	}
+	if cfg.Storage != nil && cfg.Storage.ReadOnly {
+		return nil, fmt.Errorf("simrun: %s storage is read-only and cannot host worker scratch space",
+			cfg.Storage.Class)
+	}
+	if dc := cfg.Durability; dc != nil {
+		d := *dc // don't mutate the caller's struct
+		if d.CorruptionRate < 0 || d.CorruptionRate > 1 {
+			return nil, fmt.Errorf("simrun: corruption rate %v outside [0,1]", d.CorruptionRate)
+		}
+		if d.CorruptionRate > 0 && !d.Verify {
+			return nil, fmt.Errorf("simrun: corruption injection requires Verify (silent corruption is out of the model)")
+		}
+		if d.ScanPeriodSec <= 0 {
+			d.ScanPeriodSec = 60
+		}
+		if d.MaxConcurrentRepairs <= 0 {
+			d.MaxConcurrentRepairs = 2
+		}
+		if d.MaxRefetch <= 0 {
+			d.MaxRefetch = 3
+		}
+		cfg.Durability = &d
+	}
 	r := &Runner{
 		eng:      cluster.Engine(),
 		cluster:  cluster,
@@ -349,6 +443,49 @@ func NewRunner(cluster *cloud.Cluster, master *cloud.VM, cfg Config, wl Workload
 	}
 	if cfg.NetFaults != nil {
 		r.rng = rand.New(rand.NewSource(cfg.NetFaults.JitterSeed))
+	}
+	if d := cfg.Durability; d != nil {
+		r.durRng = rand.New(rand.NewSource(d.Seed))
+		r.evacuated = make(map[string]bool)
+		r.lostFiles = make(map[string]bool)
+		r.fileSize = make(map[string]float64)
+		for _, t := range wl.Tasks {
+			for _, f := range t.Files {
+				r.fileSize[f.Name] = float64(f.Size)
+			}
+		}
+		cluster.OnDiskFailure(func(vm *cloud.VM, _ *storage.Volume) {
+			if w, ok := r.byVM[vm]; ok {
+				r.diskDied(w)
+			}
+		})
+		if m := cfg.Metrics; m.Enabled() {
+			m.Gauge("under_replicated", func() float64 {
+				rf := d.RF
+				if rf < 1 {
+					rf = 1
+				}
+				return float64(len(r.replicas.UnderReplicated(rf)))
+			})
+			m.Gauge("active_repairs", func() float64 {
+				if r.repair == nil {
+					return 0
+				}
+				return float64(len(r.repair.active))
+			})
+			m.Gauge("files_lost", func() float64 { return float64(r.res.FilesLost) })
+			m.Gauge("repair_goodput_bps", func() float64 {
+				if r.repair == nil {
+					return 0
+				}
+				return r.repair.goodputBps()
+			})
+		}
+		r.mCorruptions = cfg.Metrics.Counter("corruptions_detected")
+		r.mFilesLost = cfg.Metrics.Counter("files_lost_total")
+		r.mRepairsOK = cfg.Metrics.Counter("repairs_ok")
+		r.mRepairsFailed = cfg.Metrics.Counter("repairs_failed")
+		r.mRepairBytes = cfg.Metrics.Counter("repair_bytes")
 	}
 	if m := cfg.Metrics; m.Enabled() {
 		m.Gauge("queue_depth", func() float64 { return float64(r.QueueLen()) })
@@ -529,6 +666,9 @@ func (r *Runner) Start(done func(Result)) error {
 			r.startDetection(w)
 		}
 	}
+	if d := r.cfg.Durability; d != nil && d.RF > 1 {
+		r.repair = newRepairManager(r)
+	}
 
 	switch r.cfg.Strategy.Kind {
 	case strategy.PrePartition:
@@ -568,11 +708,20 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 			"worker": w.name, "bytes": bytes, "files": len(files),
 		})
 	}
+	refetches := 0
 	var attempt func(remaining float64, n int)
 	attempt = func(remaining float64, n int) {
-		src := r.master
-		if n > 1 {
-			src = r.bestSource(w, files)
+		src := r.sourceFor(w, files, n)
+		if src == nil {
+			// Durability only: every copy is gone — nothing to stream.
+			r.eng.Schedule(0, func() {
+				if s.abandoned {
+					return
+				}
+				r.endStage(s, "lost")
+				done(true)
+			})
+			return
 		}
 		if s.span != nil {
 			s.attempt = tr.Begin(s.track, "attempt", fmt.Sprintf("attempt %d", n), obs.Args{
@@ -584,12 +733,42 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 		s.flow = r.cluster.Transfer(src, w.vm, remaining, func(sim.Time) {
 			r.flowEnded()
 			s.flow = nil
+			if s.abandoned {
+				if s.attempt != nil {
+					s.attempt.End(obs.Args{"outcome": "ok"})
+					s.attempt = nil
+				}
+				return
+			}
+			if d := r.cfg.Durability; d != nil && d.Verify && d.CorruptionRate > 0 &&
+				r.pathDegraded(src, w) && r.durRng.Float64() < d.CorruptionRate {
+				// Checksum mismatch on arrival: the payload crossed a
+				// degraded link and came out wrong. Refetch the whole
+				// payload (from the next-best replica, if any) up to
+				// MaxRefetch times.
+				if s.attempt != nil {
+					s.attempt.End(obs.Args{"outcome": "corrupt"})
+					s.attempt = nil
+				}
+				r.res.CorruptionsDetected++
+				r.mCorruptions.Inc()
+				refetches++
+				if tr.Enabled() {
+					tr.Instant(s.track, "durability", "checksum-mismatch", obs.Args{
+						"refetch": refetches,
+					})
+				}
+				if refetches <= d.MaxRefetch && !w.dead {
+					attempt(bytes, n+1)
+					return
+				}
+				r.endStage(s, "corrupt")
+				done(true)
+				return
+			}
 			if s.attempt != nil {
 				s.attempt.End(obs.Args{"outcome": "ok"})
 				s.attempt = nil
-			}
-			if s.abandoned {
-				return
 			}
 			r.hXferSec.Observe(float64(r.eng.Now() - s.startAt))
 			r.endStage(s, "ok")
@@ -669,6 +848,72 @@ func (r *Runner) endStage(s *stageIn, outcome string) {
 	s.span.End(obs.Args{"outcome": outcome})
 	s.span = nil
 	releaseLane(s.w.xferLanes, s.lane)
+}
+
+// sourceFor picks a transfer attempt's source. Without durability this is
+// the published behaviour, bit for bit: the master on the first attempt,
+// the best surviving replica on Resume retries. With durability the master
+// is only eligible while it still holds every requested file (EvacuateSource
+// drops files once staged), worker replicas are preferred once the master is
+// out, and nil means every copy is gone — the caller declares the transfer
+// lost without touching the network.
+func (r *Runner) sourceFor(w *simWorker, files []string, n int) *cloud.VM {
+	if r.cfg.Durability == nil {
+		if n > 1 {
+			return r.bestSource(w, files)
+		}
+		return r.master
+	}
+	masterHolds := true
+	for _, f := range files {
+		if r.evacuated[f] {
+			masterHolds = false
+			break
+		}
+	}
+	if masterHolds && n == 1 {
+		// First attempt: the master is the canonical source, provisioned
+		// for staging.
+		return r.master
+	}
+	var best *simWorker
+	for _, o := range r.workers {
+		if o == w || o.dead || o.draining || o.vm.Host().Up().Failed() {
+			continue
+		}
+		holds := true
+		for _, f := range files {
+			if !r.replicas.Has(f, o.name) {
+				holds = false
+				break
+			}
+		}
+		if !holds {
+			continue
+		}
+		if best == nil || o.vm.Host().Up().ActiveFlows() < best.vm.Host().Up().ActiveFlows() {
+			best = o
+		}
+	}
+	if best != nil {
+		return best.vm
+	}
+	if masterHolds {
+		return r.master
+	}
+	return nil
+}
+
+// pathDegraded reports whether any link on the current src→w transfer path
+// is running below its provisioned rate — the corruption-injection
+// condition, checked at arrival time.
+func (r *Runner) pathDegraded(src *cloud.VM, w *simWorker) bool {
+	for _, l := range r.cluster.TransferPath(src, w.vm) {
+		if l.Degraded() {
+			return true
+		}
+	}
+	return false
 }
 
 // bestSource picks a retry's source: the live worker holding every needed
@@ -767,13 +1012,19 @@ func (r *Runner) stageCommon(w *simWorker, then func()) {
 	})
 }
 
-// chargeDiskWrite models writing received bytes to local disk.
+// chargeDiskWrite models writing received bytes to local disk. NewRunner
+// rejects read-only worker storage, so a write error here is a programming
+// error, not a run condition.
 func (r *Runner) chargeDiskWrite(w *simWorker, bytes float64, then func()) {
 	if !r.cfg.ModelDiskIO || bytes <= 0 {
 		then()
 		return
 	}
-	r.eng.Schedule(w.disk.Write(bytes), then)
+	dur, err := w.disk.Write(bytes)
+	if err != nil {
+		panic(fmt.Sprintf("simrun: disk write on %s: %v", w.name, err))
+	}
+	r.eng.Schedule(dur, then)
 }
 
 // startPrePartition: strict two-phase. Each worker's unique files stream as
@@ -856,6 +1107,7 @@ func (r *Runner) streamChain(w *simWorker, files []catalog.FileMeta, i int, then
 		r.chargeDiskWrite(w, float64(f.Size), func() {
 			w.has[f.Name] = true
 			r.replicas.Add(f.Name, w.name)
+			r.markStaged(f.Name)
 			r.streamChain(w, files, i+1, then)
 		})
 	})
@@ -964,11 +1216,13 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 
 	var missing float64
 	var names []string
+	var metas []catalog.FileMeta
 	if r.cfg.Strategy.Kind == strategy.RealTime && r.cfg.Strategy.Locality == strategy.Remote {
 		for _, f := range task.Files {
 			if !w.has[f.Name] {
 				missing += float64(f.Size)
 				names = append(names, f.Name)
+				metas = append(metas, f)
 				// Claim at dispatch, exactly as the real master marks the
 				// replica before streaming: a concurrent slot fetching a
 				// shared file (one-to-all's pivot, all-to-all pairs) must
@@ -985,6 +1239,14 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 	}
 	if missing <= 0 {
 		start()
+		return
+	}
+	if r.cfg.Durability != nil {
+		// With replicas spread by the repair manager, a task's files may
+		// live on different nodes — fetch per file so each transfer can use
+		// its own best source. The bundled single-flow fetch below stays
+		// byte-identical for the published model.
+		r.fetchChain(w, att, metas, names, start)
 		return
 	}
 	att.stage = r.transfer(w, names, missing, func(lost bool) {
@@ -1016,11 +1278,69 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 	})
 }
 
+// fetchChain stages a task's missing files one flow at a time (durability
+// runs only). Files already landed keep their on-disk copies when a later
+// file in the chain fails; only the not-yet-fetched claims are released.
+func (r *Runner) fetchChain(w *simWorker, att *taskAttempt, metas []catalog.FileMeta, names []string, start func()) {
+	gi := att.task
+	fail := func(i int) {
+		for _, name := range names[i:] {
+			delete(w.has, name)
+		}
+		delete(w.inflight, gi)
+		w.admitted--
+		r.taskDone(w, att, false)
+		r.eng.Schedule(sim.Duration(connectTimeoutSec), func() { r.admit(w) })
+	}
+	var step func(i int)
+	step = func(i int) {
+		if w.dead {
+			return
+		}
+		if i >= len(metas) {
+			start()
+			return
+		}
+		f := metas[i]
+		if r.lostFiles[f.Name] {
+			fail(i)
+			return
+		}
+		att.stage = r.transfer(w, []string{f.Name}, float64(f.Size), func(lost bool) {
+			att.stage = nil
+			if w.dead {
+				return
+			}
+			if lost {
+				fail(i)
+				return
+			}
+			r.chargeDiskWrite(w, float64(f.Size), func() {
+				if w.dead {
+					return
+				}
+				// Re-assert the claim: a disk wipe mid-transfer cleared it,
+				// and the bytes just landed on the fresh media.
+				w.has[f.Name] = true
+				r.replicas.Add(f.Name, w.name)
+				r.markStaged(f.Name)
+				step(i + 1)
+			})
+		})
+	}
+	step(0)
+}
+
 // compute acquires a core, charges local read time, then runs the task.
 func (r *Runner) compute(w *simWorker, att *taskAttempt) {
 	task := r.wl.Tasks[att.task]
 	w.cores.Acquire(func() {
 		if w.dead {
+			return
+		}
+		if d := r.cfg.Durability; d != nil && r.cfg.ModelDiskIO && w.disk.ReadErrorRate() > 0 &&
+			r.durRng.Float64() < w.disk.ReadErrorRate() {
+			r.readFailed(w, att)
 			return
 		}
 		att.started = r.eng.Now()
@@ -1052,6 +1372,38 @@ func (r *Runner) compute(w *simWorker, att *taskAttempt) {
 			r.admit(w)
 		})
 	})
+}
+
+// readFailed handles a media read error at task start (durability runs
+// only): the worker's local copies of the task's inputs are suspect, so
+// they are invalidated — future attempts re-fetch from surviving replicas —
+// and this attempt fails through the normal retry ladder.
+func (r *Runner) readFailed(w *simWorker, att *taskAttempt) {
+	task := r.wl.Tasks[att.task]
+	r.res.CorruptionsDetected++
+	r.mCorruptions.Inc()
+	if tr := r.cfg.Tracer; tr.Enabled() {
+		tr.Instant(w.name, "fault", "read-error", obs.Args{"task": att.task})
+	}
+	for _, f := range task.Files {
+		if w.has[f.Name] {
+			delete(w.has, f.Name)
+			r.replicas.Remove(f.Name, w.name)
+		}
+	}
+	for _, f := range task.Files {
+		if !r.sourceExists(f.Name) {
+			r.markFileLost(f.Name)
+		}
+	}
+	if r.repair != nil {
+		r.repair.scan()
+	}
+	w.cores.Release()
+	delete(w.inflight, att.task)
+	w.admitted--
+	r.taskDone(w, att, false)
+	r.admit(w)
 }
 
 // taskDone records a terminal (or requeued) outcome.
@@ -1094,9 +1446,19 @@ func (r *Runner) workerDied(w *simWorker) {
 	if tr := r.cfg.Tracer; tr.Enabled() {
 		tr.Instant(w.name, "fault", "worker-died", nil)
 	}
-	r.replicas.DropNode(w.name)
+	lost := r.replicas.DropNode(w.name)
+	if r.cfg.Durability != nil {
+		for _, f := range lost {
+			if f != commonFile && !r.sourceExists(f) {
+				r.markFileLost(f)
+			}
+		}
+	}
 	if r.detector != nil {
 		r.detector.Stop(w.name)
+	}
+	if r.repair != nil {
+		r.repair.onWorkerDied(w)
 	}
 	attempts := make([]*taskAttempt, 0, len(w.inflight))
 	for _, att := range w.inflight {
@@ -1180,6 +1542,11 @@ func (r *Runner) checkDone() {
 	done := r.done
 	r.done = nil
 	r.finished = true
+	if r.repair != nil {
+		// Disarm the repair ticker and cancel in-flight repairs so an idle
+		// engine can drain.
+		r.repair.stop()
+	}
 	if r.detector != nil {
 		// Disarm watchdog timers so an idle engine can drain; heartbeat
 		// loops stop themselves on r.finished.

@@ -1,0 +1,187 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"frieda/internal/sim"
+)
+
+// DiskFaultOptions configures a DiskFaultInjector — the media-level
+// analogue of netsim.FaultOptions for links and cloud.Options.FailureMTBFSec
+// for whole VMs. All draws come from one dedicated seeded RNG, so runs with
+// equal seeds inject the identical disk-fault schedule.
+type DiskFaultOptions struct {
+	// Seed drives every draw; equal seeds give identical schedules.
+	Seed int64
+	// DeathMTBFSec is the mean up-time between volume deaths (wipe + fresh
+	// media). Zero disables deaths.
+	DeathMTBFSec float64
+	// DegradeMTBFSec is the mean time between slow-disk episodes. Zero
+	// disables degrades.
+	DegradeMTBFSec float64
+	// DegradeMTTRSec is the mean duration of a slow-disk episode.
+	DegradeMTTRSec float64
+	// DegradeFactor is the bandwidth fraction during an episode, in (0,1).
+	DegradeFactor float64
+	// ReadErrorRate is a constant per-read probability of returning bad
+	// data, set on every volume for the injector's lifetime. Callers draw
+	// against Volume.ReadErrorRate with their own seeded RNG.
+	ReadErrorRate float64
+}
+
+// Validate checks the options.
+func (o DiskFaultOptions) Validate() error {
+	if o.DeathMTBFSec < 0 {
+		return fmt.Errorf("storage: negative death MTBF %v", o.DeathMTBFSec)
+	}
+	if o.DegradeMTBFSec < 0 {
+		return fmt.Errorf("storage: negative degrade MTBF %v", o.DegradeMTBFSec)
+	}
+	if o.DegradeMTBFSec > 0 {
+		if o.DegradeMTTRSec <= 0 {
+			return fmt.Errorf("storage: degrade MTTR %v not positive", o.DegradeMTTRSec)
+		}
+		if o.DegradeFactor <= 0 || o.DegradeFactor >= 1 {
+			return fmt.Errorf("storage: degrade factor %v outside (0,1)", o.DegradeFactor)
+		}
+	}
+	if o.ReadErrorRate < 0 || o.ReadErrorRate > 1 {
+		return fmt.Errorf("storage: read-error rate %v outside [0,1]", o.ReadErrorRate)
+	}
+	return nil
+}
+
+// DiskFaultInjector injects seeded media faults on virtual time: volume
+// deaths (instant wipe — the replacement volume is fresh media under the
+// same name), slow-disk degrade episodes, and a constant read-error rate.
+// It mirrors netsim.LinkFaultInjector so disk chaos composes with link and
+// VM chaos under one determinism discipline.
+type DiskFaultInjector struct {
+	eng  *sim.Engine
+	rng  *rand.Rand
+	opts DiskFaultOptions
+	vols []*Volume
+	// nextDeath and nextDegrade hold the pending event per volume so Stop
+	// can drain the queue.
+	nextDeath   []*sim.Event
+	nextDegrade []*sim.Event
+	onDeath     func(*Volume)
+
+	deaths   int
+	degrades int
+	restores int
+	stopped  bool
+}
+
+// NewDiskFaultInjector arms death and degrade schedules for each volume on
+// the engine and applies the read-error rate immediately. onDeath (may be
+// nil) fires after each wipe so the owner can invalidate cached contents.
+// It panics on invalid options, like the other injectors: fault plans are
+// built once at experiment setup.
+func NewDiskFaultInjector(eng *sim.Engine, vols []*Volume, opts DiskFaultOptions, onDeath func(*Volume)) *DiskFaultInjector {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	inj := &DiskFaultInjector{
+		eng:         eng,
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		opts:        opts,
+		vols:        vols,
+		nextDeath:   make([]*sim.Event, len(vols)),
+		nextDegrade: make([]*sim.Event, len(vols)),
+		onDeath:     onDeath,
+	}
+	for i, v := range vols {
+		v.SetReadErrors(opts.ReadErrorRate)
+		if opts.DeathMTBFSec > 0 {
+			inj.armDeath(i)
+		}
+		if opts.DegradeMTBFSec > 0 {
+			inj.armDegrade(i)
+		}
+	}
+	return inj
+}
+
+// Deaths reports how many volume deaths have been injected so far.
+func (inj *DiskFaultInjector) Deaths() int { return inj.deaths }
+
+// Degrades reports how many slow-disk episodes have started so far.
+func (inj *DiskFaultInjector) Degrades() int { return inj.degrades }
+
+// Restores reports how many slow-disk episodes have ended so far.
+func (inj *DiskFaultInjector) Restores() int { return inj.restores }
+
+// Stop disarms the injector: pending events leave the queue so an idle
+// engine can drain, and read-error rates are cleared. Volumes currently
+// degraded stay degraded; restore them explicitly if needed.
+func (inj *DiskFaultInjector) Stop() {
+	inj.stopped = true
+	for _, ev := range inj.nextDeath {
+		if ev != nil {
+			ev.Cancel()
+		}
+	}
+	for _, ev := range inj.nextDegrade {
+		if ev != nil {
+			ev.Cancel()
+		}
+	}
+	for _, v := range inj.vols {
+		v.SetReadErrors(0)
+	}
+}
+
+// expDraw samples an exponential with the given mean.
+func (inj *DiskFaultInjector) expDraw(mean float64) sim.Duration {
+	u := inj.rng.Float64()
+	for u == 0 {
+		u = inj.rng.Float64()
+	}
+	return sim.Duration(-mean * math.Log(u))
+}
+
+func (inj *DiskFaultInjector) armDeath(i int) {
+	inj.nextDeath[i] = inj.eng.Schedule(inj.expDraw(inj.opts.DeathMTBFSec), func() { inj.die(i) })
+}
+
+// die wipes the volume and immediately re-arms: the fresh media under the
+// same name is as mortal as the old.
+func (inj *DiskFaultInjector) die(i int) {
+	if inj.stopped {
+		return
+	}
+	inj.deaths++
+	v := inj.vols[i]
+	v.Wipe()
+	if inj.onDeath != nil {
+		inj.onDeath(v)
+	}
+	inj.armDeath(i)
+}
+
+func (inj *DiskFaultInjector) armDegrade(i int) {
+	inj.nextDegrade[i] = inj.eng.Schedule(inj.expDraw(inj.opts.DegradeMTBFSec), func() { inj.slow(i) })
+}
+
+// slow starts a degrade episode and schedules its end.
+func (inj *DiskFaultInjector) slow(i int) {
+	if inj.stopped {
+		return
+	}
+	inj.degrades++
+	inj.vols[i].Degrade(inj.opts.DegradeFactor)
+	inj.nextDegrade[i] = inj.eng.Schedule(inj.expDraw(inj.opts.DegradeMTTRSec), func() { inj.recover(i) })
+}
+
+// recover ends the episode and arms the next one.
+func (inj *DiskFaultInjector) recover(i int) {
+	if inj.stopped {
+		return
+	}
+	inj.restores++
+	inj.vols[i].Restore()
+	inj.armDegrade(i)
+}

@@ -70,12 +70,23 @@ type Spec struct {
 	Shared bool
 	// Durable marks storage that survives VM termination.
 	Durable bool
+	// ReadOnly marks tiers that cannot be written at runtime (image-baked
+	// data: changing it means rebuilding the image). Writes to a read-only
+	// volume fail with ErrReadOnly instead of being priced at a sentinel
+	// bandwidth.
+	ReadOnly bool
 }
 
 // Validate reports whether the spec is internally consistent.
 func (s Spec) Validate() error {
-	if s.ReadBps <= 0 || s.WriteBps <= 0 {
-		return fmt.Errorf("storage: non-positive bandwidth in %s spec", s.Class)
+	if s.ReadBps <= 0 {
+		return fmt.Errorf("storage: non-positive read bandwidth in %s spec", s.Class)
+	}
+	if !s.ReadOnly && s.WriteBps <= 0 {
+		return fmt.Errorf("storage: non-positive write bandwidth in writable %s spec", s.Class)
+	}
+	if s.ReadOnly && s.WriteBps != 0 {
+		return fmt.Errorf("storage: read-only %s spec declares a write bandwidth", s.Class)
 	}
 	if s.LatencySec < 0 {
 		return fmt.Errorf("storage: negative latency in %s spec", s.Class)
@@ -94,9 +105,11 @@ func (s Spec) ReadTime(n float64) sim.Duration {
 	return sim.Duration(s.LatencySec + n/s.ReadBps)
 }
 
-// WriteTime returns the modelled time to write n bytes.
+// WriteTime returns the modelled time to write n bytes. Read-only tiers
+// cost nothing here because the write itself is rejected (ErrReadOnly) at
+// the volume layer.
 func (s Spec) WriteTime(n float64) sim.Duration {
-	if n <= 0 {
+	if n <= 0 || s.ReadOnly {
 		return 0
 	}
 	return sim.Duration(s.LatencySec + n/s.WriteBps)
@@ -128,34 +141,50 @@ var (
 		LatencySec: 0.005, CapacityBytes: 1e12, CostPerGBMonth: 0.05,
 		Shared: true, Durable: true,
 	}
-	// DefaultImageBaked: data shipped inside the VM image.
+	// DefaultImageBaked: data shipped inside the VM image. Read-only —
+	// writes fail with ErrReadOnly rather than being priced at a sentinel
+	// write bandwidth.
 	DefaultImageBaked = Spec{
-		Class: ClassImageBaked, ReadBps: 300e6, WriteBps: 1, // effectively read-only
+		Class: ClassImageBaked, ReadBps: 300e6, WriteBps: 0, ReadOnly: true,
 		LatencySec: 0.0005, CapacityBytes: 8e9, CostPerGBMonth: 0.02, Durable: true,
 	}
 )
 
-// Volume is a provisioned instance of a tier with usage accounting.
+// Volume is a provisioned instance of a tier with usage accounting and
+// runtime fault state (slow-disk degrade, read-error rate, wipe count) that
+// the DiskFaultInjector manipulates.
 type Volume struct {
 	spec Spec
 	name string
 	used float64
 
+	// degrade scales media bandwidth; 1 = healthy, lower = slow disk.
+	degrade float64
+	// readErrRate is the probability a read returns corrupt/failed data.
+	// The volume only carries the rate; callers draw against it with their
+	// own seeded RNG so the sim stays deterministic.
+	readErrRate float64
+
 	// Reads and Writes count operations, for reports.
 	Reads, Writes uint64
 	// BytesRead and BytesWritten accumulate volume, for reports.
 	BytesRead, BytesWritten float64
+	// Wipes counts volume deaths (all contents lost).
+	Wipes uint64
 }
 
 // ErrNoSpace is returned when an allocation exceeds remaining capacity.
 var ErrNoSpace = errors.New("storage: volume out of space")
+
+// ErrReadOnly is returned when writing to a read-only tier.
+var ErrReadOnly = errors.New("storage: volume is read-only")
 
 // NewVolume provisions a volume from a spec.
 func NewVolume(name string, spec Spec) (*Volume, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return &Volume{spec: spec, name: name}, nil
+	return &Volume{spec: spec, name: name, degrade: 1}, nil
 }
 
 // MustVolume is NewVolume for static experiment setup; it panics on error.
@@ -201,19 +230,67 @@ func (v *Volume) Release(n float64) {
 	}
 }
 
-// Read models reading n bytes and returns the duration.
+// Read models reading n bytes and returns the duration, scaled by the
+// current degrade factor.
 func (v *Volume) Read(n float64) sim.Duration {
 	v.Reads++
 	v.BytesRead += n
-	return v.spec.ReadTime(n)
+	return sim.Duration(float64(v.spec.ReadTime(n)) / v.degradeFactor())
 }
 
-// Write models writing n bytes and returns the duration.
-func (v *Volume) Write(n float64) sim.Duration {
+// Write models writing n bytes and returns the duration, or ErrReadOnly for
+// read-only tiers (nothing is recorded in that case).
+func (v *Volume) Write(n float64) (sim.Duration, error) {
+	if v.spec.ReadOnly {
+		return 0, fmt.Errorf("%w: %s (%s)", ErrReadOnly, v.name, v.spec.Class)
+	}
 	v.Writes++
 	v.BytesWritten += n
-	return v.spec.WriteTime(n)
+	return sim.Duration(float64(v.spec.WriteTime(n)) / v.degradeFactor()), nil
 }
+
+func (v *Volume) degradeFactor() float64 {
+	if v.degrade <= 0 || v.degrade > 1 {
+		return 1
+	}
+	return v.degrade
+}
+
+// Wipe models a volume death: every stored byte is gone. Usage resets so
+// the fresh (replacement) media can be refilled; cumulative counters stay.
+func (v *Volume) Wipe() {
+	v.used = 0
+	v.Wipes++
+}
+
+// Degrade scales the volume's media bandwidth to factor (0 < factor < 1) —
+// a slow disk, not a dead one. Out-of-range factors are ignored.
+func (v *Volume) Degrade(factor float64) {
+	if factor > 0 && factor < 1 {
+		v.degrade = factor
+	}
+}
+
+// Restore returns the volume to full bandwidth.
+func (v *Volume) Restore() { v.degrade = 1 }
+
+// Degraded reports whether the volume is running below full bandwidth.
+func (v *Volume) Degraded() bool { return v.degrade < 1 }
+
+// SetReadErrors sets the probability that a read returns bad data. Callers
+// draw against ReadErrorRate with their own seeded RNG.
+func (v *Volume) SetReadErrors(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	v.readErrRate = rate
+}
+
+// ReadErrorRate returns the current read-error probability.
+func (v *Volume) ReadErrorRate() float64 { return v.readErrRate }
 
 // SelectionPolicy ranks candidate tiers for a dataset.
 type SelectionPolicy int

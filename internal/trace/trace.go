@@ -162,6 +162,12 @@ func Summary(res simrun.Result) string {
 	}
 	fmt.Fprintf(&b, "makespan %.1fs, transfer wall %.1fs, exec wall %.1fs, %.0f bytes moved\n",
 		res.MakespanSec, res.TransferWallSec, res.ExecWallSec, res.BytesMoved)
+	// The durability line appears only when the run had durability activity,
+	// so legacy runs render unchanged.
+	if res.FilesLost > 0 || res.CorruptionsDetected > 0 || res.RepairBytes > 0 {
+		fmt.Fprintf(&b, "durability: %d files lost, %d corruptions detected, %d repairs (%.0f repair bytes)\n",
+			res.FilesLost, res.CorruptionsDetected, res.RepairsCompleted, res.RepairBytes)
+	}
 	return b.String()
 }
 
@@ -178,6 +184,8 @@ func SpanSummary(tr *obs.Tracer) string {
 		taskSec, xferSec float64
 		taskIvs, xferIvs [][2]float64
 		attempts         int
+		repairs          int
+		repairSec        float64
 	}
 	byWorker := map[string]*agg{}
 	worker := func(track string) string {
@@ -208,6 +216,9 @@ func SpanSummary(tr *obs.Tracer) string {
 				a.xferIvs = append(a.xferIvs, iv)
 			case "attempt":
 				a.attempts++
+			case "repair":
+				a.repairs++
+				a.repairSec += float64(e.Dur)
 			}
 		case obs.PhaseInstant:
 			instants[e.Cat+"/"+e.Name]++
@@ -222,13 +233,32 @@ func SpanSummary(tr *obs.Tracer) string {
 	}
 	sort.Strings(workers)
 
+	// The repair column appears only when the run recorded repair spans, so
+	// legacy traces render unchanged.
+	repairs := false
+	for _, a := range byWorker {
+		if a.repairs > 0 {
+			repairs = true
+			break
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "span summary for %s (%d events)\n", tr.Name(), tr.Len())
-	fmt.Fprintf(&b, "%-10s %6s %10s %6s %9s %9s\n", "worker", "tasks", "task(s)", "xfers", "xfer(s)", "attempts")
+	if repairs {
+		fmt.Fprintf(&b, "%-10s %6s %10s %6s %9s %9s %8s %9s\n",
+			"worker", "tasks", "task(s)", "xfers", "xfer(s)", "attempts", "repairs", "repair(s)")
+	} else {
+		fmt.Fprintf(&b, "%-10s %6s %10s %6s %9s %9s\n", "worker", "tasks", "task(s)", "xfers", "xfer(s)", "attempts")
+	}
 	for _, w := range workers {
 		a := byWorker[w]
-		fmt.Fprintf(&b, "%-10s %6d %10.1f %6d %9.1f %9d\n",
-			w, a.tasks, a.taskSec, a.xfers, a.xferSec, a.attempts)
+		if repairs {
+			fmt.Fprintf(&b, "%-10s %6d %10.1f %6d %9.1f %9d %8d %9.1f\n",
+				w, a.tasks, a.taskSec, a.xfers, a.xferSec, a.attempts, a.repairs, a.repairSec)
+		} else {
+			fmt.Fprintf(&b, "%-10s %6d %10.1f %6d %9.1f %9d\n",
+				w, a.tasks, a.taskSec, a.xfers, a.xferSec, a.attempts)
+		}
 	}
 	taskWall := unionSec(taskIvs)
 	xferWall := unionSec(xferIvs)

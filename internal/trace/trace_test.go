@@ -127,6 +127,23 @@ func TestSummaryGolden(t *testing.T) {
 	}
 }
 
+func TestSummaryDurabilityLine(t *testing.T) {
+	res := sampleResult()
+	res.FilesLost = 2
+	res.CorruptionsDetected = 3
+	res.RepairsCompleted = 4
+	res.RepairBytes = 5e6
+	out := Summary(res)
+	want := "durability: 2 files lost, 3 corruptions detected, 4 repairs (5000000 repair bytes)\n"
+	if !strings.HasSuffix(out, want) {
+		t.Fatalf("durability line missing or wrong:\n%s", out)
+	}
+	// Runs without durability activity render exactly as before.
+	if strings.Contains(Summary(sampleResult()), "durability") {
+		t.Fatal("durability line printed for a clean run")
+	}
+}
+
 func TestWriteCSVGolden(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteCSV(&buf, sampleResult().Completions); err != nil {
@@ -172,6 +189,49 @@ func TestSpanSummary(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("span summary missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestSpanSummaryRepairColumn(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := obs.NewTracer(eng, "chaos")
+	var task, rep *obs.Span
+	eng.Schedule(0, func() {
+		task = tr.Begin("vm-1/cpu0", "task", "task 0", nil)
+		rep = tr.Begin("vm-2/net0", "repair", "repair f0001", nil)
+		tr.Instant("master", "fault", "file-lost", nil)
+	})
+	eng.Schedule(3, func() { rep.End(nil) })
+	eng.Schedule(5, func() { task.End(nil) })
+	eng.Run()
+	out := SpanSummary(tr)
+	for _, want := range []string{
+		"repairs", "repair(s)", // column appears when repair spans exist
+		"fault/file-lost 1", // lost files surface via the instants line
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("span summary missing %q:\n%s", want, out)
+		}
+	}
+	// The vm-2 row carries the repair aggregate: 1 repair, 3.0 s.
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "vm-2") && strings.Contains(line, "1") && strings.Contains(line, "3.0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("vm-2 repair aggregate missing:\n%s", out)
+	}
+	// A repair-free trace keeps the legacy header.
+	eng2 := sim.NewEngine()
+	tr2 := obs.NewTracer(eng2, "plain")
+	var t2 *obs.Span
+	eng2.Schedule(0, func() { t2 = tr2.Begin("vm-1/cpu0", "task", "task 0", nil) })
+	eng2.Schedule(1, func() { t2.End(nil) })
+	eng2.Run()
+	if strings.Contains(SpanSummary(tr2), "repairs") {
+		t.Fatal("repair column printed for a repair-free trace")
 	}
 }
 
