@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-netsim vet fmt reproduce ablations examples clean
+.PHONY: all build test race bench bench-netsim bench-exprun vet fmt reproduce ablations examples clean
 
 all: build test
 
@@ -30,6 +30,14 @@ bench:
 # numbers.
 bench-netsim:
 	$(GO) test -bench='BenchmarkNetsimChurn' -benchmem ./internal/netsim/
+
+# The experiment-orchestrator + event-pool trajectory: engine allocation
+# benchmarks plus the parallel ablation sweep. Compare against
+# BENCH_exprun.json before merging engine or orchestrator changes, and
+# update the file with the new numbers.
+bench-exprun:
+	$(GO) test -bench='BenchmarkEngineScheduleRun|BenchmarkEngineEventPool' -benchmem -run '^$$' ./internal/sim/
+	$(GO) test -bench='BenchmarkExpAblations' -benchmem -run '^$$' ./internal/experiments/
 
 # Regenerate the paper's evaluation (Table I, Fig 6a/6b, Fig 7a/7b).
 reproduce:

@@ -25,13 +25,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"frieda/internal/cloud"
 	"frieda/internal/experiments"
+	"frieda/internal/exprun"
 	"frieda/internal/obs"
 	"frieda/internal/simrun"
 	"frieda/internal/strategy"
@@ -142,15 +145,40 @@ func main() {
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of every run to this file (Perfetto-loadable)")
 	metricsOut := fs.String("metrics", "", "write virtual-time-sampled metrics CSV of every run to this file")
 	metricsPeriod := fs.Float64("metrics-period", 10, "metrics sampling period in virtual seconds")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "sweep cells run on this many goroutines (1 = sequential; output is byte-identical at any width)")
 	fs.Parse(os.Args[1:])
+
+	if (*traceOut != "" || *metricsOut != "") && *parallel != 1 {
+		// The collector numbers runs in Instrument-arrival order, which is
+		// only deterministic when cells run one at a time.
+		fmt.Fprintln(os.Stderr, "friedabench: -trace/-metrics force -parallel 1 (deterministic run numbering)")
+		*parallel = 1
+	}
+	experiments.SetParallelism(*parallel)
 
 	col := &collector{traceOut: *traceOut, metricsOut: *metricsOut, periodSec: *metricsPeriod}
 	col.install()
 
+	failed := false
 	run := func(name string) {
-		if err := runExperiment(name, *scale, *gantt, col); err != nil {
-			log.Fatalf("friedabench: %s: %v", name, err)
+		err := runExperiment(name, *scale, *gantt, col)
+		if err == nil {
+			return
 		}
+		// A sweep with failed cells still rendered its surviving rows;
+		// list the failed cells' coordinates and keep going so one bad
+		// parameter point doesn't hide the rest of the grid.
+		var sweepErr *exprun.SweepError
+		if errors.As(err, &sweepErr) {
+			failed = true
+			fmt.Printf("%s: %d/%d cells failed:\n", name, len(sweepErr.Cells), sweepErr.Total)
+			for _, c := range sweepErr.Cells {
+				fmt.Printf("  %s: %v\n", c.Label, c.Err)
+			}
+			fmt.Println()
+			return
+		}
+		log.Fatalf("friedabench: %s: %v", name, err)
 	}
 	switch *exp {
 	case "all":
@@ -169,6 +197,9 @@ func main() {
 	if err := col.export(); err != nil {
 		log.Fatalf("friedabench: export: %v", err)
 	}
+	if failed {
+		os.Exit(1)
+	}
 }
 
 // runExperiment executes and prints one experiment.
@@ -176,11 +207,11 @@ func runExperiment(name string, scale float64, gantt bool, col *collector) error
 	switch name {
 	case "table1":
 		rows, err := experiments.RunTable1(scale)
+		fmt.Print(experiments.RenderTable1(rows))
+		fmt.Println()
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderTable1(rows))
-		fmt.Println()
 	case "fig6a", "fig6b":
 		app := "ALS"
 		title := "Figure 6a: Effect of Different Partitioning — ALS (paper: local < real-time < pre-remote)"
@@ -189,11 +220,11 @@ func runExperiment(name string, scale float64, gantt bool, col *collector) error
 			title = "Figure 6b: Effect of Different Partitioning — BLAST (paper: near-parity, real-time best)"
 		}
 		bars, err := experiments.RunFig6(app, scale)
+		fmt.Print(experiments.RenderBars(title, bars))
+		fmt.Println()
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderBars(title, bars))
-		fmt.Println()
 		if gantt {
 			return printGantt(app, scale, col)
 		}
@@ -205,105 +236,105 @@ func runExperiment(name string, scale float64, gantt bool, col *collector) error
 			title = "Figure 7b: Effect of Data Movement — BLAST (paper: placement-insensitive)"
 		}
 		bars, err := experiments.RunFig7(app, scale)
-		if err != nil {
-			return err
-		}
 		fmt.Print(experiments.RenderBars(title, bars))
 		fmt.Println()
+		if err != nil {
+			return err
+		}
 	case "ablation-prefetch":
 		rows, err := experiments.AblationPrefetch(scale)
-		if err != nil {
-			return err
-		}
 		fmt.Print(experiments.RenderSweep("Ablation: real-time prefetch window (ALS)", "prefetch", rows))
 		fmt.Println()
+		if err != nil {
+			return err
+		}
 	case "ablation-bandwidth":
 		rows, err := experiments.AblationBandwidth(scale)
-		if err != nil {
-			return err
-		}
 		fmt.Print(experiments.RenderSweep("Ablation: provisioned bandwidth sweep (ALS)", "mbps", rows))
 		fmt.Println()
+		if err != nil {
+			return err
+		}
 	case "ablation-variance":
 		rows, err := experiments.AblationVariance(scale)
-		if err != nil {
-			return err
-		}
 		fmt.Print(experiments.RenderSweep("Ablation: task-cost drift vs pre-partition penalty (BLAST)", "drift", rows))
 		fmt.Println()
+		if err != nil {
+			return err
+		}
 	case "ablation-failures":
 		rows, err := experiments.AblationFailures(scale)
-		if err != nil {
-			return err
-		}
 		fmt.Print(experiments.RenderSweep("Ablation: VM failures — isolation (paper) vs recovery (future work)", "mtbf_sec", rows))
 		fmt.Println()
+		if err != nil {
+			return err
+		}
 	case "ablation-elastic":
 		rows, err := experiments.AblationElastic(scale)
-		if err != nil {
-			return err
-		}
 		fmt.Print(experiments.RenderSweep("Ablation: elastic worker additions mid-run (BLAST)", "added", rows))
 		fmt.Println()
+		if err != nil {
+			return err
+		}
 	case "ablation-federated":
 		rows, err := experiments.AblationFederated(scale)
-		if err != nil {
-			return err
-		}
 		fmt.Print(experiments.RenderSweep("Ablation: federated two-site placement over a 50 Mbps WAN (ALS)", "remote_workers", rows))
 		fmt.Println()
-	case "ablation-stripes":
-		rows, err := experiments.AblationStripes(scale)
 		if err != nil {
 			return err
 		}
+	case "ablation-stripes":
+		rows, err := experiments.AblationStripes(scale)
 		fmt.Print(experiments.RenderSweep("Ablation: GridFTP-style striping on a contended fabric", "stripes", rows))
 		fmt.Println()
+		if err != nil {
+			return err
+		}
 	case "ablation-netfail", "netfail":
 		for _, app := range []string{"ALS", "BLAST"} {
 			rows, err := experiments.AblationNetFail(app, scale)
-			if err != nil {
-				return err
-			}
 			fmt.Print(experiments.RenderSweep(
 				fmt.Sprintf("Ablation: link faults — %s (mean outage 25s; isolate=prototype, retry=requeue, resume=+offset+replicas)", app),
 				"mtbf_sec", rows))
 			fmt.Println()
-		}
-		rows, err := experiments.AblationPartition(scale)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.RenderSweep(
-			"Ablation: partition duration — BLAST (per-worker link MTBF 8000s)", "mttr_sec", rows))
-		fmt.Println()
-	case "ablation-durability", "durability":
-		for _, app := range []string{"ALS", "BLAST"} {
-			rows, err := experiments.AblationDurability(app, scale)
 			if err != nil {
 				return err
 			}
+		}
+		rows, err := experiments.AblationPartition(scale)
+		fmt.Print(experiments.RenderSweep(
+			"Ablation: partition duration — BLAST (per-worker link MTBF 8000s)", "mttr_sec", rows))
+		fmt.Println()
+		if err != nil {
+			return err
+		}
+	case "ablation-durability", "durability":
+		for _, app := range []string{"ALS", "BLAST"} {
+			rows, err := experiments.AblationDurability(app, scale)
 			fmt.Print(experiments.RenderSweep(
 				fmt.Sprintf("Ablation: durability chaos — %s (RF 1/2/3 under combined link+disk+worker faults, dead VMs replaced)", app),
 				"mtbf_sec", rows))
 			fmt.Println()
+			if err != nil {
+				return err
+			}
 		}
 	case "scale":
 		rows, err := experiments.ScaleSweep(experiments.DefaultScaleWorkers, scale)
-		if err != nil {
-			return err
-		}
 		fmt.Print(experiments.RenderSweep(
 			"Large-scale sweep: BLAST real-time beyond the paper's 4 VMs (wall_ms = real time to simulate)",
 			"workers", rows))
 		fmt.Println()
-	case "ablation-storage":
-		rows, err := experiments.AblationStorage(scale)
 		if err != nil {
 			return err
 		}
+	case "ablation-storage":
+		rows, err := experiments.AblationStorage(scale)
 		fmt.Print(experiments.RenderSweep("Ablation: worker storage tier at 1 Gbps (ALS; 0=local 1=block 2=networked)", "tier", rows))
 		fmt.Println()
+		if err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

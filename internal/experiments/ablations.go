@@ -9,6 +9,7 @@ import (
 
 	"frieda/internal/catalog"
 	"frieda/internal/cloud"
+	"frieda/internal/exprun"
 	"frieda/internal/netsim"
 	"frieda/internal/sim"
 	"frieda/internal/simrun"
@@ -53,21 +54,26 @@ type SweepRow struct {
 // workload: 1 is the paper's strict request-one-get-one; larger windows
 // pipeline the next transfer behind the current computation.
 func AblationPrefetch(scale float64) ([]SweepRow, error) {
-	wl := ALSWorkload(scale)
-	var rows []SweepRow
-	for _, prefetch := range []int{1, 2, 4, 8} {
-		strat := strategy.RealTimeRemote
-		strat.Prefetch = prefetch
-		res, err := RunStrategy(simrun.Config{Strategy: strat}, wl, 4, 1)
-		if err != nil {
-			return nil, err
-		}
+	windows := []int{1, 2, 4, 8}
+	var cells []exprun.Cell[simrun.Result]
+	for _, prefetch := range windows {
+		prefetch := prefetch
+		cells = append(cells, cell(fmt.Sprintf("prefetch/ALS/window=%d/seed=1", prefetch),
+			func() (simrun.Result, error) {
+				strat := strategy.RealTimeRemote
+				strat.Prefetch = prefetch
+				return RunStrategy(simrun.Config{Strategy: strat}, ALSWorkload(scale), 4, 1)
+			}))
+	}
+	results, err := runCells(cells)
+	rows := make([]SweepRow, 0, len(windows))
+	for i, prefetch := range windows {
 		rows = append(rows, SweepRow{
 			Param:  float64(prefetch),
-			Series: map[string]float64{"makespan_sec": res.MakespanSec},
+			Series: map[string]float64{"makespan_sec": results[i].MakespanSec},
 		})
 	}
-	return rows, nil
+	return rows, err
 }
 
 // AblationBandwidth sweeps the provisioned link rate on the ALS workload
@@ -75,26 +81,33 @@ func AblationPrefetch(scale float64) ([]SweepRow, error) {
 // crossover: at low bandwidth real-time's overlap dominates; at high
 // bandwidth the strategies converge to the compute bound.
 func AblationBandwidth(scale float64) ([]SweepRow, error) {
-	wl := ALSWorkload(scale)
-	var rows []SweepRow
-	for _, mbps := range []float64{25, 50, 100, 250, 500, 1000} {
-		pre, err := RunStrategyBW(preRemote("round-robin"), wl, 4, 1, mbps)
-		if err != nil {
-			return nil, err
-		}
-		rt, err := RunStrategyBW(realTime(), wl, 4, 1, mbps)
-		if err != nil {
-			return nil, err
-		}
+	rates := []float64{25, 50, 100, 250, 500, 1000}
+	var cells []exprun.Cell[simrun.Result]
+	for _, mbps := range rates {
+		mbps := mbps
+		cells = append(cells,
+			cell(fmt.Sprintf("bandwidth/ALS/pre-partition/mbps=%g/seed=1", mbps),
+				func() (simrun.Result, error) {
+					return RunStrategyBW(preRemote("round-robin"), ALSWorkload(scale), 4, 1, mbps)
+				}),
+			cell(fmt.Sprintf("bandwidth/ALS/real-time/mbps=%g/seed=1", mbps),
+				func() (simrun.Result, error) {
+					return RunStrategyBW(realTime(), ALSWorkload(scale), 4, 1, mbps)
+				}),
+		)
+	}
+	results, err := runCells(cells)
+	rows := make([]SweepRow, 0, len(rates))
+	for i, mbps := range rates {
 		rows = append(rows, SweepRow{
 			Param: mbps,
 			Series: map[string]float64{
-				"pre-partition_sec": pre.MakespanSec,
-				"real-time_sec":     rt.MakespanSec,
+				"pre-partition_sec": results[2*i].MakespanSec,
+				"real-time_sec":     results[2*i+1].MakespanSec,
 			},
 		})
 	}
-	return rows, nil
+	return rows, err
 }
 
 // AblationVariance sweeps per-task cost variability on a BLAST-like
@@ -102,27 +115,39 @@ func AblationBandwidth(scale float64) ([]SweepRow, error) {
 // real-time — the quantitative version of the paper's load-balancing
 // argument.
 func AblationVariance(scale float64) ([]SweepRow, error) {
-	var rows []SweepRow
-	for _, amp := range []float64{0, 0.05, 0.1, 0.2, 0.4} {
-		wl := driftWorkload(scale, amp, 1)
-		pre, err := RunStrategy(preRemote("blocked"), wl, 4, 1)
-		if err != nil {
-			return nil, err
-		}
-		rt, err := RunStrategy(realTime(), wl, 4, 1)
-		if err != nil {
-			return nil, err
+	amps := []float64{0, 0.05, 0.1, 0.2, 0.4}
+	var cells []exprun.Cell[simrun.Result]
+	for _, amp := range amps {
+		amp := amp
+		cells = append(cells,
+			cell(fmt.Sprintf("variance/BLAST-var/pre-partition/amp=%g/seed=1", amp),
+				func() (simrun.Result, error) {
+					return RunStrategy(preRemote("blocked"), driftWorkload(scale, amp, 1), 4, 1)
+				}),
+			cell(fmt.Sprintf("variance/BLAST-var/real-time/amp=%g/seed=1", amp),
+				func() (simrun.Result, error) {
+					return RunStrategy(realTime(), driftWorkload(scale, amp, 1), 4, 1)
+				}),
+		)
+	}
+	results, err := runCells(cells)
+	rows := make([]SweepRow, 0, len(amps))
+	for i, amp := range amps {
+		pre, rt := results[2*i], results[2*i+1]
+		penalty := 0.0
+		if rt.MakespanSec > 0 {
+			penalty = 100 * (pre.MakespanSec/rt.MakespanSec - 1)
 		}
 		rows = append(rows, SweepRow{
 			Param: amp,
 			Series: map[string]float64{
 				"pre-partition_sec": pre.MakespanSec,
 				"real-time_sec":     rt.MakespanSec,
-				"penalty_pct":       100 * (pre.MakespanSec/rt.MakespanSec - 1),
+				"penalty_pct":       penalty,
 			},
 		})
 	}
-	return rows, nil
+	return rows, err
 }
 
 // driftWorkload is the BLAST cost model with an explicit drift amplitude.
@@ -152,22 +177,40 @@ func driftWorkload(scale, amp float64, seed int64) simrun.Workload {
 // one, as its membership machinery allows). Reported: completion fraction
 // and makespan.
 func AblationFailures(scale float64) ([]SweepRow, error) {
-	wl := BLASTWorkload(scale, 1)
-	var rows []SweepRow
-	for _, mtbf := range []float64{0, 8000, 4000, 2000} {
+	mtbfs := []float64{0, 8000, 4000, 2000}
+	modes := []string{"isolate", "recover", "replace"}
+	var cells []exprun.Cell[simrun.Result]
+	for _, mtbf := range mtbfs {
+		for _, mode := range modes {
+			mtbf, mode := mtbf, mode
+			cells = append(cells, cell(fmt.Sprintf("failures/BLAST/mtbf=%g/%s/seed=7", mtbf, mode),
+				func() (simrun.Result, error) {
+					return runWithFailures(BLASTWorkload(scale, 1), mtbf, mode)
+				}))
+		}
+	}
+	results, err := runCells(cells)
+	rows := make([]SweepRow, 0, len(mtbfs))
+	for i, mtbf := range mtbfs {
 		row := SweepRow{Param: mtbf, Series: map[string]float64{}}
-		for _, mode := range []string{"isolate", "recover", "replace"} {
-			res, err := runWithFailures(wl, mtbf, mode)
-			if err != nil {
-				return nil, err
-			}
-			total := float64(res.Succeeded + res.Abandoned)
-			row.Series[mode+"_done_pct"] = 100 * float64(res.Succeeded) / total
+		for j, mode := range modes {
+			res := results[i*len(modes)+j]
+			row.Series[mode+"_done_pct"] = donePct(res)
 			row.Series[mode+"_makespan_s"] = res.MakespanSec
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, err
+}
+
+// donePct is the completed-task percentage of a run, 0 for the zero Result
+// a failed sweep cell leaves behind.
+func donePct(res simrun.Result) float64 {
+	total := float64(res.Succeeded + res.Abandoned)
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(res.Succeeded) / total
 }
 
 // runWithFailures runs real-time BLAST under exponential VM failures.
@@ -249,23 +292,30 @@ func runWithFailures(wl simrun.Workload, mtbfSec float64, mode string) (simrun.R
 // source uplink, which elasticity cannot widen): workers added at one
 // quarter of the baseline makespan.
 func AblationElastic(scale float64) ([]SweepRow, error) {
-	wl := BLASTWorkload(scale, 1)
-	base, err := RunStrategy(realTime(), wl, 2, 1)
+	// The baseline runs first on its own: the scale-out cells' add time
+	// depends on its makespan, so only the two elastic cells fan out.
+	base, err := RunStrategy(realTime(), BLASTWorkload(scale, 1), 2, 1)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: elastic baseline: %w", err)
 	}
+	addCounts := []int{1, 2}
+	var cells []exprun.Cell[simrun.Result]
+	for _, adds := range addCounts {
+		adds := adds
+		cells = append(cells, cell(fmt.Sprintf("elastic/BLAST/adds=%d/seed=1", adds),
+			func() (simrun.Result, error) {
+				return runElastic(BLASTWorkload(scale, 1), 2, adds, base.MakespanSec/4)
+			}))
+	}
+	results, err := runCells(cells)
 	rows := []SweepRow{{Param: 0, Series: map[string]float64{"makespan_sec": base.MakespanSec}}}
-	for _, adds := range []int{1, 2} {
-		res, err := runElastic(wl, 2, adds, base.MakespanSec/4)
-		if err != nil {
-			return nil, err
-		}
+	for i, adds := range addCounts {
 		rows = append(rows, SweepRow{
 			Param:  float64(adds),
-			Series: map[string]float64{"makespan_sec": res.MakespanSec},
+			Series: map[string]float64{"makespan_sec": results[i].MakespanSec},
 		})
 	}
-	return rows, nil
+	return rows, err
 }
 
 // runElastic starts with `initial` workers and adds `adds` more at addAt.

@@ -5,6 +5,7 @@ import (
 
 	"frieda/internal/catalog"
 	"frieda/internal/cloud"
+	"frieda/internal/exprun"
 	"frieda/internal/netsim"
 	"frieda/internal/sim"
 	"frieda/internal/simrun"
@@ -178,25 +179,43 @@ func runDurability(wl simrun.Workload, rf int, spec chaosSpec) (simrun.Result, e
 	return result, nil
 }
 
-// durabilityRow runs RF 1..3 at one chaos regime and collects completion
-// fraction, makespan, permanently lost files and repair traffic per factor.
-func durabilityRow(wl simrun.Workload, param float64, spec chaosSpec) (SweepRow, error) {
-	row := SweepRow{Param: param, Series: map[string]float64{}}
-	for rf := 1; rf <= 3; rf++ {
-		res, err := runDurability(wl, rf, spec)
-		if err != nil {
-			return SweepRow{}, err
-		}
-		total := float64(res.Succeeded + res.Abandoned)
-		key := fmt.Sprintf("rf%d_", rf)
-		row.Series[key+"done_pct"] = 100 * float64(res.Succeeded) / total
-		row.Series[key+"makespan_s"] = res.MakespanSec
-		row.Series[key+"lost"] = float64(res.FilesLost)
-		if rf == 3 {
-			row.Series["rf3_repair_mb"] = res.RepairBytes / 1e6
+// durabilityCells builds the (mtbf × RF 1..3) grid of independent seeded
+// simulations; durabilityRows assembles the matching sweep rows with
+// completion fraction, makespan, permanently lost files and repair traffic
+// per factor.
+const durabilityRFs = 3
+
+func durabilityCells(app string, mkWL func() simrun.Workload, mtbfs []float64) []exprun.Cell[simrun.Result] {
+	var cells []exprun.Cell[simrun.Result]
+	for _, mtbf := range mtbfs {
+		spec := chaosFor(mtbf)
+		for rf := 1; rf <= durabilityRFs; rf++ {
+			spec, rf, mtbf := spec, rf, mtbf
+			cells = append(cells, cell(
+				fmt.Sprintf("durability/%s/mtbf=%g/rf=%d/seed=7", app, mtbf, rf),
+				func() (simrun.Result, error) { return runDurability(mkWL(), rf, spec) }))
 		}
 	}
-	return row, nil
+	return cells
+}
+
+func durabilityRows(mtbfs []float64, results []simrun.Result) []SweepRow {
+	rows := make([]SweepRow, 0, len(mtbfs))
+	for i, mtbf := range mtbfs {
+		row := SweepRow{Param: mtbf, Series: map[string]float64{}}
+		for rf := 1; rf <= durabilityRFs; rf++ {
+			res := results[i*durabilityRFs+rf-1]
+			key := fmt.Sprintf("rf%d_", rf)
+			row.Series[key+"done_pct"] = donePct(res)
+			row.Series[key+"makespan_s"] = res.MakespanSec
+			row.Series[key+"lost"] = float64(res.FilesLost)
+			if rf == durabilityRFs {
+				row.Series["rf3_repair_mb"] = res.RepairBytes / 1e6
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
 }
 
 // AblationDurability sweeps the combined fault rate (worker-crash MTBF; disk
@@ -206,11 +225,11 @@ func durabilityRow(wl simrun.Workload, param float64, spec chaosSpec) (SweepRow,
 // file available — at the cost of repair traffic contending with foreground
 // transfers.
 func AblationDurability(app string, scale float64) ([]SweepRow, error) {
-	wl, err := workloadFor(app, scale)
+	base, err := workloadBuilder(app, scale)
 	if err != nil {
 		return nil, err
 	}
-	wl = withChecksums(wl, 2012)
+	mkWL := func() simrun.Workload { return withChecksums(base(), 2012) }
 	// MTBFs chosen per app so the sweep spans "no faults" to "every worker
 	// crashes several times per run" (ALS runs ~12 minutes at paper scale,
 	// BLAST ~70).
@@ -218,13 +237,6 @@ func AblationDurability(app string, scale float64) ([]SweepRow, error) {
 	if app == "BLAST" {
 		mtbfs = []float64{0, 8000, 4000}
 	}
-	var rows []SweepRow
-	for _, mtbf := range mtbfs {
-		row, err := durabilityRow(wl, mtbf, chaosFor(mtbf))
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	results, err := runCells(durabilityCells(app, mkWL, mtbfs))
+	return durabilityRows(mtbfs, results), err
 }

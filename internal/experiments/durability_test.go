@@ -3,6 +3,8 @@ package experiments
 import (
 	"reflect"
 	"testing"
+
+	"frieda/internal/simrun"
 )
 
 // Without faults and RF=1, the durability machinery must add zero overhead:
@@ -75,12 +77,12 @@ func TestDurabilityCorruptionDetected(t *testing.T) {
 // guard depends on it, and any drift would poison RF comparisons.
 func TestDurabilityRunDeterministic(t *testing.T) {
 	run := func() SweepRow {
-		wl := withChecksums(BLASTWorkload(0.05, 1), 2012)
-		row, err := durabilityRow(wl, 2000, chaosFor(2000))
+		mkWL := func() simrun.Workload { return withChecksums(BLASTWorkload(0.05, 1), 2012) }
+		results, err := runCells(durabilityCells("BLAST", mkWL, []float64{2000}))
 		if err != nil {
 			t.Fatal(err)
 		}
-		return row
+		return durabilityRows([]float64{2000}, results)[0]
 	}
 	a, b := run(), run()
 	if !reflect.DeepEqual(a, b) {

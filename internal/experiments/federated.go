@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"frieda/internal/cloud"
+	"frieda/internal/exprun"
 	"frieda/internal/netsim"
 	"frieda/internal/sim"
 	"frieda/internal/simrun"
@@ -18,19 +19,24 @@ import (
 // the real-time strategy: all four workers local to the data, half remote,
 // and all remote.
 func AblationFederated(scale float64) ([]SweepRow, error) {
-	wl := ALSWorkload(scale)
-	var rows []SweepRow
-	for _, remoteWorkers := range []int{0, 2, 4} {
-		res, err := RunFederated(wl, 4-remoteWorkers, remoteWorkers, netsim.Mbps(50), 0.05)
-		if err != nil {
-			return nil, err
-		}
+	splits := []int{0, 2, 4}
+	var cells []exprun.Cell[simrun.Result]
+	for _, remoteWorkers := range splits {
+		remoteWorkers := remoteWorkers
+		cells = append(cells, cell(fmt.Sprintf("federated/ALS/remote=%d/seed=1", remoteWorkers),
+			func() (simrun.Result, error) {
+				return RunFederated(ALSWorkload(scale), 4-remoteWorkers, remoteWorkers, netsim.Mbps(50), 0.05)
+			}))
+	}
+	results, err := runCells(cells)
+	rows := make([]SweepRow, 0, len(splits))
+	for i, remoteWorkers := range splits {
 		rows = append(rows, SweepRow{
 			Param:  float64(remoteWorkers),
-			Series: map[string]float64{"makespan_sec": res.MakespanSec},
+			Series: map[string]float64{"makespan_sec": results[i].MakespanSec},
 		})
 	}
-	return rows, nil
+	return rows, err
 }
 
 // RunFederated builds a two-site topology: the data source plus localN

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"frieda/internal/exprun"
 	"frieda/internal/simrun"
 )
 
@@ -28,38 +29,46 @@ func (r Table1Row) Speedups() (pre, rt float64) {
 }
 
 // RunTable1 reproduces Table I ("Effect of Data Parallelization") at the
-// given workload scale (1.0 = paper size).
+// given workload scale (1.0 = paper size). The six (app, strategy) cells
+// are independent seeded simulations and run on the sweep pool; failed
+// cells leave zeroed columns and are reported together in the returned
+// *exprun.SweepError.
 func RunTable1(scale float64) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, app := range []string{"ALS", "BLAST"} {
-		wl, err := workloadFor(app, scale)
+	apps := []string{"ALS", "BLAST"}
+	var cells []exprun.Cell[simrun.Result]
+	for _, app := range apps {
+		app := app
+		mkWL, err := workloadBuilder(app, scale)
 		if err != nil {
 			return nil, err
 		}
-		seq, err := Sequential(wl)
-		if err != nil {
-			return nil, err
-		}
-		pre, err := RunStrategy(preRemote(AssignerFor(app)), wl, 4, 1)
-		if err != nil {
-			return nil, err
-		}
-		rt, err := RunStrategy(realTime(), wl, 4, 1)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells,
+			cell(fmt.Sprintf("table1/%s/sequential/seed=1", app), func() (simrun.Result, error) {
+				return Sequential(mkWL())
+			}),
+			cell(fmt.Sprintf("table1/%s/pre-partition/seed=1", app), func() (simrun.Result, error) {
+				return RunStrategy(preRemote(AssignerFor(app)), mkWL(), 4, 1)
+			}),
+			cell(fmt.Sprintf("table1/%s/real-time/seed=1", app), func() (simrun.Result, error) {
+				return RunStrategy(realTime(), mkWL(), 4, 1)
+			}),
+		)
+	}
+	results, err := runCells(cells)
+	rows := make([]Table1Row, 0, len(apps))
+	for i, app := range apps {
 		paper := PaperTable1[app]
 		rows = append(rows, Table1Row{
 			App:             app,
-			SequentialSec:   seq.MakespanSec,
-			PreSec:          pre.MakespanSec,
-			RealTimeSec:     rt.MakespanSec,
+			SequentialSec:   results[3*i].MakespanSec,
+			PreSec:          results[3*i+1].MakespanSec,
+			RealTimeSec:     results[3*i+2].MakespanSec,
 			PaperSequential: paper[0],
 			PaperPre:        paper[1],
 			PaperRealTime:   paper[2],
 		})
 	}
-	return rows, nil
+	return rows, err
 }
 
 // Bar is one stacked bar of Figure 6/7: a strategy's transfer and execution
@@ -79,13 +88,25 @@ type Bar struct {
 
 // workloadFor builds the named application's workload.
 func workloadFor(app string, scale float64) (simrun.Workload, error) {
+	mk, err := workloadBuilder(app, scale)
+	if err != nil {
+		return simrun.Workload{}, err
+	}
+	return mk(), nil
+}
+
+// workloadBuilder returns a constructor for the named application's
+// workload. Each call builds a fresh copy from the fixed seed, so parallel
+// sweep cells share no mutable state while still simulating identical
+// inputs.
+func workloadBuilder(app string, scale float64) (func() simrun.Workload, error) {
 	switch app {
 	case "ALS":
-		return ALSWorkload(scale), nil
+		return func() simrun.Workload { return ALSWorkload(scale) }, nil
 	case "BLAST":
-		return BLASTWorkload(scale, 1), nil
+		return func() simrun.Workload { return BLASTWorkload(scale, 1) }, nil
 	default:
-		return simrun.Workload{}, fmt.Errorf("experiments: unknown application %q", app)
+		return nil, fmt.Errorf("experiments: unknown application %q", app)
 	}
 }
 
@@ -93,7 +114,7 @@ func workloadFor(app string, scale float64) (simrun.Workload, error) {
 // application: pre-partitioned local, pre-partitioned remote, and real-time
 // remote.
 func RunFig6(app string, scale float64) ([]Bar, error) {
-	wl, err := workloadFor(app, scale)
+	mkWL, err := workloadBuilder(app, scale)
 	if err != nil {
 		return nil, err
 	}
@@ -106,15 +127,18 @@ func RunFig6(app string, scale float64) ([]Bar, error) {
 		{"pre-partitioned-remote", preRemote(assigner)},
 		{"real-time-remote", realTime()},
 	}
-	var bars []Bar
+	var cells []exprun.Cell[simrun.Result]
 	for _, c := range configs {
-		res, err := RunStrategy(c.cfg, wl, 4, 1)
-		if err != nil {
-			return nil, err
-		}
-		bars = append(bars, barFrom(c.name, res))
+		c := c
+		cells = append(cells, cell(fmt.Sprintf("fig6/%s/%s/seed=1", app, c.name),
+			func() (simrun.Result, error) { return RunStrategy(c.cfg, mkWL(), 4, 1) }))
 	}
-	return bars, nil
+	results, err := runCells(cells)
+	bars := make([]Bar, 0, len(configs))
+	for i, c := range configs {
+		bars = append(bars, barFrom(c.name, results[i]))
+	}
+	return bars, err
 }
 
 // RunFig7 reproduces Figure 7 ("Effect of Data Movement") for one
@@ -122,23 +146,21 @@ func RunFig6(app string, scale float64) ([]Bar, error) {
 // versus moving computation to the data (execution placed on the nodes
 // already holding the partitions).
 func RunFig7(app string, scale float64) ([]Bar, error) {
-	wl, err := workloadFor(app, scale)
+	mkWL, err := workloadBuilder(app, scale)
 	if err != nil {
 		return nil, err
 	}
 	assigner := AssignerFor(app)
-	dataToCompute, err := RunStrategy(realTime(), wl, 4, 1)
-	if err != nil {
-		return nil, err
-	}
-	computeToData, err := RunStrategy(preLocal(assigner), wl, 4, 1)
-	if err != nil {
-		return nil, err
-	}
+	results, err := runCells([]exprun.Cell[simrun.Result]{
+		cell(fmt.Sprintf("fig7/%s/data-to-computation/seed=1", app),
+			func() (simrun.Result, error) { return RunStrategy(realTime(), mkWL(), 4, 1) }),
+		cell(fmt.Sprintf("fig7/%s/computation-to-data/seed=1", app),
+			func() (simrun.Result, error) { return RunStrategy(preLocal(assigner), mkWL(), 4, 1) }),
+	})
 	return []Bar{
-		barFrom("data-to-computation", dataToCompute),
-		barFrom("computation-to-data", computeToData),
-	}, nil
+		barFrom("data-to-computation", results[0]),
+		barFrom("computation-to-data", results[1]),
+	}, err
 }
 
 // barFrom converts a run result into a figure bar.

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"sync"
+
 	"frieda/internal/cloud"
 	"frieda/internal/simrun"
 )
@@ -11,11 +13,24 @@ import (
 // obs.Tracer and obs.Metrics to every run behind its -trace/-metrics flags
 // without widening each experiment's signature. Nil (the default) leaves
 // every run untouched, so instrumentation is strictly opt-in.
+//
+// The hook itself must stay per-cell: tracers/metrics it attaches bind to
+// one run's engine and are never shared across cells. Hook invocations are
+// serialised under a mutex so a hook with internal state (friedabench's
+// collector) stays race-free when sweeps run cells in parallel — but
+// callers that need deterministic hook ordering (tracing) must run with
+// parallelism 1; friedabench forces that when -trace/-metrics is set.
 var Instrument func(label string, cluster *cloud.Cluster, cfg *simrun.Config)
+
+// instrumentMu serialises hook invocations across parallel sweep cells.
+var instrumentMu sync.Mutex
 
 // instrument invokes the hook if one is installed.
 func instrument(label string, cluster *cloud.Cluster, cfg *simrun.Config) {
-	if Instrument != nil {
-		Instrument(label, cluster, cfg)
+	if Instrument == nil {
+		return
 	}
+	instrumentMu.Lock()
+	defer instrumentMu.Unlock()
+	Instrument(label, cluster, cfg)
 }

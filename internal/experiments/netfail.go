@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"frieda/internal/cloud"
+	"frieda/internal/exprun"
 	"frieda/internal/netsim"
 	"frieda/internal/sim"
 	"frieda/internal/simrun"
@@ -100,24 +101,37 @@ func runNetFail(wl simrun.Workload, spec netFailSpec, mode string) (simrun.Resul
 	return result, nil
 }
 
-// netFailRow runs every mode at one fault regime and collects completion
-// fraction and makespan per mode (plus the resume mode's interrupt/retry
-// counters, the direct evidence the resilience machinery engaged).
-func netFailRow(wl simrun.Workload, param float64, spec netFailSpec) (SweepRow, error) {
-	row := SweepRow{Param: param, Series: map[string]float64{}}
-	for _, mode := range netFailModes {
-		res, err := runNetFail(wl, spec, mode)
-		if err != nil {
-			return SweepRow{}, err
-		}
-		total := float64(res.Succeeded + res.Abandoned)
-		row.Series[mode+"_done_pct"] = 100 * float64(res.Succeeded) / total
-		row.Series[mode+"_makespan_s"] = res.MakespanSec
-		if mode == "resume" {
-			row.Series["resume_retries"] = float64(res.TransferRetries)
+// netFailSweep fans the full (param × mode) grid across the sweep pool —
+// every combination is an independent seeded simulation — and assembles
+// one row per parameter with completion fraction and makespan per mode
+// (plus the resume mode's retry counter, the direct evidence the
+// resilience machinery engaged).
+func netFailSweep(sweepName string, mkWL func() simrun.Workload, params []float64, specFor func(p float64) netFailSpec) ([]SweepRow, error) {
+	var cells []exprun.Cell[simrun.Result]
+	for _, p := range params {
+		spec := specFor(p)
+		for _, mode := range netFailModes {
+			spec, mode := spec, mode
+			cells = append(cells, cell(
+				fmt.Sprintf("%s/param=%g/%s/seed=7", sweepName, p, mode),
+				func() (simrun.Result, error) { return runNetFail(mkWL(), spec, mode) }))
 		}
 	}
-	return row, nil
+	results, err := runCells(cells)
+	rows := make([]SweepRow, 0, len(params))
+	for i, p := range params {
+		row := SweepRow{Param: p, Series: map[string]float64{}}
+		for j, mode := range netFailModes {
+			res := results[i*len(netFailModes)+j]
+			row.Series[mode+"_done_pct"] = donePct(res)
+			row.Series[mode+"_makespan_s"] = res.MakespanSec
+			if mode == "resume" {
+				row.Series["resume_retries"] = float64(res.TransferRetries)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, err
 }
 
 // AblationNetFail sweeps the per-worker link-fault MTBF (mean outage 25 s)
@@ -125,7 +139,7 @@ func netFailRow(wl simrun.Workload, param float64, spec netFailSpec) (SweepRow, 
 // so the sweep spans "no faults" to "every worker partitioned several
 // times": ALS runs ~12 minutes, BLAST ~70 at paper scale.
 func AblationNetFail(app string, scale float64) ([]SweepRow, error) {
-	wl, err := workloadFor(app, scale)
+	mkWL, err := workloadBuilder(app, scale)
 	if err != nil {
 		return nil, err
 	}
@@ -133,15 +147,9 @@ func AblationNetFail(app string, scale float64) ([]SweepRow, error) {
 	if app == "BLAST" {
 		mtbfs = []float64{0, 16000, 8000, 4000}
 	}
-	var rows []SweepRow
-	for _, mtbf := range mtbfs {
-		row, err := netFailRow(wl, mtbf, netFailSpec{mtbfSec: mtbf, mttrSec: 25, flap: 1})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return netFailSweep("netfail/"+app, mkWL, mtbfs, func(mtbf float64) netFailSpec {
+		return netFailSpec{mtbfSec: mtbf, mttrSec: 25, flap: 1}
+	})
 }
 
 // AblationPartition sweeps the partition duration (mean outage MTTR) at a
@@ -150,14 +158,8 @@ func AblationNetFail(app string, scale float64) ([]SweepRow, error) {
 // long ones where resumable transfers stop re-sending the database from
 // byte zero.
 func AblationPartition(scale float64) ([]SweepRow, error) {
-	wl := BLASTWorkload(scale, 1)
-	var rows []SweepRow
-	for _, mttr := range []float64{10, 30, 60, 120} {
-		row, err := netFailRow(wl, mttr, netFailSpec{mtbfSec: 8000, mttrSec: mttr, flap: 1})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	mkWL := func() simrun.Workload { return BLASTWorkload(scale, 1) }
+	return netFailSweep("partition/BLAST", mkWL, []float64{10, 30, 60, 120}, func(mttr float64) netFailSpec {
+		return netFailSpec{mtbfSec: 8000, mttrSec: mttr, flap: 1}
+	})
 }

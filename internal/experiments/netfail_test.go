@@ -3,16 +3,25 @@ package experiments
 import (
 	"reflect"
 	"testing"
+
+	"frieda/internal/simrun"
 )
+
+// netFailTestRow runs the one-parameter sweep the tests assert on.
+func netFailTestRow(t *testing.T, spec netFailSpec) SweepRow {
+	t.Helper()
+	mkWL := func() simrun.Workload { return BLASTWorkload(0.05, 1) }
+	rows, err := netFailSweep("test/BLAST", mkWL, []float64{spec.mtbfSec}, func(float64) netFailSpec { return spec })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows[0]
+}
 
 // Without faults the three robustness modes are behaviourally identical:
 // the resilience machinery must add zero overhead when nothing fails.
 func TestNetFailNoFaultModesCoincide(t *testing.T) {
-	wl := BLASTWorkload(0.05, 1)
-	row, err := netFailRow(wl, 0, netFailSpec{mtbfSec: 0, mttrSec: 25, flap: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
+	row := netFailTestRow(t, netFailSpec{mtbfSec: 0, mttrSec: 25, flap: 1})
 	for _, mode := range netFailModes {
 		if pct := row.Series[mode+"_done_pct"]; pct != 100 {
 			t.Fatalf("%s done %.2f%% with no faults", mode, pct)
@@ -31,12 +40,7 @@ func TestNetFailNoFaultModesCoincide(t *testing.T) {
 // strictly beats the prototype's isolate mode on makespan, and is never
 // slower than retry-from-zero.
 func TestNetFailResumeBeatsIsolate(t *testing.T) {
-	wl := BLASTWorkload(0.05, 1)
-	spec := netFailSpec{mtbfSec: 300, mttrSec: 30, flap: 1}
-	row, err := netFailRow(wl, spec.mtbfSec, spec)
-	if err != nil {
-		t.Fatal(err)
-	}
+	row := netFailTestRow(t, netFailSpec{mtbfSec: 300, mttrSec: 30, flap: 1})
 	if pct := row.Series["resume_done_pct"]; pct != 100 {
 		t.Fatalf("resume finished only %.2f%%: %v", pct, row.Series)
 	}
@@ -59,16 +63,9 @@ func TestNetFailResumeBeatsIsolate(t *testing.T) {
 // Seeded virtual-time runs are bit-identical: the CI determinism guard
 // depends on it, and any drift would poison A/B comparisons.
 func TestNetFailRowDeterministic(t *testing.T) {
-	wl := BLASTWorkload(0.05, 1)
 	spec := netFailSpec{mtbfSec: 300, mttrSec: 30, flap: 1}
-	a, err := netFailRow(wl, spec.mtbfSec, spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := netFailRow(wl, spec.mtbfSec, spec)
-	if err != nil {
-		t.Fatal(err)
-	}
+	a := netFailTestRow(t, spec)
+	b := netFailTestRow(t, spec)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same-seed netfail rows diverged:\n%+v\nvs\n%+v", a, b)
 	}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"frieda/internal/exprun"
+)
+
+// parallelism is the sweep-wide worker-pool width. Zero (the default before
+// SetParallelism) means GOMAXPROCS. friedabench sets it once from -parallel
+// before running experiments; tests set it around parallel/sequential
+// comparisons.
+var parallelism atomic.Int32
+
+// SetParallelism fixes how many cells every sweep runs concurrently.
+// n <= 0 restores the GOMAXPROCS default. 1 is the strictly sequential
+// path. Output is byte-identical at every width: cells are independent
+// seeded simulations and results are collected into the cell's own slot.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism reports the current sweep pool width.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runCells fans a sweep's cells across the configured pool and returns
+// their results in cell order. On cell failures the successful results are
+// still returned (failed slots hold zero values) together with the
+// *exprun.SweepError listing every failed cell's coordinates, so callers
+// can render partial tables and report exactly what failed.
+func runCells[T any](cells []exprun.Cell[T]) ([]T, error) {
+	return exprun.Run(exprun.New(Parallelism()), cells)
+}
+
+// cell is shorthand for building a labelled sweep cell.
+func cell[T any](label string, run func() (T, error)) exprun.Cell[T] {
+	return exprun.Cell[T]{Label: label, Run: run}
+}

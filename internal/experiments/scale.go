@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"frieda/internal/exprun"
 	"frieda/internal/simrun"
 )
 
@@ -18,34 +19,51 @@ var DefaultScaleWorkers = []int{256, 1024, 4096}
 // events, and the real (wall-clock) milliseconds the simulation took — the
 // last column is the allocator's own benchmark at production scale.
 func ScaleSweep(workerCounts []int, scale float64) ([]SweepRow, error) {
-	var rows []SweepRow
+	var cells []exprun.Cell[SweepRow]
 	for _, workers := range workerCounts {
-		wl := BLASTWorkload(scale, 1)
-		start := time.Now()
-		tb := NewTestbed(workers, 1)
-		cfg := realTime()
-		cfg.ModelDiskIO = true
-		instrument(fmt.Sprintf("%s scale w=%d", wl.Name, workers), tb.Cluster, &cfg)
-		r, err := simrun.NewRunner(tb.Cluster, tb.Source, cfg, wl)
-		if err != nil {
-			return nil, err
-		}
-		for _, vm := range tb.Workers {
-			r.AddWorker(vm)
-		}
-		res, err := r.Run()
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SweepRow{
-			Param: float64(workers),
-			Series: map[string]float64{
-				"makespan_sec":   res.MakespanSec,
-				"bytes_moved_gb": res.BytesMoved / 1e9,
-				"sim_events":     float64(tb.Engine.Fired()),
-				"wall_ms":        float64(time.Since(start).Milliseconds()),
-			},
-		})
+		workers := workers
+		cells = append(cells, cell(fmt.Sprintf("scale/BLAST/workers=%d/seed=1", workers),
+			func() (SweepRow, error) {
+				// wall_ms is measured inside the cell so it times only this
+				// simulation, not time spent queued behind other cells. It is
+				// real wall-clock — the one column excluded from byte-identity
+				// comparisons across pool widths.
+				wl := BLASTWorkload(scale, 1)
+				start := time.Now()
+				tb := NewTestbed(workers, 1)
+				cfg := realTime()
+				cfg.ModelDiskIO = true
+				instrument(fmt.Sprintf("%s scale w=%d", wl.Name, workers), tb.Cluster, &cfg)
+				r, err := simrun.NewRunner(tb.Cluster, tb.Source, cfg, wl)
+				if err != nil {
+					return SweepRow{}, err
+				}
+				for _, vm := range tb.Workers {
+					r.AddWorker(vm)
+				}
+				res, err := r.Run()
+				if err != nil {
+					return SweepRow{}, err
+				}
+				return SweepRow{
+					Param: float64(workers),
+					Series: map[string]float64{
+						"makespan_sec":   res.MakespanSec,
+						"bytes_moved_gb": res.BytesMoved / 1e9,
+						"sim_events":     float64(tb.Engine.Fired()),
+						"wall_ms":        float64(time.Since(start).Milliseconds()),
+					},
+				}, nil
+			}))
 	}
-	return rows, nil
+	rows, err := runCells(cells)
+	// A failed cell leaves a zero SweepRow whose nil Series would confuse
+	// the renderer; give it an empty map and its worker-count param.
+	for i := range rows {
+		if rows[i].Series == nil {
+			rows[i].Param = float64(workerCounts[i])
+			rows[i].Series = map[string]float64{}
+		}
+	}
+	return rows, err
 }

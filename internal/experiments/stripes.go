@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 
+	"frieda/internal/exprun"
 	"frieda/internal/netsim"
 	"frieda/internal/sim"
+	"frieda/internal/simrun"
 	"frieda/internal/storage"
 )
 
@@ -36,18 +38,22 @@ func AblationStripes(scale float64) ([]SweepRow, error) {
 		background    = 4
 	)
 	_ = scale // the scenario is fixed-size; scale kept for interface symmetry
-	var rows []SweepRow
-	for _, stripes := range []int{1, 2, 4, 8} {
-		done, err := stripedTransferTime(transferBytes, stripes, background)
-		if err != nil {
-			return nil, err
-		}
+	counts := []int{1, 2, 4, 8}
+	var cells []exprun.Cell[float64]
+	for _, stripes := range counts {
+		stripes := stripes
+		cells = append(cells, cell(fmt.Sprintf("stripes/k=%d", stripes),
+			func() (float64, error) { return stripedTransferTime(transferBytes, stripes, background) }))
+	}
+	results, err := runCells(cells)
+	rows := make([]SweepRow, 0, len(counts))
+	for i, stripes := range counts {
 		rows = append(rows, SweepRow{
 			Param:  float64(stripes),
-			Series: map[string]float64{"completion_sec": done},
+			Series: map[string]float64{"completion_sec": results[i]},
 		})
 	}
-	return rows, nil
+	return rows, err
 }
 
 // stripedTransferTime simulates one transfer split into `stripes` parallel
@@ -97,7 +103,6 @@ func stripedTransferTime(bytes float64, stripes, background int) (float64, error
 // link — bounds staging: the paper's Section III-A storage trade-off.
 // Reported per tier: makespan under the real-time strategy.
 func AblationStorage(scale float64) ([]SweepRow, error) {
-	wl := ALSWorkload(scale)
 	tiers := []struct {
 		name string
 		spec storageSpec
@@ -106,22 +111,27 @@ func AblationStorage(scale float64) ([]SweepRow, error) {
 		{"block", blockSpec()},
 		{"networked", networkedSpec()},
 	}
-	var rows []SweepRow
+	var cells []exprun.Cell[simrun.Result]
+	for _, tier := range tiers {
+		tier := tier
+		cells = append(cells, cell(fmt.Sprintf("storage/ALS/%s/seed=1", tier.name),
+			func() (simrun.Result, error) {
+				spec := tier.spec
+				cfg := realTime()
+				cfg.Storage = &spec
+				return RunStrategyBW(cfg, ALSWorkload(scale), 4, 1, 1000)
+			}))
+	}
+	results, err := runCells(cells)
+	rows := make([]SweepRow, 0, len(tiers))
 	for i, tier := range tiers {
-		spec := tier.spec
-		cfg := realTime()
-		cfg.Storage = &spec
-		res, err := RunStrategyBW(cfg, wl, 4, 1, 1000)
-		if err != nil {
-			return nil, err
-		}
 		rows = append(rows, SweepRow{
 			Param: float64(i),
 			Series: map[string]float64{
-				"makespan_sec": res.MakespanSec,
-				"write_MBps":   spec.WriteBps / 1e6,
+				"makespan_sec": results[i].MakespanSec,
+				"write_MBps":   tier.spec.WriteBps / 1e6,
 			},
 		})
 	}
-	return rows, nil
+	return rows, err
 }

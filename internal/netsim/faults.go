@@ -56,7 +56,7 @@ type LinkFaultInjector struct {
 	rng    *rand.Rand
 	opts   FaultOptions
 	groups [][]*Link
-	next   []*sim.Event // pending fault/restore event per group
+	next   []sim.EventRef // pending fault/restore event per group
 
 	faults   int
 	restores int
@@ -79,7 +79,7 @@ func NewLinkFaultInjector(net *Network, groups [][]*Link, opts FaultOptions) *Li
 		rng:    rand.New(rand.NewSource(opts.Seed)),
 		opts:   opts,
 		groups: groups,
-		next:   make([]*sim.Event, len(groups)),
+		next:   make([]sim.EventRef, len(groups)),
 	}
 	for gi := range groups {
 		inj.armFault(gi, opts.FlapCount, opts.MTBFSec)
@@ -99,9 +99,7 @@ func (inj *LinkFaultInjector) Restores() int { return inj.restores }
 func (inj *LinkFaultInjector) Stop() {
 	inj.stopped = true
 	for _, ev := range inj.next {
-		if ev != nil {
-			ev.Cancel()
-		}
+		ev.Cancel()
 	}
 }
 

@@ -130,14 +130,18 @@ func (l *Link) updateShare() {
 
 // Flow is an in-flight transfer across a path of links.
 type Flow struct {
-	id          uint64
-	bytes       float64
-	remaining   float64
-	path        []*Link
-	rate        float64 // bits per second under the current allocation
-	lastUpdate  sim.Time
-	done        *sim.Event
-	net         *Network
+	id         uint64
+	bytes      float64
+	remaining  float64
+	path       []*Link
+	rate       float64 // bits per second under the current allocation
+	lastUpdate sim.Time
+	done       sim.EventRef
+	net        *Network
+	// completeFn is the pre-bound completion callback, created once per flow
+	// so the allocator's reschedule-on-rate-change path (applyRates) does not
+	// allocate a fresh closure per reschedule.
+	completeFn  func()
 	onComplete  func(sim.Time)
 	onInterrupt func(delivered float64, at sim.Time)
 	started     sim.Time
@@ -405,6 +409,7 @@ func (n *Network) StartFlow(bytes float64, path []*Link, onComplete func(sim.Tim
 		})
 		return f
 	}
+	f.completeFn = func() { n.complete(f) }
 	join := func() {
 		if f.cancelled {
 			return
@@ -529,10 +534,8 @@ func (n *Network) removeFlow(f *Flow) {
 	for _, l := range f.path {
 		delete(l.flows, f)
 	}
-	if f.done != nil {
-		f.done.Cancel()
-		f.done = nil
-	}
+	f.done.Cancel()
+	f.done = sim.EventRef{}
 	flows := n.compFlows
 	for i, cf := range flows {
 		if cf == f {
@@ -642,20 +645,17 @@ func (n *Network) applyRates() {
 	sort.Slice(flows, func(i, j int) bool { return flows[i].id < flows[j].id })
 	for _, f := range flows {
 		r := f.nextRate
-		if r == f.rate && (f.done != nil || r <= 0) {
+		if r == f.rate && (f.done.Pending() || r <= 0) {
 			continue // allocation unchanged; the scheduled completion holds
 		}
 		f.rate = r
-		if f.done != nil {
-			f.done.Cancel()
-			f.done = nil
-		}
+		f.done.Cancel()
+		f.done = sim.EventRef{}
 		if r <= 0 {
 			continue // starved (should not happen with positive capacities)
 		}
 		eta := sim.Duration(f.remaining * 8 / r)
-		ff := f
-		f.done = n.eng.Schedule(eta, func() { n.complete(ff) })
+		f.done = n.eng.Schedule(eta, f.completeFn)
 	}
 	if n.tracer != nil {
 		n.traceLinkRates()
@@ -681,15 +681,14 @@ func (n *Network) traceLinkRates() {
 
 // complete finishes a flow at the current virtual time.
 func (n *Network) complete(f *Flow) {
-	f.done = nil // the completion event just fired
+	f.done = sim.EventRef{} // the completion event just fired
 	n.component(f.path...)
 	n.settleComponent()
 	if f.remaining > completionEpsilon && f.rate > 0 &&
 		f.remaining*8/f.rate > minRescheduleEta {
 		// A genuine early fire (rates changed underneath the event);
 		// reschedule the real completion from the settled residual.
-		ff := f
-		f.done = n.eng.Schedule(sim.Duration(f.remaining*8/f.rate), func() { n.complete(ff) })
+		f.done = n.eng.Schedule(sim.Duration(f.remaining*8/f.rate), f.completeFn)
 		return
 	}
 	f.finished = true

@@ -29,7 +29,10 @@ type Metrics struct {
 
 	rows     []sampleRow
 	sampling bool
-	tick     *sim.Event
+	tick     sim.EventRef
+	// tickFn is the pre-bound ticker callback, created once on the first
+	// StartSampling so rearming the ticker allocates no per-tick closure.
+	tickFn func()
 }
 
 // metricCol is one time-series column: a cumulative counter (gauge == nil)
@@ -185,13 +188,16 @@ func (m *Metrics) StartSampling() {
 }
 
 func (m *Metrics) arm() {
-	m.tick = m.eng.Schedule(m.period, func() {
-		if !m.sampling {
-			return
+	if m.tickFn == nil {
+		m.tickFn = func() {
+			if !m.sampling {
+				return
+			}
+			m.Sample()
+			m.arm()
 		}
-		m.Sample()
-		m.arm()
-	})
+	}
+	m.tick = m.eng.Schedule(m.period, m.tickFn)
 }
 
 // StopSampling disarms the ticker and takes one final sample, so the series
@@ -202,10 +208,8 @@ func (m *Metrics) StopSampling() {
 		return
 	}
 	m.sampling = false
-	if m.tick != nil {
-		m.tick.Cancel()
-		m.tick = nil
-	}
+	m.tick.Cancel()
+	m.tick = sim.EventRef{}
 	m.Sample()
 }
 

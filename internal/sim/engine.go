@@ -9,12 +9,19 @@
 // the same virtual time are delivered in scheduling order (FIFO by sequence
 // number). Events may be cancelled or rescheduled, which the flow-level
 // network model relies on when fair-share rates change.
+//
+// Event objects are recycled through a free-list pool: a fired or cancelled
+// event's storage is reused by later Schedule calls, so steady-state
+// simulation allocates no per-event memory. Handles are generation-guarded
+// EventRef values — a Cancel through a stale handle (the event already fired
+// or was cancelled, and its storage possibly reused) is a no-op, never a
+// cancellation of an unrelated newer event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Time is a point in virtual time, in seconds since the start of the
@@ -29,67 +36,157 @@ type Duration = Time
 // Infinity is a virtual time later than any event the engine will fire.
 const Infinity Time = Time(math.MaxFloat64)
 
-// Event is a scheduled callback. The zero value is invalid; events are
-// created through Engine.Schedule and Engine.At.
+// Event is the engine's internal record of a scheduled callback. Its storage
+// is pooled and reused across events (and across engines — the pool is
+// shared so a sweep of thousands of short-lived engines recycles one arena),
+// which is why user code holds EventRef handles rather than *Event.
 type Event struct {
-	when      Time
-	seq       uint64
-	fn        func()
-	owner     *Engine
-	index     int // heap index; -1 once removed
-	cancelled bool
+	when  Time
+	seq   uint64
+	gen   uint64 // incremented on release; stale EventRefs stop matching
+	fn    func()
+	owner *Engine
+	index int // heap index; -1 once removed
 }
 
-// When reports the virtual time the event is scheduled to fire.
-func (e *Event) When() Time { return e.when }
+// eventPool recycles Event storage across fires, cancels and engines. It is
+// the engine's only concurrency-aware structure: engines themselves are
+// strictly single-threaded, but independent engines on different goroutines
+// (the parallel experiment orchestrator) share this pool safely.
+var eventPool = sync.Pool{New: func() any { return &Event{index: -1} }}
 
-// Cancelled reports whether Cancel was called before the event fired.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// EventRef is a handle to a scheduled event, returned by Schedule and At.
+// It is a small value, cheap to copy and store. The zero value refers to no
+// event; Cancel and Pending on it are no-ops. A ref goes stale the moment
+// its event fires or is cancelled — any later Cancel through it is a no-op
+// even if the event's pooled storage has been reused by a newer event.
+type EventRef struct {
+	ev  *Event
+	gen uint64
+}
+
+// Pending reports whether the referenced event is still queued to fire.
+func (r EventRef) Pending() bool { return r.ev != nil && r.ev.gen == r.gen }
+
+// When reports the virtual time the event is scheduled to fire, or 0 if the
+// ref is stale (the event already fired or was cancelled).
+func (r EventRef) When() Time {
+	if !r.Pending() {
+		return 0
+	}
+	return r.ev.when
+}
 
 // Cancel prevents the event from firing and removes it from the engine's
 // queue immediately, so cancel-heavy workloads (the flow-level network
 // model reschedules completions whenever rates change) keep the heap
 // bounded by the number of live events. Cancelling an event that already
-// fired or was already cancelled is a no-op.
-func (e *Event) Cancel() {
-	if e.cancelled {
+// fired or was already cancelled is a no-op, guarded by the generation
+// counter: a stale ref can never cancel the event now occupying the same
+// pooled storage.
+func (r EventRef) Cancel() {
+	ev := r.ev
+	if ev == nil || ev.gen != r.gen {
 		return
 	}
-	e.cancelled = true
-	if e.owner != nil && e.index >= 0 {
-		heap.Remove(&e.owner.queue, e.index)
+	eng := ev.owner
+	if eng == nil {
+		return
 	}
-	e.fn = nil // release the closure promptly
+	if ev.index >= 0 {
+		eng.queue.remove(ev.index)
+	}
+	eng.release(ev)
 }
 
-// eventHeap orders events by (when, seq) so same-time events fire FIFO.
+// eventHeap orders events by (when, seq) so same-time events fire FIFO. It
+// is a hand-rolled binary heap rather than container/heap so the hot
+// push/pop paths avoid the interface boxing of heap.Push/heap.Pop.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].when != h[j].when {
 		return h[i].when < h[j].when
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
+
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
+
+func (h *eventHeap) push(e *Event) {
 	e.index = len(*h)
 	*h = append(*h, e)
+	h.up(e.index)
 }
-func (h *eventHeap) Pop() any {
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() *Event {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+	n := len(old) - 1
+	old.swap(0, n)
+	e := old[n]
+	old[n] = nil
+	*h = old[:n]
+	if n > 0 {
+		h.down(0)
+	}
 	e.index = -1
-	*h = old[:n-1]
 	return e
+}
+
+// remove deletes the event at index i.
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	if i != n {
+		old.swap(i, n)
+	}
+	e := old[n]
+	old[n] = nil
+	*h = old[:n]
+	if i != n {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+	e.index = -1
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts index i toward the leaves; reports whether it moved.
+func (h eventHeap) down(i int) bool {
+	start := i
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h.swap(i, least)
+		i = least
+	}
+	return i > start
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
@@ -121,7 +218,7 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Schedule queues fn to run after delay. A negative delay panics: virtual
 // time never runs backwards. It returns the event handle so the caller may
 // cancel it.
-func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+func (e *Engine) Schedule(delay Duration, fn func()) EventRef {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
@@ -130,7 +227,7 @@ func (e *Engine) Schedule(delay Duration, fn func()) *Event {
 
 // At queues fn to run at absolute virtual time t, which must not be in the
 // past.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) EventRef {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
@@ -138,9 +235,36 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		panic("sim: nil event function")
 	}
 	e.seq++
-	ev := &Event{when: t, seq: e.seq, fn: fn, owner: e, index: -1}
-	heap.Push(&e.queue, ev)
-	return ev
+	ev := eventPool.Get().(*Event)
+	ev.when, ev.seq, ev.fn, ev.owner = t, e.seq, fn, e
+	e.queue.push(ev)
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// release invalidates every outstanding ref to ev and returns its storage to
+// the pool for reuse by a later Schedule (possibly on another engine).
+func (e *Engine) release(ev *Event) {
+	ev.gen++ // stale refs stop matching from here on
+	ev.fn = nil
+	ev.owner = nil
+	ev.index = -1
+	eventPool.Put(ev)
+}
+
+// popNext removes the next event with time <= deadline and returns its
+// callback and fire time, releasing the event's storage before the callback
+// runs (so a callback that schedules new work can reuse it immediately, and
+// a self-Cancel from inside the callback is a guarded no-op). It is the
+// single dequeue path shared by RunUntil and Step, so both count fired
+// events identically.
+func (e *Engine) popNext(deadline Time) (fn func(), at Time, ok bool) {
+	if len(e.queue) == 0 || e.queue[0].when > deadline {
+		return nil, 0, false
+	}
+	next := e.queue.pop()
+	fn, at = next.fn, next.when
+	e.release(next)
+	return fn, at, true
 }
 
 // Run delivers events until the queue is empty. It returns the final virtual
@@ -158,18 +282,12 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.when > deadline {
+	for {
+		fn, at, ok := e.popNext(deadline)
+		if !ok {
 			break
 		}
-		heap.Pop(&e.queue)
-		if next.cancelled || next.fn == nil {
-			continue
-		}
-		fn := next.fn
-		next.fn = nil // release the closure once delivered
-		e.now = next.when
+		e.now = at
 		e.fired++
 		fn()
 	}
@@ -179,20 +297,14 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
-// Step delivers exactly one non-cancelled event and reports whether one was
-// delivered.
+// Step delivers exactly one event and reports whether one was delivered.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		next := heap.Pop(&e.queue).(*Event)
-		if next.cancelled || next.fn == nil {
-			continue
-		}
-		fn := next.fn
-		next.fn = nil
-		e.now = next.when
-		e.fired++
-		fn()
-		return true
+	fn, at, ok := e.popNext(Infinity)
+	if !ok {
+		return false
 	}
-	return false
+	e.now = at
+	e.fired++
+	fn()
+	return true
 }

@@ -49,8 +49,8 @@ func TestEngineCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !ev.Cancelled() {
-		t.Fatal("Cancelled() = false after Cancel")
+	if ev.Pending() {
+		t.Fatal("Pending() = true after Cancel")
 	}
 }
 
@@ -185,7 +185,7 @@ func TestEngineCancelSubsetProperty(t *testing.T) {
 		count := int(n%40) + 1
 		fired := 0
 		cancelled := 0
-		events := make([]*Event, count)
+		events := make([]EventRef, count)
 		for i := 0; i < count; i++ {
 			events[i] = eng.Schedule(Duration(rng.Float64()*100), func() { fired++ })
 		}
@@ -448,7 +448,7 @@ func TestCancelRescheduleChurnBoundedHeap(t *testing.T) {
 	eng := NewEngine()
 	rng := rand.New(rand.NewSource(7))
 	const live = 50
-	events := make([]*Event, live)
+	events := make([]EventRef, live)
 	for i := range events {
 		events[i] = eng.Schedule(Duration(rng.Float64()*100+1), func() {})
 	}
@@ -465,7 +465,7 @@ func TestCancelRescheduleChurnBoundedHeap(t *testing.T) {
 // Cancelling from inside a firing event, and double-cancel, stay no-ops.
 func TestCancelEdgeCases(t *testing.T) {
 	eng := NewEngine()
-	var later *Event
+	var later EventRef
 	fired := false
 	eng.Schedule(1, func() {
 		later.Cancel()
@@ -480,5 +480,89 @@ func TestCancelEdgeCases(t *testing.T) {
 	self.Cancel() // cancel after firing is a no-op
 	if eng.Pending() != 0 {
 		t.Fatalf("Pending = %d after drain", eng.Pending())
+	}
+}
+
+// Step and RunUntil share one dequeue path (popNext); the same schedule must
+// produce identical Fired() counts whichever way it is drained.
+func TestStepRunUntilFiredParity(t *testing.T) {
+	build := func() *Engine {
+		eng := NewEngine()
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 100; i++ {
+			eng.Schedule(Duration(rng.Float64()*50), func() {})
+		}
+		ev := eng.Schedule(200, func() {})
+		ev.Cancel()
+		return eng
+	}
+	byRun := build()
+	byRun.Run()
+	byStep := build()
+	steps := uint64(0)
+	for byStep.Step() {
+		steps++
+	}
+	if byRun.Fired() != byStep.Fired() {
+		t.Fatalf("Fired: RunUntil=%d Step=%d", byRun.Fired(), byStep.Fired())
+	}
+	if steps != byStep.Fired() {
+		t.Fatalf("Step returned true %d times but Fired=%d", steps, byStep.Fired())
+	}
+	if byRun.Fired() != 100 {
+		t.Fatalf("Fired = %d, want 100 (cancelled event must not count)", byRun.Fired())
+	}
+}
+
+// A ref held across its event's fire must stay a guarded no-op even when the
+// pooled Event storage has been reused by a newer schedule: cancelling the
+// stale ref must not cancel the new occupant.
+func TestStaleRefCannotCancelReusedEvent(t *testing.T) {
+	eng := NewEngine()
+	stale := eng.Schedule(1, func() {})
+	eng.Run() // fires and releases the event's storage to the pool
+	if stale.Pending() {
+		t.Fatal("ref still pending after its event fired")
+	}
+	// Schedule many fresh events; with a shared pool one of them likely
+	// reuses stale's storage. Whether or not it does, the stale Cancel must
+	// leave every pending event untouched.
+	fired := 0
+	for i := 0; i < 64; i++ {
+		eng.Schedule(1, func() { fired++ })
+	}
+	stale.Cancel()
+	if eng.Pending() != 64 {
+		t.Fatalf("stale Cancel removed a live event: Pending = %d, want 64", eng.Pending())
+	}
+	eng.Run()
+	if fired != 64 {
+		t.Fatalf("fired = %d, want 64", fired)
+	}
+}
+
+// BenchmarkEngineEventPool exercises the recycle path: events scheduled from
+// inside firing events plus cancel/reschedule churn, the steady-state shape
+// of the flow network model. With pooled Event storage this loop should be
+// nearly allocation-free once warm.
+func BenchmarkEngineEventPool(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := NewEngine()
+		var churn EventRef
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n >= 1000 {
+				churn.Cancel()
+				return
+			}
+			churn.Cancel()
+			churn = eng.Schedule(5, func() {})
+			eng.Schedule(1, tick)
+		}
+		eng.Schedule(1, tick)
+		eng.Run()
 	}
 }

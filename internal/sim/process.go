@@ -5,7 +5,7 @@ package sim
 // flow-completion estimators need constantly.
 type Timer struct {
 	eng *Engine
-	ev  *Event
+	ev  EventRef
 	fn  func()
 }
 
@@ -16,27 +16,25 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 
 // Reset (re)arms the timer to fire after delay, cancelling any pending fire.
 func (t *Timer) Reset(delay Duration) {
-	t.Stop()
+	t.ev.Cancel()
 	t.ev = t.eng.Schedule(delay, t.fn)
 }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
-	t.Stop()
+	t.ev.Cancel()
 	t.ev = t.eng.At(at, t.fn)
 }
 
 // Stop cancels a pending fire. It is safe on a stopped timer.
 func (t *Timer) Stop() {
-	if t.ev != nil {
-		t.ev.Cancel()
-		t.ev = nil
-	}
+	t.ev.Cancel()
+	t.ev = EventRef{}
 }
 
 // Armed reports whether the timer has a pending fire.
 func (t *Timer) Armed() bool {
-	return t.ev != nil && !t.ev.Cancelled()
+	return t.ev.Pending()
 }
 
 // Queue is an unbounded FIFO of items coordinated with blocked takers, the
@@ -201,4 +199,4 @@ type Calendar struct {
 func NewCalendar(eng *Engine) *Calendar { return &Calendar{eng: eng} }
 
 // Add schedules fn at absolute time t.
-func (c *Calendar) Add(t Time, fn func()) *Event { return c.eng.At(t, fn) }
+func (c *Calendar) Add(t Time, fn func()) EventRef { return c.eng.At(t, fn) }

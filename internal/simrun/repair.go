@@ -18,7 +18,10 @@ import (
 // Durability.RF > 1.
 type repairManager struct {
 	r      *Runner
-	ticker *sim.Event
+	ticker sim.EventRef
+	// tickFn is the pre-bound ticker callback, created once so rearming the
+	// scan ticker allocates no per-tick closure.
+	tickFn func()
 	// active maps file name to its in-flight repair job; its size is the
 	// concurrency budget in use.
 	active  map[string]*repairJob
@@ -59,12 +62,15 @@ func (m *repairManager) goodputBps() float64 {
 }
 
 func (m *repairManager) armTicker() {
-	m.ticker = m.r.eng.Schedule(sim.Duration(m.r.cfg.Durability.ScanPeriodSec), func() {
-		m.scan()
-		if !m.stopped {
-			m.armTicker()
+	if m.tickFn == nil {
+		m.tickFn = func() {
+			m.scan()
+			if !m.stopped {
+				m.armTicker()
+			}
 		}
-	})
+	}
+	m.ticker = m.r.eng.Schedule(sim.Duration(m.r.cfg.Durability.ScanPeriodSec), m.tickFn)
 }
 
 // stop disarms the ticker and cancels in-flight repairs so an idle engine
@@ -75,10 +81,8 @@ func (m *repairManager) stop() {
 		return
 	}
 	m.stopped = true
-	if m.ticker != nil {
-		m.ticker.Cancel()
-		m.ticker = nil
-	}
+	m.ticker.Cancel()
+	m.ticker = sim.EventRef{}
 	files := make([]string, 0, len(m.active))
 	for f := range m.active {
 		files = append(files, f)

@@ -305,6 +305,13 @@ type Runner struct {
 	flowSince      sim.Time
 	computeSince   sim.Time
 
+	// nameScratch recycles the per-dispatch missing-file name slices: a
+	// dispatch's slice returns to the free list once its transfer bookkeeping
+	// is done with it, so the steady-state pull loop allocates no fresh slice
+	// per dispatched task. Slices abandoned mid-transfer (worker death) are
+	// simply dropped to the garbage collector.
+	nameScratch [][]string
+
 	// Metric handles; the zero values ignore updates when Metrics is nil.
 	mTasksOK, mTasksFailed obs.Counter
 	mRequeues              obs.Counter
@@ -347,7 +354,7 @@ type simWorker struct {
 type taskAttempt struct {
 	task    int
 	stage   *stageIn
-	compute *sim.Event
+	compute sim.EventRef
 	started sim.Time
 	// span is the open compute span on cpu lane `lane` (tracing only).
 	span *obs.Span
@@ -358,7 +365,7 @@ type taskAttempt struct {
 // pending backoff retry, so worker death can abandon the whole retry chain.
 type stageIn struct {
 	flow      *netsim.Flow
-	retry     *sim.Event
+	retry     sim.EventRef
 	abandoned bool
 	// startAt timestamps the logical transfer for the duration histogram.
 	startAt sim.Time
@@ -806,7 +813,7 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 				})
 			}
 			s.retry = r.eng.Schedule(backoff, func() {
-				s.retry = nil
+				s.retry = sim.EventRef{}
 				if s.abandoned {
 					return
 				}
@@ -973,10 +980,8 @@ func (r *Runner) abandonStage(s *stageIn) {
 		s.flow = nil
 		r.flowEnded()
 	}
-	if s.retry != nil {
-		s.retry.Cancel()
-		s.retry = nil
-	}
+	s.retry.Cancel()
+	s.retry = sim.EventRef{}
 	r.endStage(s, "abandoned")
 }
 
@@ -1217,12 +1222,19 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 	var missing float64
 	var names []string
 	var metas []catalog.FileMeta
-	if r.cfg.Strategy.Kind == strategy.RealTime && r.cfg.Strategy.Locality == strategy.Remote {
+	fetching := r.cfg.Strategy.Kind == strategy.RealTime && r.cfg.Strategy.Locality == strategy.Remote
+	if fetching {
+		if r.cfg.Durability == nil {
+			names = r.takeNames()
+		}
 		for _, f := range task.Files {
 			if !w.has[f.Name] {
 				missing += float64(f.Size)
-				names = append(names, f.Name)
-				metas = append(metas, f)
+				if r.cfg.Durability == nil {
+					names = append(names, f.Name)
+				} else {
+					metas = append(metas, f)
+				}
 				// Claim at dispatch, exactly as the real master marks the
 				// replica before streaming: a concurrent slot fetching a
 				// shared file (one-to-all's pivot, all-to-all pairs) must
@@ -1238,6 +1250,7 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 		r.compute(w, att)
 	}
 	if missing <= 0 {
+		r.putNames(names)
 		start()
 		return
 	}
@@ -1246,7 +1259,7 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 		// live on different nodes — fetch per file so each transfer can use
 		// its own best source. The bundled single-flow fetch below stays
 		// byte-identical for the published model.
-		r.fetchChain(w, att, metas, names, start)
+		r.fetchChain(w, att, metas, start)
 		return
 	}
 	att.stage = r.transfer(w, names, missing, func(lost bool) {
@@ -1263,6 +1276,7 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 			for _, name := range names {
 				delete(w.has, name)
 			}
+			r.putNames(names)
 			delete(w.inflight, gi)
 			w.admitted--
 			r.taskDone(w, att, false)
@@ -1273,19 +1287,41 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 			for _, name := range names {
 				r.replicas.Add(name, w.name)
 			}
+			r.putNames(names)
 			start()
 		})
 	})
 }
 
+// takeNames pops a recycled name slice (len 0) from the scratch free list,
+// or returns nil for append to grow on first use.
+func (r *Runner) takeNames() []string {
+	if n := len(r.nameScratch); n > 0 {
+		s := r.nameScratch[n-1]
+		r.nameScratch[n-1] = nil
+		r.nameScratch = r.nameScratch[:n-1]
+		return s
+	}
+	return nil
+}
+
+// putNames returns a dispatch's name slice to the free list once no closure
+// will touch it again. putNames(nil) is a no-op.
+func (r *Runner) putNames(s []string) {
+	if s == nil {
+		return
+	}
+	r.nameScratch = append(r.nameScratch, s[:0])
+}
+
 // fetchChain stages a task's missing files one flow at a time (durability
 // runs only). Files already landed keep their on-disk copies when a later
 // file in the chain fails; only the not-yet-fetched claims are released.
-func (r *Runner) fetchChain(w *simWorker, att *taskAttempt, metas []catalog.FileMeta, names []string, start func()) {
+func (r *Runner) fetchChain(w *simWorker, att *taskAttempt, metas []catalog.FileMeta, start func()) {
 	gi := att.task
 	fail := func(i int) {
-		for _, name := range names[i:] {
-			delete(w.has, name)
+		for _, f := range metas[i:] {
+			delete(w.has, f.Name)
 		}
 		delete(w.inflight, gi)
 		w.admitted--
@@ -1363,7 +1399,7 @@ func (r *Runner) compute(w *simWorker, att *taskAttempt) {
 		r.computeStarted()
 		att.compute = r.eng.Schedule(dur, func() {
 			r.computeEnded()
-			att.compute = nil
+			att.compute = sim.EventRef{}
 			r.endTaskSpan(w, att, "ok")
 			delete(w.inflight, att.task)
 			w.admitted--
@@ -1470,7 +1506,7 @@ func (r *Runner) workerDied(w *simWorker) {
 			r.abandonStage(att.stage)
 			att.stage = nil
 		}
-		if att.compute != nil {
+		if att.compute.Pending() {
 			att.compute.Cancel()
 			r.computeEnded()
 		}

@@ -65,8 +65,8 @@ type DiskFaultInjector struct {
 	vols []*Volume
 	// nextDeath and nextDegrade hold the pending event per volume so Stop
 	// can drain the queue.
-	nextDeath   []*sim.Event
-	nextDegrade []*sim.Event
+	nextDeath   []sim.EventRef
+	nextDegrade []sim.EventRef
 	onDeath     func(*Volume)
 
 	deaths   int
@@ -89,8 +89,8 @@ func NewDiskFaultInjector(eng *sim.Engine, vols []*Volume, opts DiskFaultOptions
 		rng:         rand.New(rand.NewSource(opts.Seed)),
 		opts:        opts,
 		vols:        vols,
-		nextDeath:   make([]*sim.Event, len(vols)),
-		nextDegrade: make([]*sim.Event, len(vols)),
+		nextDeath:   make([]sim.EventRef, len(vols)),
+		nextDegrade: make([]sim.EventRef, len(vols)),
 		onDeath:     onDeath,
 	}
 	for i, v := range vols {
@@ -120,14 +120,10 @@ func (inj *DiskFaultInjector) Restores() int { return inj.restores }
 func (inj *DiskFaultInjector) Stop() {
 	inj.stopped = true
 	for _, ev := range inj.nextDeath {
-		if ev != nil {
-			ev.Cancel()
-		}
+		ev.Cancel()
 	}
 	for _, ev := range inj.nextDegrade {
-		if ev != nil {
-			ev.Cancel()
-		}
+		ev.Cancel()
 	}
 	for _, v := range inj.vols {
 		v.SetReadErrors(0)
