@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-netsim bench-exprun vet fmt reproduce ablations examples clean
+.PHONY: all build test race bench bench-netsim bench-exprun bench-scale profile-scale vet fmt reproduce ablations examples clean
 
 all: build test
 
@@ -38,6 +38,19 @@ bench-netsim:
 bench-exprun:
 	$(GO) test -bench='BenchmarkEngineScheduleRun|BenchmarkEngineEventPool' -benchmem -run '^$$' ./internal/sim/
 	$(GO) test -bench='BenchmarkExpAblations' -benchmem -run '^$$' ./internal/experiments/
+
+# Regenerate BENCH_scale.json: the datacenter sweep (fat-tree testbed,
+# cold-link aggregation, batched scheduling) from 256 to 65,536 workers.
+# -parallel 1 keeps the wall-clock columns clean of scheduling noise.
+# Compare per-event cost against the committed file before merging netsim,
+# simrun or engine changes, and update the file with the new numbers.
+bench-scale:
+	$(GO) run ./cmd/friedabench -exp scale -parallel 1 -bench-out BENCH_scale.json
+	$(GO) test -bench='BenchmarkNetsimTree' -benchmem -benchtime 1x -run '^$$' ./internal/netsim/
+
+# CPU-profile the largest scale cell; inspect with `go tool pprof cpu.prof`.
+profile-scale:
+	$(GO) run ./cmd/friedabench -exp scale -parallel 1 -workers 65536 -cpuprofile cpu.prof -memprofile mem.prof
 
 # Regenerate the paper's evaluation (Table I, Fig 6a/6b, Fig 7a/7b).
 reproduce:

@@ -25,12 +25,16 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"frieda/internal/cloud"
 	"frieda/internal/experiments"
@@ -138,6 +142,12 @@ func (c *collector) export() error {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries main's body so the profile-writing defers execute before the
+// process exits (os.Exit in main would skip them).
+func run() int {
 	fs := flag.NewFlagSet("friedabench", flag.ExitOnError)
 	exp := fs.String("exp", "all", "experiment: table1 | fig6a | fig6b | fig7a | fig7b | ablations | durability | scale | all")
 	scale := fs.Float64("scale", 1.0, "workload scale (1.0 = paper size)")
@@ -146,7 +156,50 @@ func main() {
 	metricsOut := fs.String("metrics", "", "write virtual-time-sampled metrics CSV of every run to this file")
 	metricsPeriod := fs.Float64("metrics-period", 10, "metrics sampling period in virtual seconds")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "sweep cells run on this many goroutines (1 = sequential; output is byte-identical at any width)")
+	workers := fs.String("workers", "", "override the -exp scale worker counts (comma-separated, e.g. 4096,16384,65536)")
+	benchOut := fs.String("bench-out", "", "write the -exp scale rows as a benchmark JSON record to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(os.Args[1:])
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("friedabench: -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("friedabench: -cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatalf("friedabench: -memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialise final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("friedabench: -memprofile: %v", err)
+			}
+		}()
+	}
+
+	scaleWorkers := experiments.DefaultScaleWorkers
+	if *workers != "" {
+		scaleWorkers = nil
+		for _, part := range strings.Split(*workers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				log.Fatalf("friedabench: -workers: bad worker count %q", part)
+			}
+			scaleWorkers = append(scaleWorkers, n)
+		}
+	}
 
 	if (*traceOut != "" || *metricsOut != "") && *parallel != 1 {
 		// The collector numbers runs in Instrument-arrival order, which is
@@ -161,7 +214,7 @@ func main() {
 
 	failed := false
 	run := func(name string) {
-		err := runExperiment(name, *scale, *gantt, col)
+		err := runExperiment(name, *scale, *gantt, col, scaleWorkers, *benchOut)
 		if err == nil {
 			return
 		}
@@ -198,12 +251,13 @@ func main() {
 		log.Fatalf("friedabench: export: %v", err)
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // runExperiment executes and prints one experiment.
-func runExperiment(name string, scale float64, gantt bool, col *collector) error {
+func runExperiment(name string, scale float64, gantt bool, col *collector, scaleWorkers []int, benchOut string) error {
 	switch name {
 	case "table1":
 		rows, err := experiments.RunTable1(scale)
@@ -320,13 +374,18 @@ func runExperiment(name string, scale float64, gantt bool, col *collector) error
 			}
 		}
 	case "scale":
-		rows, err := experiments.ScaleSweep(experiments.DefaultScaleWorkers, scale)
+		rows, err := experiments.ScaleSweep(scaleWorkers, scale)
 		fmt.Print(experiments.RenderSweep(
 			"Large-scale sweep: BLAST real-time beyond the paper's 4 VMs (wall_ms = real time to simulate)",
 			"workers", rows))
 		fmt.Println()
 		if err != nil {
 			return err
+		}
+		if benchOut != "" {
+			if err := writeScaleBench(benchOut, rows); err != nil {
+				return err
+			}
 		}
 	case "ablation-storage":
 		rows, err := experiments.AblationStorage(scale)
@@ -339,6 +398,72 @@ func runExperiment(name string, scale float64, gantt bool, col *collector) error
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 	return nil
+}
+
+// writeScaleBench records the scale sweep as a benchmark JSON file
+// (BENCH_scale.json): one entry per cluster size with the wall-clock,
+// event-count and derived per-event / per-flow cost columns, plus enough
+// environment detail to interpret the absolute numbers later.
+func writeScaleBench(path string, rows []experiments.SweepRow) error {
+	type benchRow struct {
+		Workers      int     `json:"workers"`
+		MakespanSec  float64 `json:"makespan_sec"`
+		BytesMovedGB float64 `json:"bytes_moved_gb"`
+		SimEvents    float64 `json:"sim_events"`
+		WallMs       float64 `json:"wall_ms"`
+		EventsPerSec float64 `json:"events_per_sec"`
+		UsPerEvent   float64 `json:"us_per_event"`
+		UsPerFlow    float64 `json:"us_per_flow"`
+	}
+	spec := experiments.DefaultTreeSpec()
+	out := struct {
+		Description string     `json:"description"`
+		Go          string     `json:"go"`
+		CPU         string     `json:"cpu"`
+		Topology    string     `json:"topology"`
+		Rows        []benchRow `json:"rows"`
+	}{
+		Description: "BLAST real-time sweep on the rack/spine fat-tree testbed with cold-link aggregation and batched scheduling; us_per_event staying flat as workers grow is the scalability claim",
+		Go:          runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		CPU:         cpuModel(),
+		Topology: fmt.Sprintf("fat-tree: %d hosts/rack, %d spines, %g:1 oversubscription",
+			spec.HostsPerRack, spec.Spines, spec.Oversubscription),
+	}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, benchRow{
+			Workers:      int(r.Param),
+			MakespanSec:  r.Series["makespan_sec"],
+			BytesMovedGB: r.Series["bytes_moved_gb"],
+			SimEvents:    r.Series["sim_events"],
+			WallMs:       r.Series["wall_ms"],
+			EventsPerSec: r.Series["events_per_sec"],
+			UsPerEvent:   r.Series["us_per_event"],
+			UsPerFlow:    r.Series["us_per_flow"],
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d sizes\n", path, len(out.Rows))
+	return nil
+}
+
+// cpuModel best-effort reads the processor model for bench records.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return runtime.GOARCH
 }
 
 // printGantt renders a real-time run's worker timeline; with -trace active

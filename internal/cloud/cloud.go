@@ -159,6 +159,14 @@ type Options struct {
 	// InstantBoot skips boot latency; experiments that start measurement
 	// after the cluster is up (as the paper does) use this.
 	InstantBoot bool
+	// Topology, when non-nil, arranges hosts in a rack/spine fat-tree
+	// instead of the flat host(+fabric) model: provisioned VMs fill racks in
+	// order and transfers route host→ToR→spine→ToR→host. Building a tree
+	// also switches the network to its datacenter-scale allocator modes
+	// (cold-link aggregation and batched same-instant reallocation), which
+	// the flat model leaves off to stay byte-identical with history.
+	// Topology and FabricBps are mutually exclusive.
+	Topology *netsim.TreeSpec
 }
 
 // Cluster is a set of VMs on a simulated network.
@@ -166,6 +174,7 @@ type Cluster struct {
 	eng    *sim.Engine
 	net    *netsim.Network
 	fabric *netsim.Fabric
+	tree   *netsim.Topology
 	rng    *rand.Rand
 	opts   Options
 
@@ -185,7 +194,18 @@ func New(eng *sim.Engine, opts Options) *Cluster {
 		rng:  rand.New(rand.NewSource(opts.Seed)),
 		opts: opts,
 	}
-	if opts.FabricBps > 0 {
+	if opts.Topology != nil {
+		if opts.FabricBps > 0 {
+			panic("cloud: Topology and FabricBps are mutually exclusive")
+		}
+		tree, err := netsim.NewTree(c.net, *opts.Topology)
+		if err != nil {
+			panic(err) // spec errors are construction bugs, like NewLink dups
+		}
+		c.tree = tree
+		c.net.SetColdAggregation(true)
+		c.net.SetBatched(true)
+	} else if opts.FabricBps > 0 {
 		c.fabric = c.net.NewFabric("fabric", opts.FabricBps)
 	}
 	return c
@@ -199,6 +219,9 @@ func (c *Cluster) Network() *netsim.Network { return c.net }
 
 // Fabric returns the shared fabric, or nil when links are dedicated.
 func (c *Cluster) Fabric() *netsim.Fabric { return c.fabric }
+
+// Tree returns the fat-tree topology, or nil for the flat model.
+func (c *Cluster) Tree() *netsim.Topology { return c.tree }
 
 // VMs returns all VMs ever provisioned, in provisioning order.
 func (c *Cluster) VMs() []*VM { return c.vms }
@@ -260,6 +283,9 @@ func (c *Cluster) Provision(n int, typ InstanceType) ([]*VM, error) {
 			host:      c.net.NewHost(name, typ.UpBps, typ.DownBps),
 			localDisk: storage.MustVolume(name+"/local", typ.LocalDisk),
 			cluster:   c,
+		}
+		if c.tree != nil {
+			c.tree.Attach(vm.host)
 		}
 		c.vms = append(c.vms, vm)
 		out = append(out, vm)
@@ -401,10 +427,14 @@ func (c *Cluster) AttachBlock(vm *VM, spec storage.Spec) (*storage.Volume, error
 }
 
 // TransferPath returns the network path for a transfer between two VMs.
+// Under a tree topology the path routes through the rack/spine switches.
 // With a fabric configured, same-site pairs bypass it: the fabric models
 // the inter-site WAN (or the oversubscribed core when all VMs share site
 // 0, the default).
 func (c *Cluster) TransferPath(src, dst *VM) []*netsim.Link {
+	if c.tree != nil {
+		return c.tree.Path(src.host, dst.host)
+	}
 	fabric := c.fabric
 	if fabric != nil && src.site == dst.site && src.site != 0 {
 		fabric = nil

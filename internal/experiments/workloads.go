@@ -18,6 +18,7 @@ import (
 
 	"frieda/internal/catalog"
 	"frieda/internal/cloud"
+	"frieda/internal/netsim"
 	"frieda/internal/sim"
 	"frieda/internal/simrun"
 	"frieda/internal/strategy"
@@ -132,6 +133,36 @@ type Testbed struct {
 func NewTestbed(nWorkers int, seed int64) *Testbed {
 	eng := sim.NewEngine()
 	cluster := cloud.New(eng, cloud.Options{Seed: seed, InstantBoot: true})
+	vms, err := cluster.Provision(nWorkers+1, cloud.C1XLarge)
+	if err != nil {
+		panic(err) // static configuration
+	}
+	eng.RunUntil(eng.Now())
+	return &Testbed{
+		Engine:  eng,
+		Cluster: cluster,
+		Source:  vms[0],
+		Workers: vms[1:],
+	}
+}
+
+// DefaultTreeSpec is the datacenter topology the scale sweep provisions:
+// 32-host racks behind 4:1-oversubscribed ToR uplinks and an 8-switch spine
+// — a conventional leaf/spine slice rather than the paper's 4-VM flat one.
+func DefaultTreeSpec() netsim.TreeSpec {
+	return netsim.TreeSpec{HostsPerRack: 32, Spines: 8, Oversubscription: 4}
+}
+
+// NewTreeTestbed provisions one data-source node plus nWorkers c1.xlarge
+// VMs arranged in a rack/spine fat-tree (the master fills rack 0 first,
+// staying close to the data). Building the tree switches the network to the
+// datacenter-scale allocator modes (cold-link aggregation, batched
+// reallocation); pair it with simrun's BatchSched for full 65k-worker
+// throughput.
+func NewTreeTestbed(nWorkers int, seed int64) *Testbed {
+	eng := sim.NewEngine()
+	spec := DefaultTreeSpec()
+	cluster := cloud.New(eng, cloud.Options{Seed: seed, InstantBoot: true, Topology: &spec})
 	vms, err := cluster.Provision(nWorkers+1, cloud.C1XLarge)
 	if err != nil {
 		panic(err) // static configuration

@@ -1,0 +1,173 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"frieda/internal/sim"
+)
+
+// buildTreeNet constructs a fresh oversubscribed fat-tree populated with
+// nHosts hosts, for the allocator-mode equivalence tests.
+func buildTreeNet(t *testing.T, nHosts int, configure func(*Network)) (*sim.Engine, *Network, *Topology, []*Host) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := New(eng)
+	if configure != nil {
+		configure(net)
+	}
+	tr, err := NewTree(net, TreeSpec{HostsPerRack: 4, Spines: 2, Oversubscription: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := make([]*Host, nHosts)
+	for i := range hosts {
+		hosts[i] = net.NewHost(hostName("h", i), Mbps(100), Mbps(100))
+		tr.Attach(hosts[i])
+	}
+	return eng, net, tr, hosts
+}
+
+// compareChurn runs the shared random-churn scenario on a baseline network
+// (dense, eager — the historical allocator) and on a variant, and demands
+// bit-identical completion times, checkpoint rates, and totals.
+func compareChurn(t *testing.T, variant string, configure func(*Network)) {
+	t.Helper()
+	const nHosts, nFlows = 16, 120
+	baseEng, baseNet, baseTr, baseHosts := buildTreeNet(t, nHosts, nil)
+	base := runTreeChurn(baseNet, baseEng, func(_, s, d int) []*Link {
+		return baseTr.Path(baseHosts[s], baseHosts[d])
+	}, 23, nHosts, nFlows)
+
+	varEng, varNet, varTr, varHosts := buildTreeNet(t, nHosts, configure)
+	got := runTreeChurn(varNet, varEng, func(_, s, d int) []*Link {
+		return varTr.Path(varHosts[s], varHosts[d])
+	}, 23, nHosts, nFlows)
+
+	for i := range base.completions {
+		if base.completions[i] != got.completions[i] {
+			t.Fatalf("%s: flow %d completes at %v, baseline %v",
+				variant, i, got.completions[i], base.completions[i])
+		}
+	}
+	for s := range base.snapshots {
+		for i := range base.snapshots[s] {
+			if base.snapshots[s][i] != got.snapshots[s][i] {
+				t.Fatalf("%s: snapshot %d flow %d rate %v, baseline %v",
+					variant, s, i, got.snapshots[s][i], base.snapshots[s][i])
+			}
+		}
+	}
+	if base.completions == nil || baseNet.BytesMoved != varNet.BytesMoved ||
+		baseNet.FlowsCompleted != varNet.FlowsCompleted {
+		t.Fatalf("%s: totals diverged: %v/%d vs baseline %v/%d", variant,
+			varNet.BytesMoved, varNet.FlowsCompleted, baseNet.BytesMoved, baseNet.FlowsCompleted)
+	}
+}
+
+// Folding cold links into composite capacities must never change any active
+// flow's rate: the folded solve is the same progressive filling with the
+// single-flow links' capacities pre-minimised per flow.
+func TestColdAggregationMatchesDense(t *testing.T) {
+	compareChurn(t, "folded", func(n *Network) { n.SetColdAggregation(true) })
+}
+
+// Deferring reallocation to one rebalance per virtual instant must not move
+// any completion: rates committed at the end of a tick apply from the same
+// virtual time as rates committed eagerly within it.
+func TestBatchedMatchesEager(t *testing.T) {
+	compareChurn(t, "batched", func(n *Network) { n.SetBatched(true) })
+}
+
+// Both datacenter modes together — the configuration cloud.Options.Topology
+// actually enables.
+func TestFoldedBatchedMatchesDense(t *testing.T) {
+	compareChurn(t, "folded+batched", func(n *Network) {
+		n.SetColdAggregation(true)
+		n.SetBatched(true)
+	})
+}
+
+// Folded-mode rates must satisfy the reference whole-network solver across
+// churn, including cancellations — the fold/unfold transitions as links go
+// from shared to private to empty and back.
+func TestFoldedOracleUnderCancellation(t *testing.T) {
+	const nHosts, nFlows = 12, 80
+	eng, net, tr, hosts := buildTreeNet(t, nHosts, func(n *Network) {
+		n.SetColdAggregation(true)
+	})
+	rng := rand.New(rand.NewSource(5))
+	flows := make([]*Flow, nFlows)
+	for i := 0; i < nFlows; i++ {
+		src := rng.Intn(nHosts)
+		dst := rng.Intn(nHosts - 1)
+		if dst >= src {
+			dst++
+		}
+		bytes := float64(rng.Intn(50e6) + 5e6)
+		start := sim.Duration(rng.Float64() * 15)
+		i := i
+		eng.Schedule(start, func() {
+			flows[i] = net.StartFlow(bytes, tr.Path(hosts[src], hosts[dst]), nil)
+		})
+	}
+	// Cancel a third of the flows mid-run; each cancellation unfolds the
+	// victim's private links back to empty and re-rates survivors.
+	for i := 0; i < nFlows; i += 3 {
+		i := i
+		eng.Schedule(sim.Duration(16+rng.Float64()*10), func() {
+			if f := flows[i]; f != nil {
+				net.Cancel(f)
+			}
+		})
+	}
+	for _, at := range []float64{8, 20, 30, 50} {
+		eng.Schedule(sim.Duration(at), func() {
+			if f, got, want, ok := net.checkRatesAgainstReference(); !ok {
+				t.Fatalf("t=%v flow %d: rate %v, reference %v", eng.Now(), f.id, got, want)
+			}
+		})
+	}
+	eng.Run()
+	if net.ActiveFlows() != 0 {
+		t.Fatalf("%d flows never drained", net.ActiveFlows())
+	}
+}
+
+// Batched mode must keep the eager semantics of fault operations: a link
+// failure kills the crossing flows immediately and survivors re-rate over
+// the freed capacity within the same instant.
+func TestBatchedFaultsStayEager(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng)
+	net.SetBatched(true)
+	net.SetColdAggregation(true)
+	src := net.NewHost("src", Mbps(100), Mbps(100))
+	a := net.NewHost("a", Mbps(100), Mbps(100))
+	b := net.NewHost("b", Mbps(100), Mbps(100))
+	var interrupted bool
+	eng.Schedule(0, func() {
+		fa := net.StartFlow(100e6, Path(src, a, nil), nil)
+		fa.OnInterrupt(func(delivered float64, at sim.Time) { interrupted = true })
+		net.StartFlow(100e6, Path(src, b, nil), nil)
+	})
+	eng.Schedule(1, func() {
+		net.FailLink(a.Down())
+		// The kill and the survivor's re-rate are synchronous even in
+		// batched mode: fault callers observe rates immediately.
+		flows := make([]*Flow, 0, 1)
+		for f := range net.flows {
+			flows = append(flows, f)
+		}
+		if len(flows) != 1 || flows[0].Rate() != Mbps(100) {
+			t.Fatalf("survivor not re-rated eagerly: %d flows", len(flows))
+		}
+	})
+	eng.Run()
+	if !interrupted {
+		t.Fatal("interrupt callback never fired")
+	}
+	if net.FlowsInterrupted != 1 || net.FlowsCompleted != 1 {
+		t.Fatalf("interrupted=%d completed=%d", net.FlowsInterrupted, net.FlowsCompleted)
+	}
+}

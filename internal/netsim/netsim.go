@@ -58,8 +58,10 @@ type Link struct {
 	flows    map[*Flow]struct{}
 
 	// Allocator scratch, valid only inside one reallocation. mark is the
-	// component-BFS generation; the rest is progressive-filling state.
+	// component-BFS generation; dirty is the batched-mode dirty-set
+	// generation; the rest is progressive-filling state.
 	mark     uint64
+	dirty    uint64
 	residual float64 // unallocated capacity this solve
 	unfrozen int     // flows on this link not yet frozen at a fair share
 	share    float64 // residual/unfrozen; +Inf once all flows are frozen
@@ -151,9 +153,11 @@ type Flow struct {
 	pending     bool // latency delay not yet elapsed; not joined to links
 
 	// Allocator scratch: component-BFS generation and the solver's staged
-	// rate/freeze state for the in-progress solve.
+	// rate/freeze state for the in-progress solve. pcap is the folded
+	// composite capacity of the flow's cold links (SetColdAggregation).
 	mark     uint64
 	nextRate float64
+	pcap     float64
 	frozen   bool
 }
 
@@ -213,11 +217,29 @@ type Network struct {
 	nextID uint64
 
 	// mark is the component-BFS generation counter; compLinks/compFlows and
-	// lheap are reusable scratch for the current reallocation.
-	mark      uint64
-	compLinks []*Link
-	compFlows []*Flow
-	lheap     linkHeap
+	// lheap are reusable scratch for the current reallocation. capScratch
+	// holds the folded solver's composite-capacity flow ordering.
+	mark       uint64
+	compLinks  []*Link
+	compFlows  []*Flow
+	lheap      linkHeap
+	capScratch []*Flow
+
+	// foldCold enables cold-link aggregation: links carrying no flow other
+	// than the one under consideration are folded into a per-flow composite
+	// capacity, so the solver's heap holds only the hot (shared) cut.
+	foldCold bool
+
+	// Batched reallocation state: flow starts, completions and cancels mark
+	// their links dirty and one rebalance pass per virtual instant settles,
+	// solves and applies rates for the union of dirty components. dirtyGen
+	// guards Link.dirty marks; rebalanceFn is pre-bound so the hot path
+	// allocates no closure.
+	batched     bool
+	dirtyGen    uint64
+	dirtySeeds  []*Link
+	rebalanceOn bool
+	rebalanceFn func()
 
 	// tracer, when non-nil, receives a counter event per link whose utilised
 	// rate the solver changed, plus link fault lifecycle instants.
@@ -238,10 +260,72 @@ type Engine = sim.Engine
 // New returns an empty network bound to the engine.
 func New(eng *Engine) *Network {
 	return &Network{
-		eng:   eng,
-		links: make(map[string]*Link),
-		flows: make(map[*Flow]struct{}),
+		eng:      eng,
+		links:    make(map[string]*Link),
+		flows:    make(map[*Flow]struct{}),
+		dirtyGen: 1, // Link.dirty zero value must read as "not in the dirty set"
 	}
+}
+
+// SetColdAggregation toggles cold-link folding in the solver: links carrying
+// fewer than two component flows are folded into a per-flow composite
+// capacity instead of entering the bottleneck heap, so solve cost follows the
+// hot (shared) cut of the topology rather than its size. The committed rates
+// are the same max-min allocation either way (see solveFolded); the toggle
+// exists so flat configurations keep their historical solver byte-for-byte.
+// Flip it at setup time, not mid-solve.
+func (n *Network) SetColdAggregation(on bool) { n.foldCold = on }
+
+// SetBatched toggles deferred reallocation: flow starts, completions and
+// cancels mark their links dirty and schedule (at most) one rebalance event
+// at the current virtual instant, which settles, solves and re-rates the
+// union of dirty components in a single pass. The engine fires same-instant
+// events FIFO, so the rebalance runs after every already-queued event of the
+// tick — a 65k-flow staging storm costs one solve instead of 65k. Fault and
+// capacity operations stay eager (their callers observe rates immediately).
+// Flip it at setup time: disabling it with a rebalance pending would strand
+// joined-but-unrated flows.
+func (n *Network) SetBatched(on bool) {
+	n.batched = on
+	if on && n.rebalanceFn == nil {
+		n.rebalanceFn = n.rebalance // bound once; markDirty never allocates
+	}
+}
+
+// markDirty adds the path's links to the dirty set and ensures a rebalance
+// event is queued at the current instant. Dedup is by dirty-generation, so a
+// storm of same-tick changes over shared links appends each link once.
+func (n *Network) markDirty(path []*Link) {
+	g := n.dirtyGen
+	for _, l := range path {
+		if l.dirty != g {
+			l.dirty = g
+			n.dirtySeeds = append(n.dirtySeeds, l)
+		}
+	}
+	if !n.rebalanceOn {
+		n.rebalanceOn = true
+		n.eng.Schedule(0, n.rebalanceFn)
+	}
+}
+
+// rebalance is the batched-mode solve: one settle/solve/apply over the
+// connected components of every link dirtied since the last pass. Callbacks
+// run from completions, not from here, so no new dirt appears mid-pass; a
+// callback that starts or finishes another flow this tick schedules a fresh
+// rebalance, and a busy instant converges in a small constant number of
+// passes.
+func (n *Network) rebalance() {
+	n.rebalanceOn = false
+	if len(n.dirtySeeds) == 0 {
+		return
+	}
+	n.component(n.dirtySeeds...)
+	n.dirtySeeds = n.dirtySeeds[:0]
+	n.dirtyGen++
+	n.settleComponent()
+	n.solveComponent()
+	n.applyRates()
 }
 
 // NewLink adds a link with the given capacity in bits per second. Names must
@@ -432,13 +516,18 @@ func (n *Network) StartFlow(bytes float64, path []*Link, onComplete func(sim.Tim
 			}
 		}
 		f.lastUpdate = n.eng.Now()
-		n.component(path...)
-		n.settleComponent()
 		n.flows[f] = struct{}{}
 		for _, l := range path {
 			l.flows[f] = struct{}{}
 		}
-		n.compFlows = append(n.compFlows, f)
+		if n.batched {
+			// Rate assignment is deferred to this instant's rebalance pass;
+			// until then the flow sits at rate 0 with zero elapsed time.
+			n.markDirty(path)
+			return
+		}
+		n.component(path...)
+		n.settleComponent()
 		n.solveComponent()
 		n.applyRates()
 	}
@@ -465,6 +554,12 @@ func (n *Network) Cancel(f *Flow) {
 	f.cancelled = true
 	if f.pending {
 		return // still in its latency delay; it will never join the links
+	}
+	if n.batched {
+		f.settleTo(n.eng.Now()) // Delivered() stays exact for the caller
+		n.detachFlow(f)
+		n.markDirty(f.path)
+		return
 	}
 	n.component(f.path...)
 	n.settleComponent()
@@ -527,15 +622,22 @@ func (n *Network) settleComponent() {
 	}
 }
 
-// removeFlow detaches a flow from its links, the active set, and the
-// current component scratch, and cancels its completion event.
-func (n *Network) removeFlow(f *Flow) {
+// detachFlow detaches a flow from its links and the active set and cancels
+// its completion event. It is the batched-mode removal: O(path), no touch of
+// the component scratch.
+func (n *Network) detachFlow(f *Flow) {
 	delete(n.flows, f)
 	for _, l := range f.path {
 		delete(l.flows, f)
 	}
 	f.done.Cancel()
 	f.done = sim.EventRef{}
+}
+
+// removeFlow detaches a flow and additionally drops it from the current
+// component scratch, for the eager paths that solve inside the same bracket.
+func (n *Network) removeFlow(f *Flow) {
+	n.detachFlow(f)
 	flows := n.compFlows
 	for i, cf := range flows {
 		if cf == f {
@@ -577,12 +679,23 @@ func (h *linkHeap) Pop() any {
 	return l
 }
 
-// solveComponent runs progressive filling over the current component,
+// solveComponent stages the max-min fair rate of every component flow in
+// nextRate, dispatching to the folded solver when cold-link aggregation is
+// on.
+func (n *Network) solveComponent() {
+	if n.foldCold {
+		n.solveFolded()
+		return
+	}
+	n.solveDense()
+}
+
+// solveDense runs progressive filling over the current component,
 // staging each flow's new rate in nextRate: repeatedly freeze the bottleneck
 // link's flows at its fair share (heap top), charging the share against
 // every link on each frozen flow's path. Fair shares only rise as filling
 // proceeds, so eager heap fixes keep the top exact. O((F+L)·log L).
-func (n *Network) solveComponent() {
+func (n *Network) solveDense() {
 	flows := n.compFlows
 	if len(flows) == 0 {
 		return
@@ -636,6 +749,126 @@ func (n *Network) solveComponent() {
 	n.lheap = h
 }
 
+// solveFolded is the cold-link-aggregation solve. A link carrying fewer than
+// two component flows can never arbitrate between flows, so instead of
+// entering the bottleneck heap each such cold link is folded into its single
+// flow's composite private capacity pcap = min over the flow's cold links.
+// Progressive filling then interleaves two sorted bottleneck sources — the
+// hot-link heap keyed (share, name) and the composite-capped flows ordered
+// (pcap, id) — always freezing at the smaller value, with exact ties going
+// to the hot link (matching the dense cascade, where charging a link's own
+// share leaves its residual share unchanged). A cold link binds its flow at
+// exactly capacity/1, the share the dense solver would pop it at, and frozen
+// flows charge identical values against the same hot links in either
+// variant, so the committed rates are the same max-min allocation — the
+// fold/unfold tests in aggregation_test.go hold this exactly. Heap size (and
+// per-freeze charge cost) follows the hot cut of the component, not the
+// topology: in a fat-tree staging storm that is the handful of shared
+// uplinks, while every leaf NIC folds away.
+func (n *Network) solveFolded() {
+	flows := n.compFlows
+	if len(flows) == 0 {
+		return
+	}
+	h := n.lheap[:0]
+	for _, l := range n.compLinks {
+		if len(l.flows) < 2 {
+			l.hidx = -1 // cold: folded into its flow's pcap below
+			continue
+		}
+		l.residual = l.capacity
+		l.unfrozen = len(l.flows)
+		l.updateShare()
+		l.hidx = len(h)
+		h = append(h, l)
+	}
+	heap.Init(&h)
+	byCap := n.capScratch[:0]
+	for _, f := range flows {
+		f.frozen = false
+		pc := math.Inf(1)
+		for _, l := range f.path {
+			if len(l.flows) < 2 && l.capacity < pc {
+				pc = l.capacity
+			}
+		}
+		f.pcap = pc
+		if !math.IsInf(pc, 1) {
+			byCap = append(byCap, f)
+		}
+	}
+	sort.Slice(byCap, func(i, j int) bool {
+		if byCap[i].pcap != byCap[j].pcap {
+			return byCap[i].pcap < byCap[j].pcap
+		}
+		return byCap[i].id < byCap[j].id
+	})
+	remaining := len(flows)
+	freeze := func(f *Flow, rate float64) {
+		f.frozen = true
+		f.nextRate = rate
+		remaining--
+		for _, l := range f.path {
+			if l.hidx < 0 {
+				continue // cold link; nothing shares it, no charge to track
+			}
+			l.residual -= rate
+			if l.residual < 0 {
+				l.residual = 0
+			}
+			l.unfrozen--
+			l.updateShare()
+			heap.Fix(&h, l.hidx)
+		}
+	}
+	ci := 0
+	for remaining > 0 {
+		for ci < len(byCap) && byCap[ci].frozen {
+			ci++
+		}
+		linkShare := math.Inf(1)
+		if len(h) > 0 {
+			linkShare = h[0].share
+		}
+		if ci < len(byCap) && byCap[ci].pcap < linkShare {
+			f := byCap[ci]
+			ci++
+			freeze(f, f.pcap)
+			continue
+		}
+		if math.IsInf(linkShare, 1) {
+			// No hot bottleneck left. Any remaining composite-capped flow
+			// freezes at its private capacity; a flow with neither (cannot
+			// occur with positive capacities) starves defensively, like the
+			// dense solver.
+			if ci < len(byCap) {
+				f := byCap[ci]
+				ci++
+				freeze(f, f.pcap)
+				continue
+			}
+			for _, f := range flows {
+				if !f.frozen {
+					f.frozen = true
+					f.nextRate = 0
+					remaining--
+				}
+			}
+			break
+		}
+		top := h[0]
+		best := top.share
+		for f := range top.flows {
+			if f.frozen {
+				continue
+			}
+			freeze(f, best)
+		}
+	}
+	n.capScratch = byCap
+	n.lheap = h
+}
+
 // applyRates commits the staged rates, rescheduling completions only for
 // flows whose rate actually changed: an untouched flow's event time
 // t₀ + remaining(t₀)·8/rate is still exact. Changed flows are visited in
@@ -682,6 +915,27 @@ func (n *Network) traceLinkRates() {
 // complete finishes a flow at the current virtual time.
 func (n *Network) complete(f *Flow) {
 	f.done = sim.EventRef{} // the completion event just fired
+	if n.batched {
+		// The flow's rate has been constant since the last rebalance (any
+		// change would have rescheduled this event), so settling just this
+		// flow is exact — no component settle needed.
+		f.settleTo(n.eng.Now())
+		if f.remaining > completionEpsilon && f.rate > 0 &&
+			f.remaining*8/f.rate > minRescheduleEta {
+			f.done = n.eng.Schedule(sim.Duration(f.remaining*8/f.rate), f.completeFn)
+			return
+		}
+		f.finished = true
+		f.remaining = 0
+		n.BytesMoved += f.bytes
+		n.FlowsCompleted++
+		n.detachFlow(f)
+		n.markDirty(f.path)
+		if f.onComplete != nil {
+			f.onComplete(n.eng.Now())
+		}
+		return
+	}
 	n.component(f.path...)
 	n.settleComponent()
 	if f.remaining > completionEpsilon && f.rate > 0 &&

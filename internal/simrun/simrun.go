@@ -143,6 +143,16 @@ type Config struct {
 	// counters and duration histograms. Sampling is read-only and does not
 	// change run results.
 	Metrics *obs.Metrics
+	// BatchSched coalesces same-instant scheduling: events that would each
+	// run their own admit pass (task completions, staging finishes, Recover
+	// requeues, worker deaths) instead enqueue the affected workers once and
+	// a single drain event per virtual instant admits across all of them,
+	// with the admission limit resolved once per runner rather than per
+	// call. Off (the default), every event admits eagerly — the published
+	// behaviour, kept byte-identical. Batched runs remain deterministic
+	// (the drain visits workers in kick order, itself event-order
+	// deterministic) but may dispatch in a different order than eager runs.
+	BatchSched bool
 }
 
 // NetFaultConfig tunes transfer retry and resume behaviour.
@@ -305,6 +315,17 @@ type Runner struct {
 	flowSince      sim.Time
 	computeSince   sim.Time
 
+	// Batched-scheduling state (cfg.BatchSched): workers awaiting an admit
+	// pass this instant (deduplicated via simWorker.queued), whether the
+	// pass must cover every live worker, and the pre-bound drain callback so
+	// kicks never allocate. prefetchMult is the admission-limit multiplier,
+	// resolved once from the strategy instead of per admit call.
+	pendAdmit    []*simWorker
+	admitAll     bool
+	drainOn      bool
+	drainFn      func()
+	prefetchMult int
+
 	// nameScratch recycles the per-dispatch missing-file name slices: a
 	// dispatch's slice returns to the free list once its transfer bookkeeping
 	// is done with it, so the steady-state pull loop allocates no fresh slice
@@ -343,6 +364,9 @@ type simWorker struct {
 	backlog  []int
 	dead     bool
 	draining bool
+	// queued marks the worker as already enqueued for this instant's batched
+	// admit pass (cfg.BatchSched).
+	queued bool
 	// cpuLanes and xferLanes allocate trace tracks so concurrent spans on
 	// one worker render as properly nested per-lane timelines. Populated
 	// only when tracing is enabled.
@@ -448,6 +472,11 @@ func NewRunner(cluster *cloud.Cluster, master *cloud.VM, cfg Config, wl Workload
 		retries:  make(map[int]int),
 		replicas: catalog.NewReplicas(),
 	}
+	r.prefetchMult = 1
+	if cfg.Strategy.Kind == strategy.RealTime && cfg.Strategy.Prefetch > 1 {
+		r.prefetchMult = cfg.Strategy.Prefetch
+	}
+	r.drainFn = r.drainAdmits // bound once; kicks never allocate
 	if cfg.NetFaults != nil {
 		r.rng = rand.New(rand.NewSource(cfg.NetFaults.JitterSeed))
 	}
@@ -579,7 +608,7 @@ func (r *Runner) AddWorker(vm *cloud.VM) *simWorker {
 			tr.Instant(w.name, "sched", "worker-joined", nil)
 		}
 		r.startDetection(w)
-		r.stageCommon(w, func() { r.admit(w) })
+		r.stageCommon(w, func() { r.kick(w) })
 	}
 	return w
 }
@@ -688,7 +717,7 @@ func (r *Runner) Start(done func(Result)) error {
 		}
 		for _, w := range r.workers {
 			w := w
-			r.stageCommon(w, func() { r.admit(w) })
+			r.stageCommon(w, func() { r.kick(w) })
 		}
 		return nil
 	default:
@@ -1059,7 +1088,7 @@ func (r *Runner) startPrePartition() error {
 		r.res.StagingPhaseSec = float64(r.eng.Now() - stagingStart)
 		for _, w := range r.workers {
 			if !w.dead {
-				r.admit(w)
+				r.kick(w)
 			} else {
 				r.reassign(w)
 			}
@@ -1135,7 +1164,7 @@ func (r *Runner) startNoPartition() error {
 		r.res.StagingPhaseSec = float64(r.eng.Now() - stagingStart)
 		for _, w := range r.workers {
 			if !w.dead {
-				r.admit(w)
+				r.kick(w)
 			}
 		}
 		r.checkDone()
@@ -1156,15 +1185,78 @@ func (r *Runner) startNoPartition() error {
 	return nil
 }
 
+// kick requests an admit pass for the worker. Eager mode runs it on the
+// spot; batched mode (cfg.BatchSched) enqueues the worker, deduplicated, for
+// this instant's single drain pass.
+func (r *Runner) kick(w *simWorker) {
+	if !r.cfg.BatchSched {
+		r.admit(w)
+		return
+	}
+	if !w.queued {
+		w.queued = true
+		r.pendAdmit = append(r.pendAdmit, w)
+	}
+	if !r.drainOn {
+		r.drainOn = true
+		r.eng.Schedule(0, r.drainFn)
+	}
+}
+
+// kickAll requests an admit pass over every live worker — Recover requeues
+// and worker deaths put work or capacity back for everyone. Batched mode
+// collapses any number of same-instant broadcasts into one full pass.
+func (r *Runner) kickAll() {
+	if !r.cfg.BatchSched {
+		for _, o := range r.workers {
+			if !o.dead {
+				r.admit(o)
+			}
+		}
+		return
+	}
+	r.admitAll = true
+	if !r.drainOn {
+		r.drainOn = true
+		r.eng.Schedule(0, r.drainFn)
+	}
+}
+
+// drainAdmits is the batched scheduling pass: one admit sweep over the
+// workers kicked this instant (or all live workers after a broadcast). The
+// engine delivers same-instant events FIFO, so the pass runs after every
+// already-queued completion/staging event of the tick has settled its
+// bookkeeping. Kicks arriving synchronously from inside the pass extend the
+// pend slice and are handled by the index loop.
+func (r *Runner) drainAdmits() {
+	r.drainOn = false
+	if r.admitAll {
+		r.admitAll = false
+		for _, w := range r.pendAdmit {
+			w.queued = false
+		}
+		r.pendAdmit = r.pendAdmit[:0]
+		for _, o := range r.workers {
+			if !o.dead {
+				r.admit(o)
+			}
+		}
+		return
+	}
+	for i := 0; i < len(r.pendAdmit); i++ {
+		w := r.pendAdmit[i]
+		w.queued = false
+		r.admit(w)
+	}
+	r.pendAdmit = r.pendAdmit[:0]
+}
+
 // admit pulls tasks into the worker's pipeline up to slots × prefetch.
 func (r *Runner) admit(w *simWorker) {
 	if w.dead || w.draining || !w.ready {
 		return
 	}
-	limit := w.slots
-	if r.cfg.Strategy.Kind == strategy.RealTime && r.cfg.Strategy.Prefetch > 1 {
-		limit = w.slots * r.cfg.Strategy.Prefetch
-	}
+	limit := w.slots * r.prefetchMult
 	for w.admitted < limit {
 		gi, ok := r.nextTask(w)
 		if !ok {
@@ -1280,7 +1372,7 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 			delete(w.inflight, gi)
 			w.admitted--
 			r.taskDone(w, att, false)
-			r.eng.Schedule(sim.Duration(connectTimeoutSec), func() { r.admit(w) })
+			r.eng.Schedule(sim.Duration(connectTimeoutSec), func() { r.kick(w) })
 			return
 		}
 		r.chargeDiskWrite(w, missing, func() {
@@ -1326,7 +1418,7 @@ func (r *Runner) fetchChain(w *simWorker, att *taskAttempt, metas []catalog.File
 		delete(w.inflight, gi)
 		w.admitted--
 		r.taskDone(w, att, false)
-		r.eng.Schedule(sim.Duration(connectTimeoutSec), func() { r.admit(w) })
+		r.eng.Schedule(sim.Duration(connectTimeoutSec), func() { r.kick(w) })
 	}
 	var step func(i int)
 	step = func(i int) {
@@ -1405,7 +1497,7 @@ func (r *Runner) compute(w *simWorker, att *taskAttempt) {
 			w.admitted--
 			w.cores.Release()
 			r.taskDone(w, att, true)
-			r.admit(w)
+			r.kick(w)
 		})
 	})
 }
@@ -1439,7 +1531,7 @@ func (r *Runner) readFailed(w *simWorker, att *taskAttempt) {
 	delete(w.inflight, att.task)
 	w.admitted--
 	r.taskDone(w, att, false)
-	r.admit(w)
+	r.kick(w)
 }
 
 // taskDone records a terminal (or requeued) outcome.
@@ -1448,11 +1540,7 @@ func (r *Runner) taskDone(w *simWorker, att *taskAttempt, ok bool) {
 	if !ok && r.cfg.Recover && r.retries[att.task] <= r.cfg.MaxRetries {
 		r.mRequeues.Inc()
 		r.queue = append(r.queue, att.task)
-		for _, o := range r.workers {
-			if !o.dead {
-				r.admit(o)
-			}
-		}
+		r.kickAll()
 		return
 	}
 	r.terminal++
@@ -1516,11 +1604,7 @@ func (r *Runner) workerDied(w *simWorker) {
 		r.taskDone(w, att, false)
 	}
 	r.reassign(w)
-	for _, o := range r.workers {
-		if !o.dead {
-			r.admit(o)
-		}
-	}
+	r.kickAll()
 	r.checkDone()
 }
 
