@@ -362,6 +362,17 @@ func runExperiment(name string, scale float64, gantt bool, col *collector, scale
 		if err != nil {
 			return err
 		}
+	case "ablation-stragglers", "stragglers":
+		for _, app := range []string{"ALS", "BLAST"} {
+			rows, err := experiments.AblationStragglers(app, scale)
+			fmt.Print(experiments.RenderSweep(
+				fmt.Sprintf("Ablation: gray failures — %s (slow workers/disks/links; none=invisible, detect=+pause, spec=+clone, hedge=+race, both)", app),
+				"mtbs_sec", rows))
+			fmt.Println()
+			if err != nil {
+				return err
+			}
+		}
 	case "ablation-durability", "durability":
 		for _, app := range []string{"ALS", "BLAST"} {
 			rows, err := experiments.AblationDurability(app, scale)

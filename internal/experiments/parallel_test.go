@@ -30,6 +30,15 @@ func TestRunCellsWidthInvariantOverSeeds(t *testing.T) {
 					func() (simrun.Result, error) {
 						return RunStrategy(realTime(), BLASTWorkload(parallelTestScale, s), 4, 1)
 					}))
+				// Gray-failure cells ride along: straggler injection,
+				// adaptive detection, speculation, and hedging all draw from
+				// per-cell seeded RNGs, so they must be exactly as
+				// width-invariant as the plain runs.
+				cells = append(cells, cell(fmt.Sprintf("prop/stragglers/seed=%d", s),
+					func() (simrun.Result, error) {
+						return runStragglers(chunkTasks(BLASTWorkload(parallelTestScale, s), 30),
+							stragglerSpec{mtbsSec: 120, durSec: 300, severity: 0.05}, "both")
+					}))
 			}
 			return cells
 		}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"testing"
+
+	"frieda/internal/simrun"
+)
+
+// recoveryWL is a small batched BLAST: at 5% scale the 375 queries fold into
+// 13 dispatch batches of ~245 s each, so one stranded batch on a straggler is
+// worth minutes — the regime the gray-failure machinery exists for.
+func recoveryWL() simrun.Workload {
+	return chunkTasks(BLASTWorkload(0.05, 1), 30)
+}
+
+// recoverySpec slows workers only: long deep episodes (compute at 5% of
+// provisioned speed for most of the remaining run) with healthy disks and
+// links, isolating the slow-worker channel the acceptance bar is stated for.
+var recoverySpec = stragglerSpec{mtbsSec: 1200, durSec: 2000, severity: 0.05}
+
+func runRecovery(t *testing.T, spec stragglerSpec, mode string) simrun.Result {
+	t.Helper()
+	res, err := runStragglers(recoveryWL(), spec, mode)
+	if err != nil {
+		t.Fatalf("runStragglers(%+v, %s): %v", spec, mode, err)
+	}
+	if got := donePct(res); got != 100 {
+		t.Fatalf("runStragglers(%+v, %s): done = %.2f%%, want 100%%", spec, mode, got)
+	}
+	return res
+}
+
+// TestStragglersRecovery is the headline acceptance check: speculation plus
+// hedging must claw back at least 1.5x of the makespan inflation a slow
+// worker causes when gray failures are invisible to the fail-stop detector.
+func TestStragglersRecovery(t *testing.T) {
+	base := runRecovery(t, stragglerSpec{}, "none")
+	none := runRecovery(t, recoverySpec, "none")
+	both := runRecovery(t, recoverySpec, "both")
+
+	inflNone := none.MakespanSec - base.MakespanSec
+	inflBoth := both.MakespanSec - base.MakespanSec
+	if inflBoth < 0 {
+		inflBoth = 0
+	}
+	if inflNone <= 0 {
+		t.Fatalf("straggler injection did not inflate the unmitigated makespan: base %.2f, none %.2f", base.MakespanSec, none.MakespanSec)
+	}
+	if inflNone < 1.5*inflBoth {
+		t.Fatalf("mitigated inflation %.2f s not ≥1.5x better than unmitigated %.2f s (base %.2f)", inflBoth, inflNone, base.MakespanSec)
+	}
+	if both.StragglersSuspected == 0 || both.SpeculativeLaunched == 0 || both.SpeculativeWon == 0 {
+		t.Fatalf("mitigation counters flat: suspected %d, launched %d, won %d",
+			both.StragglersSuspected, both.SpeculativeLaunched, both.SpeculativeWon)
+	}
+	t.Logf("base %.1f s, unmitigated +%.1f s, mitigated +%.1f s (%.1fx recovery; %d spec launched, %d won, %.1f s wasted)",
+		base.MakespanSec, inflNone, inflBoth, inflNone/inflBoth,
+		both.SpeculativeLaunched, both.SpeculativeWon, both.SpeculativeWastedSec)
+}
+
+// TestStragglersZeroInjectionInert: with injection off, every mitigation mode
+// must produce the identical makespan and flat counters — the gray machinery
+// may not perturb a healthy run.
+func TestStragglersZeroInjectionInert(t *testing.T) {
+	base := runRecovery(t, stragglerSpec{}, "none")
+	for _, mode := range []string{"detect", "spec", "hedge", "both"} {
+		res := runRecovery(t, stragglerSpec{}, mode)
+		if res.MakespanSec != base.MakespanSec {
+			t.Errorf("%s makespan %.6f != none %.6f with zero injection", mode, res.MakespanSec, base.MakespanSec)
+		}
+		if res.StragglersSuspected != 0 || res.SpeculativeLaunched != 0 ||
+			res.SpeculativeWastedSec != 0 || res.HedgedTransfers != 0 {
+			t.Errorf("%s counters not flat with zero injection: %+v", mode, res)
+		}
+	}
+}
+
+// TestStragglersDeterministic: equal arguments give bit-identical results —
+// the injectors, the speculation picks, and the hedge timer all draw from
+// seeded self-contained RNGs.
+func TestStragglersDeterministic(t *testing.T) {
+	a := runRecovery(t, recoverySpec, "both")
+	b := runRecovery(t, recoverySpec, "both")
+	if a.MakespanSec != b.MakespanSec ||
+		a.StragglersSuspected != b.StragglersSuspected ||
+		a.SpeculativeLaunched != b.SpeculativeLaunched ||
+		a.SpeculativeWon != b.SpeculativeWon ||
+		a.SpeculativeWastedSec != b.SpeculativeWastedSec ||
+		a.HedgedTransfers != b.HedgedTransfers {
+		t.Fatalf("two identical runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestChunkTasksPreservesWork: batching dispatches must conserve total
+// compute and every input file.
+func TestChunkTasksPreservesWork(t *testing.T) {
+	wl := BLASTWorkload(0.05, 1)
+	var compute float64
+	var files int
+	for _, task := range wl.Tasks {
+		compute += task.ComputeSec
+		files += len(task.Files)
+	}
+	got := chunkTasks(wl, 30)
+	var gotCompute float64
+	var gotFiles int
+	for i, task := range got.Tasks {
+		if task.Index != i {
+			t.Fatalf("batch %d has index %d", i, task.Index)
+		}
+		gotCompute += task.ComputeSec
+		gotFiles += len(task.Files)
+	}
+	if gotCompute != compute || gotFiles != files {
+		t.Fatalf("chunking lost work: compute %.4f -> %.4f, files %d -> %d", compute, gotCompute, files, gotFiles)
+	}
+	if len(got.Tasks) != (len(wl.Tasks)+29)/30 {
+		t.Fatalf("batch count %d for %d tasks", len(got.Tasks), len(wl.Tasks))
+	}
+}

@@ -1,0 +1,259 @@
+// Adaptive gray-failure detection: a φ-accrual-style suspicion score over
+// heartbeat interarrivals plus per-node task-progress watermarks. The
+// suspect→confirm ladder in fault.go only sees silence — a node that
+// heartbeats on time while computing at a tenth of its provisioned rate is
+// invisible to it. The adaptive layer suspects such nodes as *slow* without
+// ever declaring them dead: slow-suspicion gates mitigation (speculative
+// re-execution, hedged transfers) in internal/simrun, and a recovered
+// report clears it. Everything here is pull-driven by Heartbeat and
+// ReportProgress calls, consumes no randomness, and schedules no events, so
+// a detector without EnableAdaptive is byte-identical to the PR 2 one.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"frieda/internal/sim"
+)
+
+// SlowSuspect is the gray-failure liveness level: the node heartbeats (it
+// is not Suspect or Declared) but its observed progress or heartbeat-jitter
+// score marks it as a straggler. Kept out of the fail-stop ladder —
+// SlowSuspect never escalates to Declared by itself.
+const SlowSuspect NodeState = 3
+
+// AdaptiveOptions configures the gray-failure detection ladder.
+type AdaptiveOptions struct {
+	// Window is how many recent heartbeat interarrivals are kept per node
+	// for the φ score (default 8).
+	Window int
+	// PhiSuspect is the φ threshold above which heartbeat jitter alone
+	// marks a node slow (default 2.0, i.e. < 1% likely under the observed
+	// interarrival distribution).
+	PhiSuspect float64
+	// SlowFactor marks a progress report slow when the node's observed rate
+	// falls below SlowFactor x the peer median rate (default 0.5).
+	SlowFactor float64
+	// MinReports is how many consecutive slow reports accrue before the
+	// node is slow-suspected (default 3) — one noisy watermark must not
+	// trigger speculation.
+	MinReports int
+}
+
+// withDefaults fills zero fields.
+func (o AdaptiveOptions) withDefaults() AdaptiveOptions {
+	if o.Window == 0 {
+		o.Window = 8
+	}
+	if o.PhiSuspect == 0 {
+		o.PhiSuspect = 2.0
+	}
+	if o.SlowFactor == 0 {
+		o.SlowFactor = 0.5
+	}
+	if o.MinReports == 0 {
+		o.MinReports = 3
+	}
+	return o
+}
+
+// validate checks the (defaulted) options.
+func (o AdaptiveOptions) validate() error {
+	if o.Window < 2 {
+		return fmt.Errorf("fault: adaptive window %d below 2", o.Window)
+	}
+	if o.PhiSuspect <= 0 {
+		return fmt.Errorf("fault: non-positive phi threshold %v", o.PhiSuspect)
+	}
+	if o.SlowFactor <= 0 || o.SlowFactor >= 1 {
+		return fmt.Errorf("fault: slow factor %v outside (0, 1)", o.SlowFactor)
+	}
+	if o.MinReports < 1 {
+		return fmt.Errorf("fault: min reports %d below 1", o.MinReports)
+	}
+	return nil
+}
+
+// adaptiveWatch is the per-node gray-detection state.
+type adaptiveWatch struct {
+	lastBeat sim.Time
+	hasBeat  bool
+	inter    []float64 // interarrival ring buffer
+	next     int
+	count    int
+
+	rate     float64 // latest reported progress rate
+	hasRate  bool
+	slowRuns int  // consecutive slow reports
+	slow     bool // currently slow-suspected
+}
+
+// EnableAdaptive turns on gray-failure detection with the given options
+// (zero fields take defaults). Panics on invalid options. Must be called
+// before the first Heartbeat for interarrival windows to be complete, but
+// late enabling is safe — scores just warm up later.
+func (d *Detector) EnableAdaptive(opts AdaptiveOptions) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		panic(err)
+	}
+	d.adaptive = &opts
+	if d.awatch == nil {
+		d.awatch = make(map[string]*adaptiveWatch)
+	}
+}
+
+// OnSlowSuspect registers a callback run when a node is first marked slow.
+func (d *Detector) OnSlowSuspect(fn func(node string)) { d.onSlowSuspect = fn }
+
+// OnSlowClear registers a callback run when a slow suspicion clears.
+func (d *Detector) OnSlowClear(fn func(node string)) { d.onSlowClear = fn }
+
+// aw returns (creating if needed) the node's adaptive state.
+func (d *Detector) aw(node string) *adaptiveWatch {
+	w, ok := d.awatch[node]
+	if !ok {
+		w = &adaptiveWatch{inter: make([]float64, d.adaptive.Window)}
+		d.awatch[node] = w
+	}
+	return w
+}
+
+// observeBeat records a heartbeat interarrival for the φ window. Called
+// from Heartbeat when adaptive detection is on.
+func (d *Detector) observeBeat(node string) {
+	w := d.aw(node)
+	now := d.eng.Now()
+	if w.hasBeat {
+		w.inter[w.next] = float64(now - w.lastBeat)
+		w.next = (w.next + 1) % len(w.inter)
+		if w.count < len(w.inter) {
+			w.count++
+		}
+	}
+	w.lastBeat = now
+	w.hasBeat = true
+}
+
+// Phi returns the node's φ-accrual suspicion score: -log10 of the
+// probability that the current heartbeat silence would last this long under
+// an exponential model fitted to the observed interarrival window. 0 means
+// no cause for suspicion (fresh beat, or not enough samples); 1 means the
+// silence is ~10% likely, 2 means ~1%, and so on, so thresholds compose
+// multiplicatively rather than as brittle absolute timeouts.
+func (d *Detector) Phi(node string) float64 {
+	if d.adaptive == nil {
+		return 0
+	}
+	w, ok := d.awatch[node]
+	if !ok || !w.hasBeat || w.count < 2 {
+		return 0
+	}
+	mean := 0.0
+	for i := 0; i < w.count; i++ {
+		mean += w.inter[i]
+	}
+	mean /= float64(w.count)
+	if mean <= 0 {
+		return 0
+	}
+	silence := float64(d.eng.Now() - w.lastBeat)
+	// P(X > t) = exp(-t/mean); φ = -log10 P = (t/mean)·log10(e).
+	return silence / mean * math.Log10(math.E)
+}
+
+// ReportProgress feeds one task-progress watermark for a node: rate is the
+// node's observed normalized compute rate (work completed per second of
+// wall clock, 1.0 = provisioned speed). The node accrues slow-suspicion
+// when its rate stays below SlowFactor x the peer median for MinReports
+// consecutive reports, or when its φ score crosses PhiSuspect; a healthy
+// report clears the run. Reports for declared or unknown-to-adaptive
+// detectors are ignored.
+func (d *Detector) ReportProgress(node string, rate float64) {
+	if d.adaptive == nil || d.declared[node] {
+		return
+	}
+	w := d.aw(node)
+	w.rate = rate
+	w.hasRate = true
+
+	med, ok := d.peerMedianRate()
+	slowNow := ok && rate < d.adaptive.SlowFactor*med
+	if d.Phi(node) > d.adaptive.PhiSuspect {
+		slowNow = true
+	}
+	if slowNow {
+		w.slowRuns++
+		if !w.slow && w.slowRuns >= d.adaptive.MinReports {
+			w.slow = true
+			d.record(node, SlowSuspect, w.slowRuns)
+			if d.onSlowSuspect != nil {
+				d.onSlowSuspect(node)
+			}
+		}
+		return
+	}
+	w.slowRuns = 0
+	if w.slow {
+		w.slow = false
+		d.record(node, Alive, 0)
+		if d.onSlowClear != nil {
+			d.onSlowClear(node)
+		}
+	}
+}
+
+// peerMedianRate returns the median of the latest reported rates across all
+// reporting, undeclared nodes. ok is false below 3 reporters — a straggler
+// needs peers to stand out against.
+func (d *Detector) peerMedianRate() (med float64, ok bool) {
+	rates := make([]float64, 0, len(d.awatch))
+	for node, w := range d.awatch {
+		if w.hasRate && !d.declared[node] {
+			rates = append(rates, w.rate)
+		}
+	}
+	if len(rates) < 3 {
+		return 0, false
+	}
+	sort.Float64s(rates)
+	mid := len(rates) / 2
+	if len(rates)%2 == 1 {
+		return rates[mid], true
+	}
+	return (rates[mid-1] + rates[mid]) / 2, true
+}
+
+// SlowSuspected reports whether node is currently slow-suspected.
+func (d *Detector) SlowSuspected(node string) bool {
+	if d.adaptive == nil {
+		return false
+	}
+	w, ok := d.awatch[node]
+	return ok && w.slow
+}
+
+// SlowSuspects returns the currently slow-suspected nodes, sorted.
+func (d *Detector) SlowSuspects() []string {
+	if d.adaptive == nil {
+		return nil
+	}
+	var out []string
+	for node, w := range d.awatch {
+		if w.slow {
+			out = append(out, node)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dropAdaptive forgets a node's adaptive state (on Stop or declare) so a
+// dead node's stale rate cannot skew the peer median.
+func (d *Detector) dropAdaptive(node string) {
+	if d.adaptive != nil {
+		delete(d.awatch, node)
+	}
+}

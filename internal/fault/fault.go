@@ -94,6 +94,8 @@ func (s NodeState) String() string {
 		return "suspect"
 	case Declared:
 		return "declared"
+	case SlowSuspect:
+		return "slow"
 	default:
 		return fmt.Sprintf("NodeState(%d)", int(s))
 	}
@@ -136,6 +138,12 @@ type Detector struct {
 
 	transitions []Transition
 	tracer      *obs.Tracer
+
+	// Gray-failure detection (adaptive.go); nil until EnableAdaptive.
+	adaptive      *AdaptiveOptions
+	awatch        map[string]*adaptiveWatch
+	onSlowSuspect func(node string)
+	onSlowClear   func(node string)
 }
 
 // NewDetector builds a binary (K = 1) detector declaring failure after one
@@ -197,6 +205,9 @@ func (d *Detector) Heartbeat(node string) {
 	if !ok || d.declared[node] {
 		return
 	}
+	if d.adaptive != nil {
+		d.observeBeat(node)
+	}
 	if w.missed > 0 {
 		w.missed = 0
 		d.record(node, Alive, 0)
@@ -213,6 +224,7 @@ func (d *Detector) Stop(node string) {
 		w.timer.Stop()
 		delete(d.nodes, node)
 	}
+	d.dropAdaptive(node)
 }
 
 // Failed reports whether node was declared failed.
@@ -233,6 +245,9 @@ func (d *Detector) State(node string) NodeState {
 	}
 	if d.Suspected(node) {
 		return Suspect
+	}
+	if d.SlowSuspected(node) {
+		return SlowSuspect
 	}
 	return Alive
 }
@@ -266,6 +281,7 @@ func (d *Detector) declare(node string, missed int) {
 	}
 	d.declared[node] = true
 	delete(d.nodes, node)
+	d.dropAdaptive(node)
 	d.record(node, Declared, missed)
 	if d.onFail != nil {
 		d.onFail(node)

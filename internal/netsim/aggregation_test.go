@@ -171,3 +171,44 @@ func TestBatchedFaultsStayEager(t *testing.T) {
 		t.Fatalf("interrupted=%d completed=%d", net.FlowsInterrupted, net.FlowsCompleted)
 	}
 }
+
+// TestBatchedDegradeStaysEager: DegradeLink and RestoreLink mid-flow are
+// fault events, not scheduling events — even under SetBatched they must
+// re-rate in-flight flows synchronously and produce completion times
+// identical to eager mode.
+func TestBatchedDegradeStaysEager(t *testing.T) {
+	run := func(batched bool) (rateAfter float64, done sim.Time) {
+		eng := sim.NewEngine()
+		net := New(eng)
+		net.SetBatched(batched)
+		net.SetColdAggregation(batched)
+		src := net.NewHost("src", Mbps(100), Mbps(100))
+		dst := net.NewHost("dst", Mbps(100), Mbps(100))
+		var f *Flow
+		eng.Schedule(0, func() {
+			// 800 Mb: 2 s at 100 Mbps, degraded to 25 Mbps at t=2, restored
+			// at t=10: 200 + 200 + 400 Mb legs, finishing at t=14.
+			f = net.StartFlow(100e6, Path(src, dst, nil), func(at sim.Time) { done = at })
+		})
+		eng.Schedule(2, func() {
+			net.DegradeLink(dst.Down(), 0.25)
+			// Fault callers observe the degraded rate immediately.
+			rateAfter = f.Rate()
+		})
+		eng.Schedule(10, func() { net.RestoreLink(dst.Down()) })
+		eng.Run()
+		return
+	}
+	eagerRate, eagerDone := run(false)
+	batchRate, batchDone := run(true)
+	if batchRate != Mbps(25) {
+		t.Fatalf("batched mid-flow degrade not applied eagerly: rate = %v", batchRate)
+	}
+	if batchRate != eagerRate || batchDone != eagerDone {
+		t.Fatalf("batched (rate %v, done %v) diverges from eager (rate %v, done %v)",
+			batchRate, batchDone, eagerRate, eagerDone)
+	}
+	if eagerDone != 14 {
+		t.Fatalf("done at %v, want 14", eagerDone)
+	}
+}

@@ -79,6 +79,13 @@ func (l *Link) Name() string { return l.name }
 // provisioned rate, unless the link is currently degraded).
 func (l *Link) Capacity() float64 { return l.capacity }
 
+// BaseCapacity returns the provisioned capacity in bits per second — what
+// the link delivers when healthy, regardless of any degrade episode in
+// effect. Gray-failure mitigation compares observed goodput against this,
+// not Capacity: a hedged transfer exists precisely because the effective
+// capacity has silently dropped below the provisioned one.
+func (l *Link) BaseCapacity() float64 { return l.base }
+
 // Failed reports whether the link is currently down (see Network.FailLink).
 func (l *Link) Failed() bool { return l.failed }
 

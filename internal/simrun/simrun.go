@@ -153,6 +153,13 @@ type Config struct {
 	// (the drain visits workers in kick order, itself event-order
 	// deterministic) but may dispatch in a different order than eager runs.
 	BatchSched bool
+	// Gray, when non-nil, turns on gray-failure handling (gray.go): adaptive
+	// slow-suspicion over heartbeat interarrivals and task-progress
+	// watermarks, admission pause for suspected stragglers, speculative
+	// re-execution, and hedged transfers. Requires Detection — the watermarks
+	// ride the heartbeat channel. Nil keeps the fail-stop-only model,
+	// byte-identical to the published behaviour.
+	Gray *GrayConfig
 }
 
 // NetFaultConfig tunes transfer retry and resume behaviour.
@@ -225,6 +232,12 @@ type Completion struct {
 	End     sim.Time
 	OK      bool
 	Attempt int
+	// Speculative marks attempts born as speculation clones.
+	Speculative bool
+	// Cancelled marks a speculation loser: the attempt was killed because
+	// its twin finished first. Not a terminal outcome — the winner's
+	// completion carries the task's fate.
+	Cancelled bool
 }
 
 // Result summarises a simulated run.
@@ -268,6 +281,17 @@ type Result struct {
 	// RepairsCompleted counts replica copies finished by the repair
 	// manager.
 	RepairsCompleted int
+	// StragglersSuspected counts adaptive slow-suspicion verdicts (gray
+	// runs only).
+	StragglersSuspected int
+	// SpeculativeLaunched and SpeculativeWon count speculation clones
+	// started and clones that beat their primaries.
+	SpeculativeLaunched, SpeculativeWon int
+	// SpeculativeWastedSec sums the elapsed effort of cancelled speculation
+	// losers — the price paid for the makespan recovered.
+	SpeculativeWastedSec float64
+	// HedgedTransfers counts transfers that launched a hedge flow.
+	HedgedTransfers int
 }
 
 // Runner drives one simulated run. Create with NewRunner, add workers, then
@@ -326,6 +350,18 @@ type Runner struct {
 	drainFn      func()
 	prefetchMult int
 
+	// Gray-failure state (gray.go); all nil/zero unless cfg.Gray is set.
+	// specs maps task index → in-flight speculative race.
+	specs map[int]*specPair
+	// hedgeRng jitters hedge goodput-check delays; consumed only when
+	// Gray.Hedge is on.
+	hedgeRng *rand.Rand
+	// activeHedges counts in-flight hedge flows against the hedge budget.
+	activeHedges int
+	// xferEwmaBps is the running average goodput of completed transfers,
+	// the baseline a hedging decision compares against.
+	xferEwmaBps float64
+
 	// nameScratch recycles the per-dispatch missing-file name slices: a
 	// dispatch's slice returns to the free list once its transfer bookkeeping
 	// is done with it, so the steady-state pull loop allocates no fresh slice
@@ -343,6 +379,10 @@ type Runner struct {
 	mCorruptions, mFilesLost   obs.Counter
 	mRepairsOK, mRepairsFailed obs.Counter
 	mRepairBytes               obs.Counter
+	// Gray metric handles; registered only with cfg.Gray.
+	mSlowSuspects, mSpecLaunched obs.Counter
+	mSpecWon, mHedges            obs.Counter
+	hGrayTaskSec                 *obs.Histogram
 
 	res  Result
 	done func(Result)
@@ -364,6 +404,9 @@ type simWorker struct {
 	backlog  []int
 	dead     bool
 	draining bool
+	// speed is the compute-rate factor (1 = provisioned); straggler
+	// injection lowers it via SetWorkerSpeed without touching liveness.
+	speed float64
 	// queued marks the worker as already enqueued for this instant's batched
 	// admit pass (cfg.BatchSched).
 	queued bool
@@ -383,6 +426,18 @@ type taskAttempt struct {
 	// span is the open compute span on cpu lane `lane` (tracing only).
 	span *obs.Span
 	lane int
+	// Rate-varying compute state: workTotal/workLeft are reference-seconds
+	// of work, rateSince timestamps the last speed change, and finish is
+	// the completion callback so SetWorkerSpeed can reschedule it.
+	workTotal, workLeft float64
+	rateSince           sim.Time
+	finish              func()
+	// clone marks a speculation clone; cancelled marks a race loser killed
+	// by cancelAttempt.
+	clone, cancelled bool
+	// claimed lists files this attempt marked resident at dispatch, so a
+	// cancelled attempt can release claims that never landed (gray only).
+	claimed []string
 }
 
 // stageIn is the handle of one logical transfer: the current flow plus any
@@ -400,6 +455,10 @@ type stageIn struct {
 	attempt *obs.Span
 	track   string
 	lane    int
+	// Hedged-transfer state (gray only): the racing second flow and the
+	// pending goodput-check event that may launch it.
+	hedge      *netsim.Flow
+	hedgeCheck sim.EventRef
 }
 
 // NewRunner builds a runner for the cluster. The master VM hosts the data
@@ -462,6 +521,31 @@ func NewRunner(cluster *cloud.Cluster, master *cloud.VM, cfg Config, wl Workload
 		}
 		cfg.Durability = &d
 	}
+	if g := cfg.Gray; g != nil {
+		if cfg.Detection == nil {
+			return nil, fmt.Errorf("simrun: gray-failure handling requires Detection (progress watermarks ride heartbeats)")
+		}
+		gg := *g // don't mutate the caller's struct
+		if gg.SpeculateAfterSec <= 0 {
+			gg.SpeculateAfterSec = 30
+		}
+		if gg.MaxConcurrentSpeculative <= 0 {
+			gg.MaxConcurrentSpeculative = 2
+		}
+		if gg.HedgeCheckSec <= 0 {
+			gg.HedgeCheckSec = 20
+		}
+		if gg.HedgeFraction <= 0 {
+			gg.HedgeFraction = 0.35
+		}
+		if gg.HedgeFraction >= 1 {
+			return nil, fmt.Errorf("simrun: hedge fraction %v must be below 1", gg.HedgeFraction)
+		}
+		if gg.MaxConcurrentHedges <= 0 {
+			gg.MaxConcurrentHedges = 2
+		}
+		cfg.Gray = &gg
+	}
 	r := &Runner{
 		eng:      cluster.Engine(),
 		cluster:  cluster,
@@ -522,6 +606,28 @@ func NewRunner(cluster *cloud.Cluster, master *cloud.VM, cfg Config, wl Workload
 		r.mRepairsOK = cfg.Metrics.Counter("repairs_ok")
 		r.mRepairsFailed = cfg.Metrics.Counter("repairs_failed")
 		r.mRepairBytes = cfg.Metrics.Counter("repair_bytes")
+	}
+	if g := cfg.Gray; g != nil {
+		r.specs = make(map[int]*specPair)
+		if g.Hedge {
+			r.hedgeRng = rand.New(rand.NewSource(g.HedgeSeed))
+		}
+		if m := cfg.Metrics; m.Enabled() {
+			m.Gauge("slow_suspected", func() float64 {
+				if r.detector == nil {
+					return 0
+				}
+				return float64(len(r.detector.SlowSuspects()))
+			})
+			m.Gauge("active_speculations", func() float64 { return float64(len(r.specs)) })
+			m.Gauge("active_hedges", func() float64 { return float64(r.activeHedges) })
+		}
+		r.mSlowSuspects = cfg.Metrics.Counter("stragglers_suspected")
+		r.mSpecLaunched = cfg.Metrics.Counter("speculative_launched")
+		r.mSpecWon = cfg.Metrics.Counter("speculative_won")
+		r.mHedges = cfg.Metrics.Counter("hedged_transfers")
+		r.hGrayTaskSec = cfg.Metrics.Histogram("gray_task_sec",
+			[]float64{1, 3, 10, 30, 100, 300, 1000, 3000, 10000})
 	}
 	if m := cfg.Metrics; m.Enabled() {
 		m.Gauge("queue_depth", func() float64 { return float64(r.QueueLen()) })
@@ -600,6 +706,7 @@ func (r *Runner) AddWorker(vm *cloud.VM) *simWorker {
 		has:      make(map[string]bool),
 		cores:    sim.NewResource(slots),
 		inflight: make(map[int]*taskAttempt),
+		speed:    1,
 	}
 	r.workers = append(r.workers, w)
 	r.byVM[vm] = w
@@ -645,6 +752,9 @@ func (r *Runner) startDetection(w *simWorker) {
 		}
 		if r.pathUp(w) {
 			r.detector.Heartbeat(w.name)
+			if r.cfg.Gray != nil {
+				r.reportProgress(w)
+			}
 		}
 		r.eng.Schedule(period, beat)
 	}
@@ -698,6 +808,9 @@ func (r *Runner) Start(done func(Result)) error {
 
 	if r.cfg.Detection != nil {
 		r.initDetector()
+		if r.cfg.Gray != nil {
+			r.initGray()
+		}
 		for _, w := range r.workers {
 			r.startDetection(w)
 		}
@@ -764,11 +877,11 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 				"src": src.Name(), "bytes": remaining,
 			})
 		}
-		r.flowStarted()
-		r.res.BytesMoved += remaining
-		s.flow = r.cluster.Transfer(src, w.vm, remaining, func(sim.Time) {
-			r.flowEnded()
-			s.flow = nil
+		// arrive settles a delivered payload — from the primary flow or,
+		// under gray-failure hedging, from whichever of the two racing flows
+		// finished first (`from` names the winner's source for the
+		// corruption draw).
+		arrive := func(from *cloud.VM) {
 			if s.abandoned {
 				if s.attempt != nil {
 					s.attempt.End(obs.Args{"outcome": "ok"})
@@ -777,7 +890,7 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 				return
 			}
 			if d := r.cfg.Durability; d != nil && d.Verify && d.CorruptionRate > 0 &&
-				r.pathDegraded(src, w) && r.durRng.Float64() < d.CorruptionRate {
+				r.pathDegraded(from, w) && r.durRng.Float64() < d.CorruptionRate {
 				// Checksum mismatch on arrival: the payload crossed a
 				// degraded link and came out wrong. Refetch the whole
 				// payload (from the next-best replica, if any) up to
@@ -806,32 +919,21 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 				s.attempt.End(obs.Args{"outcome": "ok"})
 				s.attempt = nil
 			}
+			if r.cfg.Gray != nil {
+				r.observeGoodput(bytes, float64(r.eng.Now()-s.startAt))
+			}
 			r.hXferSec.Observe(float64(r.eng.Now() - s.startAt))
 			r.endStage(s, "ok")
 			done(false)
-		})
-		s.flow.OnInterrupt(func(delivered float64, _ sim.Time) {
-			r.flowEnded()
-			s.flow = nil
-			if s.attempt != nil {
-				s.attempt.End(obs.Args{"outcome": "interrupted", "delivered": delivered})
-				s.attempt = nil
-			}
-			r.res.BytesMoved -= remaining - delivered
-			if s.abandoned {
-				return
-			}
-			r.res.TransferInterrupts++
-			r.mInterrupts.Inc()
+		}
+		// retryAfter schedules attempt n+1 of `next` bytes, or declares the
+		// transfer lost when the retry budget is exhausted.
+		retryAfter := func(next float64, n int) {
 			nf := r.cfg.NetFaults
 			if nf == nil || n >= nf.MaxAttempts || w.dead {
 				r.endStage(s, "lost")
 				done(true)
 				return
-			}
-			next := remaining
-			if nf.Resume {
-				next = remaining - delivered
 			}
 			r.res.TransferRetries++
 			r.mRetries.Inc()
@@ -853,7 +955,59 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 				}
 				attempt(next, n+1)
 			})
+		}
+		r.flowStarted()
+		r.res.BytesMoved += remaining
+		s.flow = r.cluster.Transfer(src, w.vm, remaining, func(sim.Time) {
+			r.flowEnded()
+			s.flow = nil
+			s.hedgeCheck.Cancel()
+			s.hedgeCheck = sim.EventRef{}
+			if s.hedge != nil {
+				r.dropHedge(s)
+			}
+			arrive(src)
 		})
+		s.flow.OnInterrupt(func(delivered float64, _ sim.Time) {
+			r.flowEnded()
+			s.flow = nil
+			s.hedgeCheck.Cancel()
+			s.hedgeCheck = sim.EventRef{}
+			if s.attempt != nil {
+				s.attempt.End(obs.Args{"outcome": "interrupted", "delivered": delivered})
+				s.attempt = nil
+			}
+			r.res.BytesMoved -= remaining - delivered
+			if s.abandoned {
+				return
+			}
+			r.res.TransferInterrupts++
+			r.mInterrupts.Inc()
+			if s.hedge != nil {
+				// The hedge twin is still streaming; let it finish the
+				// transfer (its interrupt handler resumes the retry ladder
+				// if it dies too).
+				return
+			}
+			nf := r.cfg.NetFaults
+			if nf == nil || n >= nf.MaxAttempts || w.dead {
+				r.endStage(s, "lost")
+				done(true)
+				return
+			}
+			next := remaining
+			if nf.Resume {
+				next = remaining - delivered
+			}
+			retryAfter(next, n)
+		})
+		if g := r.cfg.Gray; g != nil && g.Hedge {
+			r.armHedge(s, w, files, remaining, src, arrive, func() {
+				// Both racing flows died: resume the retry ladder with the
+				// full remaining payload.
+				retryAfter(remaining, n)
+			})
+		}
 	}
 	attempt(bytes, 1)
 	return s
@@ -1009,8 +1163,16 @@ func (r *Runner) abandonStage(s *stageIn) {
 		s.flow = nil
 		r.flowEnded()
 	}
+	if s.hedge != nil {
+		r.cluster.Network().Cancel(s.hedge)
+		s.hedge = nil
+		r.activeHedges--
+		r.flowEnded()
+	}
 	s.retry.Cancel()
 	s.retry = sim.EventRef{}
+	s.hedgeCheck.Cancel()
+	s.hedgeCheck = sim.EventRef{}
 	r.endStage(s, "abandoned")
 }
 
@@ -1256,6 +1418,11 @@ func (r *Runner) admit(w *simWorker) {
 	if w.dead || w.draining || !w.ready {
 		return
 	}
+	if r.cfg.Gray != nil && r.detector != nil && r.detector.SlowSuspected(w.name) {
+		// Detect-only mitigation: a slow-suspected worker keeps its current
+		// pipeline but is not fed more work until the suspicion clears.
+		return
+	}
 	limit := w.slots * r.prefetchMult
 	for w.admitted < limit {
 		gi, ok := r.nextTask(w)
@@ -1300,8 +1467,8 @@ func (r *Runner) nextTask(w *simWorker) (int, bool) {
 }
 
 // fetchAndRun transfers the task's missing bytes (real-time remote), then
-// computes.
-func (r *Runner) fetchAndRun(w *simWorker, gi int) {
+// computes. Returns the attempt so speculation can track its clone.
+func (r *Runner) fetchAndRun(w *simWorker, gi int) *taskAttempt {
 	task := r.wl.Tasks[gi]
 	att := &taskAttempt{task: gi}
 	w.inflight[gi] = att
@@ -1332,6 +1499,9 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 				// shared file (one-to-all's pivot, all-to-all pairs) must
 				// not fetch it twice.
 				w.has[f.Name] = true
+				if r.cfg.Gray != nil {
+					att.claimed = append(att.claimed, f.Name)
+				}
 			}
 		}
 	}
@@ -1344,7 +1514,7 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 	if missing <= 0 {
 		r.putNames(names)
 		start()
-		return
+		return att
 	}
 	if r.cfg.Durability != nil {
 		// With replicas spread by the repair manager, a task's files may
@@ -1352,7 +1522,7 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 		// its own best source. The bundled single-flow fetch below stays
 		// byte-identical for the published model.
 		r.fetchChain(w, att, metas, start)
-		return
+		return att
 	}
 	att.stage = r.transfer(w, names, missing, func(lost bool) {
 		att.stage = nil
@@ -1383,6 +1553,7 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) {
 			start()
 		})
 	})
+	return att
 }
 
 // takeNames pops a recycled name slice (len 0) from the scratch free list,
@@ -1466,6 +1637,12 @@ func (r *Runner) compute(w *simWorker, att *taskAttempt) {
 		if w.dead {
 			return
 		}
+		if att.cancelled {
+			// The attempt lost its speculative race while waiting for the
+			// core; its slot bookkeeping is already settled.
+			w.cores.Release()
+			return
+		}
 		if d := r.cfg.Durability; d != nil && r.cfg.ModelDiskIO && w.disk.ReadErrorRate() > 0 &&
 			r.durRng.Float64() < w.disk.ReadErrorRate() {
 			r.readFailed(w, att)
@@ -1473,8 +1650,12 @@ func (r *Runner) compute(w *simWorker, att *taskAttempt) {
 		}
 		att.started = r.eng.Now()
 		if tr := r.cfg.Tracer; tr.Enabled() {
+			cat := "task"
+			if att.clone {
+				cat = "spec"
+			}
 			att.lane = claimLane(&w.cpuLanes)
-			att.span = tr.Begin(fmt.Sprintf("%s/cpu%d", w.name, att.lane), "task",
+			att.span = tr.Begin(fmt.Sprintf("%s/cpu%d", w.name, att.lane), cat,
 				fmt.Sprintf("task %d", att.task), obs.Args{
 					"worker": w.name, "attempt": r.retries[att.task] + 1,
 				})
@@ -1489,7 +1670,15 @@ func (r *Runner) compute(w *simWorker, att *taskAttempt) {
 			}
 		}
 		r.computeStarted()
-		att.compute = r.eng.Schedule(dur, func() {
+		// The compute runs as workTotal reference-seconds draining at the
+		// worker's speed factor; SetWorkerSpeed settles workLeft at the old
+		// rate and reschedules finish at the new one. At speed 1 the /1
+		// division is bitwise exact, so unstraggled runs fire the same event
+		// at the same instant as the fixed-duration model did.
+		att.workTotal = float64(dur)
+		att.workLeft = float64(dur)
+		att.rateSince = att.started
+		att.finish = func() {
 			r.computeEnded()
 			att.compute = sim.EventRef{}
 			r.endTaskSpan(w, att, "ok")
@@ -1498,7 +1687,8 @@ func (r *Runner) compute(w *simWorker, att *taskAttempt) {
 			w.cores.Release()
 			r.taskDone(w, att, true)
 			r.kick(w)
-		})
+		}
+		att.compute = r.eng.Schedule(sim.Duration(att.workLeft/w.speed), att.finish)
 	})
 }
 
@@ -1536,6 +1726,9 @@ func (r *Runner) readFailed(w *simWorker, att *taskAttempt) {
 
 // taskDone records a terminal (or requeued) outcome.
 func (r *Runner) taskDone(w *simWorker, att *taskAttempt, ok bool) {
+	if r.specs != nil && r.settleSpec(w, att, ok) {
+		return
+	}
 	r.retries[att.task]++
 	if !ok && r.cfg.Recover && r.retries[att.task] <= r.cfg.MaxRetries {
 		r.mRequeues.Inc()
@@ -1546,13 +1739,14 @@ func (r *Runner) taskDone(w *simWorker, att *taskAttempt, ok bool) {
 	r.terminal++
 	r.res.Completions = append(r.res.Completions, Completion{
 		Task: att.task, Worker: w.name, Start: att.started, End: r.eng.Now(),
-		OK: ok, Attempt: r.retries[att.task],
+		OK: ok, Attempt: r.retries[att.task], Speculative: att.clone,
 	})
 	if ok {
 		r.res.Succeeded++
 		r.res.PerWorker[w.name]++
 		r.mTasksOK.Inc()
 		r.hTaskSec.Observe(float64(r.eng.Now() - att.started))
+		r.hGrayTaskSec.Observe(float64(r.eng.Now() - att.started))
 	} else {
 		r.res.Abandoned++
 		r.mTasksFailed.Inc()

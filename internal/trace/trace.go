@@ -76,9 +76,11 @@ func (l WorkerLane) Utilisation() float64 {
 }
 
 // Gantt renders a fixed-width text timeline, one row per worker: '#' for
-// busy buckets, '.' for idle, and 'x' marking where a failed or interrupted
-// attempt went terminal — fault runs show where work was lost instead of
-// silently dropping those rows. width is the number of buckets (default 60).
+// busy buckets, 's' for buckets busy with a speculative clone, '.' for
+// idle, 'x' marking where a failed or interrupted attempt went terminal,
+// and 'c' where a speculative race's losing attempt was cancelled — fault
+// runs show where work was lost or discarded instead of silently dropping
+// those rows. width is the number of buckets (default 60).
 func Gantt(res simrun.Result, width int) string {
 	if width <= 0 {
 		width = 60
@@ -86,15 +88,23 @@ func Gantt(res simrun.Result, width int) string {
 	if res.MakespanSec <= 0 || len(res.Completions) == 0 {
 		return "(empty run)\n"
 	}
-	type span struct{ start, end float64 }
+	type span struct {
+		start, end float64
+		spec       bool
+	}
 	byWorker := map[string][]span{}
 	failsBy := map[string][]float64{}
+	cancelBy := map[string][]float64{}
 	for _, c := range res.Completions {
+		if c.Cancelled {
+			cancelBy[c.Worker] = append(cancelBy[c.Worker], float64(c.End))
+			continue
+		}
 		if !c.OK {
 			failsBy[c.Worker] = append(failsBy[c.Worker], float64(c.End))
 			continue
 		}
-		byWorker[c.Worker] = append(byWorker[c.Worker], span{float64(c.Start), float64(c.End)})
+		byWorker[c.Worker] = append(byWorker[c.Worker], span{float64(c.Start), float64(c.End), c.Speculative})
 	}
 	seen := map[string]bool{}
 	var workers []string
@@ -102,9 +112,12 @@ func Gantt(res simrun.Result, width int) string {
 		seen[w] = true
 		workers = append(workers, w)
 	}
-	for w := range failsBy {
-		if !seen[w] {
-			workers = append(workers, w)
+	for _, extra := range []map[string][]float64{failsBy, cancelBy} {
+		for w := range extra {
+			if !seen[w] {
+				seen[w] = true
+				workers = append(workers, w)
+			}
 		}
 	}
 	sort.Strings(workers)
@@ -123,8 +136,12 @@ func Gantt(res simrun.Result, width int) string {
 			if hi >= width {
 				hi = width - 1
 			}
+			glyph := byte('#')
+			if s.spec {
+				glyph = 's'
+			}
 			for i := lo; i <= hi; i++ {
-				row[i] = '#'
+				row[i] = glyph
 			}
 		}
 		for _, at := range failsBy[w] {
@@ -134,6 +151,13 @@ func Gantt(res simrun.Result, width int) string {
 			}
 			row[i] = 'x'
 		}
+		for _, at := range cancelBy[w] {
+			i := int(at / bucket)
+			if i >= width {
+				i = width - 1
+			}
+			row[i] = 'c'
+		}
 		label := w
 		if label == "" {
 			label = "(unrun)"
@@ -141,6 +165,9 @@ func Gantt(res simrun.Result, width int) string {
 		note := fmt.Sprintf("%d tasks", len(byWorker[w]))
 		if nf := len(failsBy[w]); nf > 0 {
 			note = fmt.Sprintf("%d ok, %d failed", len(byWorker[w]), nf)
+		}
+		if nc := len(cancelBy[w]); nc > 0 {
+			note += fmt.Sprintf(", %d cancelled", nc)
 		}
 		fmt.Fprintf(&b, "%-8s |%s| %s\n", label, row, note)
 	}
@@ -168,6 +195,13 @@ func Summary(res simrun.Result) string {
 		fmt.Fprintf(&b, "durability: %d files lost, %d corruptions detected, %d repairs (%.0f repair bytes)\n",
 			res.FilesLost, res.CorruptionsDetected, res.RepairsCompleted, res.RepairBytes)
 	}
+	// Likewise the gray-failure line: only runs that suspected or mitigated
+	// anything show it.
+	if res.StragglersSuspected > 0 || res.SpeculativeLaunched > 0 || res.HedgedTransfers > 0 {
+		fmt.Fprintf(&b, "gray: %d slow-suspected, %d speculative (%d won, %.1fs wasted), %d hedged transfers\n",
+			res.StragglersSuspected, res.SpeculativeLaunched, res.SpeculativeWon,
+			res.SpeculativeWastedSec, res.HedgedTransfers)
+	}
 	return b.String()
 }
 
@@ -186,6 +220,8 @@ func SpanSummary(tr *obs.Tracer) string {
 		attempts         int
 		repairs          int
 		repairSec        float64
+		specs            int
+		specSec          float64
 	}
 	byWorker := map[string]*agg{}
 	worker := func(track string) string {
@@ -219,6 +255,12 @@ func SpanSummary(tr *obs.Tracer) string {
 			case "repair":
 				a.repairs++
 				a.repairSec += float64(e.Dur)
+			case "spec":
+				// Speculative clone executions: real compute, so their
+				// intervals count toward the compute wall too.
+				a.specs++
+				a.specSec += float64(e.Dur)
+				a.taskIvs = append(a.taskIvs, iv)
 			}
 		case obs.PhaseInstant:
 			instants[e.Cat+"/"+e.Name]++
@@ -233,32 +275,38 @@ func SpanSummary(tr *obs.Tracer) string {
 	}
 	sort.Strings(workers)
 
-	// The repair column appears only when the run recorded repair spans, so
-	// legacy traces render unchanged.
-	repairs := false
+	// The repair and speculation columns appear only when the run recorded
+	// spans of that kind, so legacy traces render unchanged.
+	repairs, specs := false, false
 	for _, a := range byWorker {
 		if a.repairs > 0 {
 			repairs = true
-			break
+		}
+		if a.specs > 0 {
+			specs = true
 		}
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "span summary for %s (%d events)\n", tr.Name(), tr.Len())
+	header := fmt.Sprintf("%-10s %6s %10s %6s %9s %9s", "worker", "tasks", "task(s)", "xfers", "xfer(s)", "attempts")
 	if repairs {
-		fmt.Fprintf(&b, "%-10s %6s %10s %6s %9s %9s %8s %9s\n",
-			"worker", "tasks", "task(s)", "xfers", "xfer(s)", "attempts", "repairs", "repair(s)")
-	} else {
-		fmt.Fprintf(&b, "%-10s %6s %10s %6s %9s %9s\n", "worker", "tasks", "task(s)", "xfers", "xfer(s)", "attempts")
+		header += fmt.Sprintf(" %8s %9s", "repairs", "repair(s)")
 	}
+	if specs {
+		header += fmt.Sprintf(" %6s %9s", "spec", "spec(s)")
+	}
+	b.WriteString(header + "\n")
 	for _, w := range workers {
 		a := byWorker[w]
+		line := fmt.Sprintf("%-10s %6d %10.1f %6d %9.1f %9d",
+			w, a.tasks, a.taskSec, a.xfers, a.xferSec, a.attempts)
 		if repairs {
-			fmt.Fprintf(&b, "%-10s %6d %10.1f %6d %9.1f %9d %8d %9.1f\n",
-				w, a.tasks, a.taskSec, a.xfers, a.xferSec, a.attempts, a.repairs, a.repairSec)
-		} else {
-			fmt.Fprintf(&b, "%-10s %6d %10.1f %6d %9.1f %9d\n",
-				w, a.tasks, a.taskSec, a.xfers, a.xferSec, a.attempts)
+			line += fmt.Sprintf(" %8d %9.1f", a.repairs, a.repairSec)
 		}
+		if specs {
+			line += fmt.Sprintf(" %6d %9.1f", a.specs, a.specSec)
+		}
+		b.WriteString(line + "\n")
 	}
 	taskWall := unionSec(taskIvs)
 	xferWall := unionSec(xferIvs)

@@ -266,3 +266,102 @@ func TestDetectionTimeline(t *testing.T) {
 		t.Fatalf("vm-2 footer wrong:\n%s", out)
 	}
 }
+
+// specResult is a run with a speculative race: the clone on vm-2 won, the
+// stranded primary on vm-1 was cancelled.
+func specResult() simrun.Result {
+	return simrun.Result{
+		MakespanSec:          10,
+		StragglersSuspected:  1,
+		SpeculativeLaunched:  1,
+		SpeculativeWon:       1,
+		SpeculativeWastedSec: 6,
+		Completions: []simrun.Completion{
+			{Task: 0, Worker: "vm-1", Start: 0, End: 4, OK: true, Attempt: 1},
+			{Task: 1, Worker: "vm-1", Start: 4, End: 10, Attempt: 1, Speculative: true, Cancelled: true},
+			{Task: 1, Worker: "vm-2", Start: 6, End: 10, OK: true, Attempt: 1, Speculative: true},
+		},
+	}
+}
+
+func TestGanttSpeculationGlyphs(t *testing.T) {
+	out := Gantt(specResult(), 20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// vm-1: '#' for the ordinary task, 'c' where its stranded attempt was
+	// cancelled — distinct from the 'x' of a genuine failure.
+	vm1 := lines[1]
+	bar := vm1[strings.IndexByte(vm1, '|')+1 : strings.LastIndexByte(vm1, '|')]
+	if !strings.Contains(bar, "#") || bar[len(bar)-1] != 'c' {
+		t.Fatalf("vm-1 bar = %q, want '#' body and trailing 'c'", bar)
+	}
+	if !strings.Contains(vm1, "1 tasks, 1 cancelled") {
+		t.Fatalf("vm-1 note = %q", vm1)
+	}
+	// vm-2: the winning clone renders as 's', not '#'.
+	vm2 := lines[2]
+	bar2 := vm2[strings.IndexByte(vm2, '|')+1 : strings.LastIndexByte(vm2, '|')]
+	if !strings.Contains(bar2, "s") || strings.Contains(bar2, "#") {
+		t.Fatalf("vm-2 bar = %q, want 's' spans only", bar2)
+	}
+}
+
+func TestSummaryGrayLine(t *testing.T) {
+	out := Summary(specResult())
+	if !strings.Contains(out, "gray: 1 slow-suspected, 1 speculative (1 won, 6.0s wasted), 0 hedged transfers") {
+		t.Fatalf("gray line missing:\n%s", out)
+	}
+	// Runs without gray activity keep the legacy rendering.
+	if strings.Contains(Summary(sampleResult()), "gray:") {
+		t.Fatal("gray line printed for a gray-free run")
+	}
+}
+
+func TestSpanSummarySpecColumn(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := obs.NewTracer(eng, "gray")
+	var task, clone *obs.Span
+	eng.Schedule(0, func() {
+		task = tr.Begin("vm-1/cpu0", "task", "task 0", nil)
+		tr.Instant("vm-2", "spec", "spec-launched", nil)
+		clone = tr.Begin("vm-2/cpu0", "spec", "task 1 (clone)", nil)
+	})
+	eng.Schedule(3, func() { clone.End(nil) })
+	eng.Schedule(5, func() { task.End(nil) })
+	eng.Run()
+	out := SpanSummary(tr)
+	for _, want := range []string{
+		"spec", "spec(s)", // column appears when clone spans exist
+		"spec/spec-launched 1", // launches surface via the instants line
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("span summary missing %q:\n%s", want, out)
+		}
+	}
+	// vm-2's row carries the clone aggregate (1 clone, 3.0 s), and clone
+	// compute counts toward the compute wall: union of [0,5] and [0,3] = 5.
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "vm-2") && strings.Contains(line, "3.0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("vm-2 spec aggregate missing:\n%s", out)
+	}
+	if !strings.Contains(out, "compute wall 5.0s") {
+		t.Fatalf("clone compute missing from wall:\n%s", out)
+	}
+	// A speculation-free trace keeps the legacy header.
+	eng2 := sim.NewEngine()
+	tr2 := obs.NewTracer(eng2, "plain")
+	var t2 *obs.Span
+	eng2.Schedule(0, func() { t2 = tr2.Begin("vm-1/cpu0", "task", "task 0", nil) })
+	eng2.Schedule(1, func() { t2.End(nil) })
+	eng2.Run()
+	if strings.Contains(SpanSummary(tr2), "spec(s)") {
+		t.Fatal("spec column printed for a speculation-free trace")
+	}
+}
