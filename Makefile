@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-netsim bench-exprun bench-scale profile-scale vet fmt reproduce ablations examples clean
+.PHONY: all build test race bench bench-netsim bench-exprun bench-scale bench-obs profile-scale vet fmt reproduce ablations examples clean
 
 all: build test
 
@@ -47,6 +47,13 @@ bench-exprun:
 bench-scale:
 	$(GO) run ./cmd/friedabench -exp scale -parallel 1 -bench-out BENCH_scale.json
 	$(GO) test -bench='BenchmarkNetsimTree' -benchmem -benchtime 1x -run '^$$' ./internal/netsim/
+
+# Regenerate BENCH_obs.json: attribution-recorder edge emission (the
+# per-completion hot path, budget <=2 allocs/edge) and the critical-path
+# solve over a 100k-node chain. Compare against the committed file before
+# merging recorder or solver changes, and update it with the new numbers.
+bench-obs:
+	BENCH_OBS_OUT=$(CURDIR)/BENCH_obs.json $(GO) test -run 'TestWriteBenchObs' -count=1 ./internal/obs/attrib/
 
 # CPU-profile the largest scale cell; inspect with `go tool pprof cpu.prof`.
 profile-scale:

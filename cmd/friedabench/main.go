@@ -20,8 +20,14 @@
 // of the selected experiments (open in Perfetto or chrome://tracing; one
 // process per run, one track per worker core / transfer lane / link), and
 // -metrics writes a virtual-time-sampled CSV of queue depth, goodput, slot
-// occupancy and friends plus task/transfer histograms. Both are byte-
-// deterministic for a fixed seed and change no experiment results.
+// occupancy and friends plus task/transfer histograms. -attrib prints a
+// critical-path attribution report per run — a blame table binning every
+// second of the makespan into compute / network / queue-wait / detection /
+// retry / repair / straggler-inflation / speculation categories, exact
+// latency percentiles, and the longest critical-path segments — and, with
+// -trace, adds a critical-path highlight lane to the Chrome export;
+// -attribdiff 1,2 diffs two runs' blame tables. All are byte-deterministic
+// for a fixed seed and change no experiment results.
 package main
 
 import (
@@ -40,34 +46,48 @@ import (
 	"frieda/internal/experiments"
 	"frieda/internal/exprun"
 	"frieda/internal/obs"
+	"frieda/internal/obs/attrib"
 	"frieda/internal/simrun"
 	"frieda/internal/strategy"
 	"frieda/internal/trace"
 )
 
-// collector gathers per-run tracers and metrics installed through the
-// experiments.Instrument hook, for export after all experiments finish.
+// collector gathers per-run tracers, metrics and attribution recorders
+// installed through the experiments.Instrument hook, for export after all
+// experiments finish.
 type collector struct {
 	traceOut, metricsOut string
 	periodSec            float64
+	attribOn             bool
+	attribDiff           string
 	seq                  int
 	tracers              []*obs.Tracer
 	metrics              []*obs.Metrics
 	last                 *obs.Tracer
+	lastMetrics          *obs.Metrics
+	labels               []string
+	recorders            []*attrib.Recorder
 }
 
 // maxUtilLinks caps how many per-link utilisation gauges a metered run
 // registers, so scale-sweep runs with thousands of VMs keep a sane CSV.
 const maxUtilLinks = 16
 
-// install registers the Instrument hook when -trace or -metrics was given.
+// install registers the Instrument hook when -trace, -metrics or -attrib
+// was given.
 func (c *collector) install() {
-	if c.traceOut == "" && c.metricsOut == "" {
+	if c.traceOut == "" && c.metricsOut == "" && !c.attribOn {
 		return
 	}
 	experiments.Instrument = func(label string, cluster *cloud.Cluster, cfg *simrun.Config) {
 		c.seq++
 		name := fmt.Sprintf("%03d %s", c.seq, label)
+		if c.attribOn {
+			rec := attrib.NewRecorder(cluster.Engine())
+			cfg.Attrib = rec
+			c.labels = append(c.labels, name)
+			c.recorders = append(c.recorders, rec)
+		}
 		if c.traceOut != "" {
 			tr := obs.NewTracer(cluster.Engine(), name)
 			cfg.Tracer = tr
@@ -91,12 +111,31 @@ func (c *collector) install() {
 				})
 			}
 			c.metrics = append(c.metrics, m)
+			c.lastMetrics = m
 		}
 	}
 }
 
-// export writes the collected trace and metrics files.
+// export prints the attribution reports and writes the collected trace and
+// metrics files. Attribution renders before the Chrome export so the
+// critical-path highlight lanes land in the trace document.
 func (c *collector) export() error {
+	if c.attribOn {
+		for i, rec := range c.recorders {
+			rep := rec.Report()
+			fmt.Printf("== %s ==\n", c.labels[i])
+			fmt.Print(trace.AttributionReport(rep))
+			fmt.Println()
+			if c.traceOut != "" && i < len(c.tracers) {
+				trace.EmitCriticalPath(c.tracers[i], rep)
+			}
+		}
+		if c.attribDiff != "" {
+			if err := c.printDiff(); err != nil {
+				return err
+			}
+		}
+	}
 	if c.traceOut != "" {
 		f, err := os.Create(c.traceOut)
 		if err != nil {
@@ -141,6 +180,29 @@ func (c *collector) export() error {
 	return nil
 }
 
+// printDiff renders the -attribdiff differential between two collected
+// runs, addressed by their 1-based sequence numbers as printed in the
+// report headers.
+func (c *collector) printDiff() error {
+	parts := strings.Split(c.attribDiff, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-attribdiff wants two run numbers, e.g. 1,2 (got %q)", c.attribDiff)
+	}
+	idx := make([]int, 2)
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 || n > len(c.recorders) {
+			return fmt.Errorf("-attribdiff: run %q out of range 1..%d", p, len(c.recorders))
+		}
+		idx[i] = n - 1
+	}
+	fmt.Print(trace.AttributionDiff(
+		c.labels[idx[0]], c.recorders[idx[0]].Report(),
+		c.labels[idx[1]], c.recorders[idx[1]].Report()))
+	fmt.Println()
+	return nil
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -155,6 +217,8 @@ func run() int {
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of every run to this file (Perfetto-loadable)")
 	metricsOut := fs.String("metrics", "", "write virtual-time-sampled metrics CSV of every run to this file")
 	metricsPeriod := fs.Float64("metrics-period", 10, "metrics sampling period in virtual seconds")
+	attribOn := fs.Bool("attrib", false, "print a critical-path attribution report (blame table + top segments) for every run")
+	attribDiff := fs.String("attribdiff", "", "with -attrib: diff two runs' blame tables by sequence number, e.g. 1,2")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "sweep cells run on this many goroutines (1 = sequential; output is byte-identical at any width)")
 	workers := fs.String("workers", "", "override the -exp scale worker counts (comma-separated, e.g. 4096,16384,65536)")
 	benchOut := fs.String("bench-out", "", "write the -exp scale rows as a benchmark JSON record to this file")
@@ -201,15 +265,21 @@ func run() int {
 		}
 	}
 
-	if (*traceOut != "" || *metricsOut != "") && *parallel != 1 {
+	if *attribDiff != "" && !*attribOn {
+		log.Fatal("friedabench: -attribdiff requires -attrib")
+	}
+	if (*traceOut != "" || *metricsOut != "" || *attribOn) && *parallel != 1 {
 		// The collector numbers runs in Instrument-arrival order, which is
 		// only deterministic when cells run one at a time.
-		fmt.Fprintln(os.Stderr, "friedabench: -trace/-metrics force -parallel 1 (deterministic run numbering)")
+		fmt.Fprintln(os.Stderr, "friedabench: -trace/-metrics/-attrib force -parallel 1 (deterministic run numbering)")
 		*parallel = 1
 	}
 	experiments.SetParallelism(*parallel)
 
-	col := &collector{traceOut: *traceOut, metricsOut: *metricsOut, periodSec: *metricsPeriod}
+	col := &collector{
+		traceOut: *traceOut, metricsOut: *metricsOut, periodSec: *metricsPeriod,
+		attribOn: *attribOn, attribDiff: *attribDiff,
+	}
 	col.install()
 
 	failed := false
@@ -493,7 +563,7 @@ func printGantt(app string, scale float64, col *collector) error {
 	fmt.Print(trace.Gantt(res, 72))
 	fmt.Print(trace.Summary(res))
 	if col.last != nil {
-		fmt.Print(trace.SpanSummary(col.last))
+		fmt.Print(trace.SpanSummary(col.last, col.lastMetrics))
 	}
 	fmt.Println()
 	return nil

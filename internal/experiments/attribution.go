@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"frieda/internal/obs/attrib"
+	"frieda/internal/simrun"
+)
+
+// attribCols adds critical-path blame columns for one run under the given
+// series prefix: compute, network, wait (queue + retry backoff) and fault
+// (detection + repair + straggler inflation + speculation) seconds. The
+// columns appear only when the run carried an attribution recorder
+// (friedabench -attrib installs one per run through the Instrument hook),
+// so default sweep tables render byte-identically.
+func attribCols(series map[string]float64, prefix string, res simrun.Result) {
+	rep := res.Attribution
+	if rep == nil {
+		return
+	}
+	series[prefix+"cp_compute_s"] = rep.Blame[attrib.Compute]
+	series[prefix+"cp_net_s"] = rep.Blame[attrib.NetworkTransfer] + rep.Blame[attrib.DiskIO]
+	series[prefix+"cp_wait_s"] = rep.Blame[attrib.QueueWait] + rep.Blame[attrib.RetryBackoff]
+	series[prefix+"cp_fault_s"] = rep.Blame[attrib.DetectionLatency] + rep.Blame[attrib.Repair] +
+		rep.Blame[attrib.StragglerInflation] + rep.Blame[attrib.SpeculationOverhead] +
+		rep.Blame[attrib.Unattributed]
+}

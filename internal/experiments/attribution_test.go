@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"frieda/internal/cloud"
+	"frieda/internal/obs/attrib"
+	"frieda/internal/simrun"
+)
+
+// TestAttributionInvariantAcrossAblations is the acceptance property for
+// the attribution engine: install a recorder on every cell the full
+// ablations suite runs (the same Instrument path friedabench -attrib uses)
+// and check the solved blame sums to the makespan within 1e-6 s in each
+// one. Cells that error (deliberately harsh fault schedules) carry no
+// report and are skipped; an unsolved recorder on a finished run would
+// still fail the count check at the bottom.
+func TestAttributionInvariantAcrossAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full ablation grid")
+	}
+	type tagged struct {
+		label string
+		rec   *attrib.Recorder
+	}
+	var runs []tagged
+	Instrument = func(label string, cluster *cloud.Cluster, cfg *simrun.Config) {
+		rec := attrib.NewRecorder(cluster.Engine())
+		cfg.Attrib = rec
+		runs = append(runs, tagged{label, rec})
+	}
+	defer func() { Instrument = nil }()
+
+	const scale = 0.25
+	suite := []struct {
+		name string
+		run  func() error
+	}{
+		{"prefetch", func() error { _, err := AblationPrefetch(scale); return err }},
+		{"bandwidth", func() error { _, err := AblationBandwidth(scale); return err }},
+		{"variance", func() error { _, err := AblationVariance(scale); return err }},
+		{"failures", func() error { _, err := AblationFailures(scale); return err }},
+		{"elastic", func() error { _, err := AblationElastic(scale); return err }},
+		{"federated", func() error { _, err := AblationFederated(scale); return err }},
+		{"stripes", func() error { _, err := AblationStripes(scale); return err }},
+		{"storage", func() error { _, err := AblationStorage(scale); return err }},
+		{"netfail-ALS", func() error { _, err := AblationNetFail("ALS", scale); return err }},
+		{"partition", func() error { _, err := AblationPartition(scale); return err }},
+		{"stragglers-ALS", func() error { _, err := AblationStragglers("ALS", scale); return err }},
+		{"durability-ALS", func() error { _, err := AblationDurability("ALS", scale); return err }},
+	}
+	for _, s := range suite {
+		if err := s.run(); err != nil {
+			// Sweeps report failed cells but still return surviving rows;
+			// surviving cells' recorders are checked below.
+			t.Logf("%s: %v (failed cells skipped)", s.name, err)
+		}
+	}
+
+	solved := 0
+	for _, r := range runs {
+		rep := r.rec.Report()
+		if rep == nil {
+			continue // the cell errored before the run finished
+		}
+		solved++
+		if diff := math.Abs(rep.BlameTotalSec() - rep.MakespanSec); diff > 1e-6 {
+			t.Errorf("%s: blame %.9fs vs makespan %.9fs (off by %g)",
+				r.label, rep.BlameTotalSec(), rep.MakespanSec, diff)
+		}
+	}
+	if solved < len(runs)/2 || solved == 0 {
+		t.Fatalf("only %d/%d cells solved an attribution", solved, len(runs))
+	}
+	t.Logf("verified blame==makespan on %d/%d cells", solved, len(runs))
+}

@@ -211,6 +211,7 @@ func durabilityRows(mtbfs []float64, results []simrun.Result) []SweepRow {
 			row.Series[key+"lost"] = float64(res.FilesLost)
 			if rf == durabilityRFs {
 				row.Series["rf3_repair_mb"] = res.RepairBytes / 1e6
+				attribCols(row.Series, "rf3_", res)
 			}
 		}
 		rows = append(rows, row)

@@ -127,6 +127,7 @@ func netFailSweep(sweepName string, mkWL func() simrun.Workload, params []float6
 			row.Series[mode+"_makespan_s"] = res.MakespanSec
 			if mode == "resume" {
 				row.Series["resume_retries"] = float64(res.TransferRetries)
+				attribCols(row.Series, "resume_", res)
 			}
 		}
 		rows = append(rows, row)

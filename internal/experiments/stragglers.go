@@ -173,8 +173,10 @@ func stragglerSweep(sweepName string, mkWL func() simrun.Workload, params []floa
 			switch mode {
 			case "none":
 				row.Series["none_done_pct"] = donePct(res)
+				attribCols(row.Series, "none_", res)
 			case "both":
 				row.Series["both_done_pct"] = donePct(res)
+				attribCols(row.Series, "both_", res)
 				row.Series["both_suspected"] = float64(res.StragglersSuspected)
 				row.Series["both_spec_launched"] = float64(res.SpeculativeLaunched)
 				row.Series["both_spec_won"] = float64(res.SpeculativeWon)

@@ -197,6 +197,29 @@ func (f *Flow) Interrupted() bool { return f.interrupted }
 // once the flow finishes) — the resume offset for an interrupted transfer.
 func (f *Flow) Delivered() float64 { return f.bytes - f.Remaining() }
 
+// Bottleneck returns the path link that most tightly capped the flow: the
+// one with the smallest hypothetical fair share capacity/(flows+1). The +1
+// stands in for this flow itself, which has already detached by the time
+// completion and interrupt callbacks run — the usual call sites. A failed
+// link has zero capacity and therefore always wins. Ties break to the link
+// nearest the sender, so the answer is deterministic. Returns nil only for
+// a pathless flow.
+func (f *Flow) Bottleneck() *Link {
+	var best *Link
+	var bestShare float64
+	for _, l := range f.path {
+		cap := l.capacity
+		if l.failed {
+			cap = 0
+		}
+		share := cap / float64(len(l.flows)+1)
+		if best == nil || share < bestShare {
+			best, bestShare = l, share
+		}
+	}
+	return best
+}
+
 // OnInterrupt registers a callback invoked when a link failure kills the
 // flow, with the bytes delivered up to the interruption. A flow with no
 // interrupt callback dies silently, like a cancelled flow. Set it right

@@ -386,3 +386,50 @@ func TestSetNegativeLatencyPanics(t *testing.T) {
 	}()
 	l.SetLatency(-1)
 }
+
+// TestFlowBottleneck checks Bottleneck picks the tightest path link, both
+// mid-flight and from a completion callback (where the flow has detached).
+func TestFlowBottleneck(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng)
+	src := net.NewHost("src", Mbps(100), Mbps(100))
+	dst := net.NewHost("dst", Mbps(10), Mbps(10))
+	checked := false
+	var fl *Flow
+	fl = net.Transfer(src, dst, nil, 1e6, func(sim.Time) {
+		if bn := fl.Bottleneck(); bn != dst.Down() {
+			t.Errorf("bottleneck at completion = %v, want dst down", bn.Name())
+		}
+		checked = true
+	})
+	if bn := fl.Bottleneck(); bn != dst.Down() {
+		t.Fatalf("bottleneck mid-flight = %v, want dst down", bn.Name())
+	}
+	eng.Run()
+	if !checked {
+		t.Fatal("completion callback never ran")
+	}
+}
+
+// TestFlowBottleneckFailedLink checks a failed link dominates any congested
+// healthy link when an interrupt callback asks what killed the flow.
+func TestFlowBottleneckFailedLink(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng)
+	src := net.NewHost("src", Mbps(100), Mbps(100))
+	dst := net.NewHost("dst", Mbps(10), Mbps(10))
+	var fl *Flow
+	fl = net.Transfer(src, dst, nil, 1e9, nil)
+	interrupted := false
+	fl.OnInterrupt(func(delivered float64, at sim.Time) {
+		if bn := fl.Bottleneck(); bn != src.Up() {
+			t.Errorf("bottleneck after failure = %v, want failed src up", bn.Name())
+		}
+		interrupted = true
+	})
+	eng.Schedule(sim.Duration(1), func() { net.FailLink(src.Up()) })
+	eng.Run()
+	if !interrupted {
+		t.Fatal("interrupt callback never ran")
+	}
+}

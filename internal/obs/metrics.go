@@ -140,6 +140,16 @@ func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Histograms returns the registry's histograms in registration order (nil
+// for a nil registry). The slice is the registry's own backing store;
+// callers must treat it as read-only.
+func (m *Metrics) Histograms() []*Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.hists
+}
+
 // Histogram counts observations into fixed buckets.
 type Histogram struct {
 	name   string
@@ -147,6 +157,22 @@ type Histogram struct {
 	counts []uint64
 	total  uint64
 	sum    float64
+}
+
+// HistName returns the histogram's registered name ("" for nil).
+func (h *Histogram) HistName() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total
 }
 
 // Observe records one value.
@@ -158,6 +184,41 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i]++
 	h.total++
 	h.sum += v
+}
+
+// Quantile estimates the q-quantile (q in [0, 1], clamped) by linear
+// interpolation inside the owning bucket — the standard cumulative-bucket
+// estimate, exact at bucket boundaries and linear between them. Values
+// landing in the overflow bucket clamp to the highest finite bound (there
+// is nothing to interpolate toward). Returns 0 for a nil or empty
+// histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.total)
+	prev := 0.0
+	for i, c := range h.counts {
+		cum := prev + float64(c)
+		if c > 0 && rank <= cum {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (h.bounds[i]-lo)*(rank-prev)/float64(c)
+		}
+		prev = cum
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // Sample snapshots every column at the current virtual time.
@@ -201,8 +262,11 @@ func (m *Metrics) arm() {
 }
 
 // StopSampling disarms the ticker and takes one final sample, so the series
-// always covers the run's last instant. Stopping a stopped (or nil) registry
-// is a no-op.
+// always covers the run's last instant. When the run ends exactly on a tick
+// boundary the ticker has already sampled this instant (same-time events
+// deliver FIFO, and the ticker armed first), so the final sample is skipped
+// rather than duplicating the row. Stopping a stopped (or nil) registry is
+// a no-op.
 func (m *Metrics) StopSampling() {
 	if m == nil || !m.sampling {
 		return
@@ -210,6 +274,9 @@ func (m *Metrics) StopSampling() {
 	m.sampling = false
 	m.tick.Cancel()
 	m.tick = sim.EventRef{}
+	if n := len(m.rows); n > 0 && m.rows[n-1].ts == m.eng.Now() {
+		return
+	}
 	m.Sample()
 }
 
@@ -293,9 +360,11 @@ func WriteMetricsCSV(w io.Writer, ms ...*Metrics) error {
 
 // WriteHistogramsCSV exports every registry's histograms as cumulative
 // bucket rows (`le` is the bucket's inclusive upper bound, "inf" for the
-// overflow bucket) plus a count/sum/mean summary row per histogram.
+// overflow bucket) plus a count/sum/mean/p50/p95/p99 summary row per
+// histogram — the percentiles are bucket-interpolated (see Quantile) and
+// land only on the total row; bucket rows leave those cells empty.
 func WriteHistogramsCSV(w io.Writer, ms ...*Metrics) error {
-	if _, err := io.WriteString(w, "run,histogram,le,count,sum,mean\n"); err != nil {
+	if _, err := io.WriteString(w, "run,histogram,le,count,sum,mean,p50,p95,p99\n"); err != nil {
 		return err
 	}
 	for _, m := range ms {
@@ -306,21 +375,23 @@ func WriteHistogramsCSV(w io.Writer, ms ...*Metrics) error {
 			cum := uint64(0)
 			for i, bound := range h.bounds {
 				cum += h.counts[i]
-				if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,,\n",
+				if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,,,,,\n",
 					m.name, h.name, formatMetric(bound), cum); err != nil {
 					return err
 				}
 			}
 			cum += h.counts[len(h.bounds)]
-			if _, err := fmt.Fprintf(w, "%s,%s,inf,%d,,\n", m.name, h.name, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s,%s,inf,%d,,,,,\n", m.name, h.name, cum); err != nil {
 				return err
 			}
 			mean := 0.0
 			if h.total > 0 {
 				mean = h.sum / float64(h.total)
 			}
-			if _, err := fmt.Fprintf(w, "%s,%s,total,%d,%s,%s\n",
-				m.name, h.name, h.total, formatMetric(h.sum), formatMetric(mean)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s,%s,total,%d,%s,%s,%s,%s,%s\n",
+				m.name, h.name, h.total, formatMetric(h.sum), formatMetric(mean),
+				formatMetric(h.Quantile(0.50)), formatMetric(h.Quantile(0.95)),
+				formatMetric(h.Quantile(0.99))); err != nil {
 				return err
 			}
 		}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -129,14 +130,76 @@ func TestHistogramBuckets(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := buf.String()
-	want := "run,histogram,le,count,sum,mean\n" +
-		"run,task_sec,1,2,,\n" + // 0.5 and the boundary value 1
-		"run,task_sec,10,3,,\n" +
-		"run,task_sec,100,4,,\n" +
-		"run,task_sec,inf,5,,\n" +
-		"run,task_sec,total,5,556.5,111.3\n"
+	// p50: rank 2.5 falls in the (1,10] bucket holding observation 3 of 5,
+	// interpolating to 1 + 9*(2.5-2)/1 = 5.5. p95/p99 land in the overflow
+	// bucket and clamp to the highest finite bound.
+	want := "run,histogram,le,count,sum,mean,p50,p95,p99\n" +
+		"run,task_sec,1,2,,,,,\n" + // 0.5 and the boundary value 1
+		"run,task_sec,10,3,,,,,\n" +
+		"run,task_sec,100,4,,,,,\n" +
+		"run,task_sec,inf,5,,,,,\n" +
+		"run,task_sec,total,5,556.5,111.3,5.5,100,100\n"
 	if got != want {
 		t.Fatalf("histogram CSV:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMetrics(eng, "run", 10)
+	h := m.Histogram("sec", []float64{1, 2, 4})
+	// 10 observations spread 4/4/2 across the finite buckets.
+	for _, v := range []float64{0.2, 0.4, 0.6, 0.8, 1.2, 1.4, 1.6, 1.8, 3, 4} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 0},      // bottom of the first bucket
+		{0.4, 1},    // exact bucket boundary: rank 4 = cum of bucket one
+		{0.5, 1.25}, // one observation into the second bucket
+		{0.8, 2},    // boundary again
+		{1, 4},      // top of the last finite bucket
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	// Out-of-range q clamps; nil and empty histograms report zero.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("q outside [0,1] not clamped")
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile not 0")
+	}
+	if m.Histogram("empty", []float64{1}).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+}
+
+// TestStopSamplingOnTickBoundarySkipsDuplicate: when the run ends exactly on
+// a tick boundary the ticker (armed earlier, so delivered first under FIFO
+// same-time order) has already sampled the instant; StopSampling must not
+// append a second row with the same timestamp.
+func TestStopSamplingOnTickBoundarySkipsDuplicate(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMetrics(eng, "run", 5)
+	m.Gauge("t", func() float64 { return float64(eng.Now()) })
+	eng.Schedule(0, m.StartSampling)
+	// Inserting the stop after the ticker re-armed makes the tick fire first
+	// at t=5 — the ordering simrun produces when a run completes on a
+	// boundary.
+	eng.Schedule(1, func() { eng.Schedule(4, m.StopSampling) })
+	eng.Run()
+	if m.Rows() != 2 {
+		t.Fatalf("got %d rows, want 2 (duplicate final sample?)", m.Rows())
+	}
+	for i := 1; i < len(m.rows); i++ {
+		if m.rows[i].ts <= m.rows[i-1].ts {
+			t.Fatalf("row %d timestamp %v not after %v", i, m.rows[i].ts, m.rows[i-1].ts)
+		}
 	}
 }
 

@@ -165,6 +165,26 @@ func (s *Span) End(extra Args) {
 	})
 }
 
+// SpanAt records a complete span with explicit bounds — the retroactive
+// form used by exporters that decorate a finished run, like the
+// critical-path highlight lane built from a solved attribution report.
+// Spans with end before start are dropped.
+func (t *Tracer) SpanAt(track, cat, name string, start, end sim.Time, args Args) {
+	if t == nil || end < start {
+		return
+	}
+	t.events = append(t.events, Event{
+		Name:  name,
+		Cat:   cat,
+		Phase: PhaseSpan,
+		Track: track,
+		Ts:    start,
+		Dur:   end - start,
+		EndTs: end,
+		Args:  args,
+	})
+}
+
 // Instant records a point event at the current virtual time.
 func (t *Tracer) Instant(track, cat, name string, args Args) {
 	if t == nil {

@@ -183,3 +183,28 @@ func TestChromeTraceSkipsNilTracer(t *testing.T) {
 		t.Fatalf("expected empty traceEvents, got %d", len(doc.TraceEvents))
 	}
 }
+
+// TestChromeTraceGolden pins the exporter's exact bytes for the fixed
+// scenario: process_name/thread_name metadata first (tids in
+// first-appearance order), then events in completion order with
+// microsecond-integer timestamps. Any byte drift here breaks downstream
+// tooling that diffs exported traces across runs.
+func TestChromeTraceGolden(t *testing.T) {
+	want := `{"displayTimeUnit":"ms","traceEvents":[
+{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"001 demo"}},
+{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"vm-1/net0"}},
+{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":2,"args":{"name":"detector"}},
+{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":3,"args":{"name":"vm-1/cpu0"}},
+{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":4,"args":{"name":"metrics"}},
+{"name":"attempt 1","cat":"attempt","ph":"X","ts":0,"dur":2000000,"pid":1,"tid":1,"args":{"outcome":"ok"}},
+{"name":"xfer a.dat","cat":"transfer","ph":"X","ts":0,"dur":2000000,"pid":1,"tid":1,"args":{"bytes":1024,"outcome":"ok"}},
+{"name":"suspect","cat":"fault","ph":"i","ts":2000000,"pid":1,"tid":2,"s":"t","args":{"node":"vm-2"}},
+{"name":"task 0","cat":"task","ph":"X","ts":1000000,"dur":3000000,"pid":1,"tid":3,"args":{"outcome":"ok"}},
+{"name":"queue_depth","ph":"C","ts":4000000,"pid":1,"tid":4,"args":{"value":3}}
+]}
+`
+	got := string(buildTrace(t))
+	if got != want {
+		t.Fatalf("chrome trace drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"frieda/internal/fault"
 	"frieda/internal/netsim"
 	"frieda/internal/obs"
+	"frieda/internal/obs/attrib"
 	"frieda/internal/sim"
 )
 
@@ -219,6 +220,13 @@ func (r *Runner) maybeSpeculate(sw *simWorker) {
 			"task": att.task, "suspect": sw.name,
 		})
 	}
+	if ab := r.cfg.Attrib; ab.Enabled() {
+		// The wait from the primary's compute start to this launch is the
+		// detection latency of the slow-suspicion; the clone's own work then
+		// chains from the launch as speculation overhead.
+		launch := ab.After(att.anStart, attrib.DetectionLatency, "spec-launch", sw.name)
+		r.anCause = ab.After(launch, attrib.SpeculationOverhead, "spec-dispatch", cw.name)
+	}
 	cw.admitted++ // speculation may oversubscribe the pipeline, by budget
 	catt := r.fetchAndRun(cw, att.task)
 	catt.clone = true
@@ -371,7 +379,11 @@ func (r *Runner) armHedge(s *stageIn, w *simWorker, files []string, remaining fl
 		}
 		r.flowStarted()
 		r.res.BytesMoved += remaining
-		s.hedge = r.cluster.Transfer(src2, w.vm, remaining, func(sim.Time) {
+		if ab := r.cfg.Attrib; ab.Enabled() {
+			s.anHedge = ab.After(s.anCause, attrib.DetectionLatency, "hedge-launch", src2.Name())
+		}
+		var hf *netsim.Flow
+		hf = r.cluster.Transfer(src2, w.vm, remaining, func(sim.Time) {
 			// Hedge won the race: drop the primary and deliver.
 			r.flowEnded()
 			s.hedge = nil
@@ -382,8 +394,15 @@ func (r *Runner) armHedge(s *stageIn, w *simWorker, files []string, remaining fl
 				s.flow = nil
 				r.flowEnded()
 			}
+			if ab := r.cfg.Attrib; ab.Enabled() {
+				// The delivery descends from the hedge-launch decision, not
+				// the primary attempt it raced past.
+				s.anCause = s.anHedge
+				s.bnDetail = bottleneckName(hf)
+			}
 			arrive(src2)
 		})
+		s.hedge = hf
 		s.hedge.OnInterrupt(func(delivered float64, _ sim.Time) {
 			// Hedge killed by a link fault: the primary carries on alone —
 			// unless it already died deferring to this hedge, in which case

@@ -6,6 +6,7 @@ import (
 
 	"frieda/internal/netsim"
 	"frieda/internal/obs"
+	"frieda/internal/obs/attrib"
 	"frieda/internal/sim"
 )
 
@@ -36,6 +37,10 @@ type repairJob struct {
 	flow *netsim.Flow
 	span *obs.Span
 	lane int
+	// anStart is the job's attribution node (cfg.Attrib only); the landed
+	// copy chains from it so foreground transfers sourced off the new
+	// replica can blame the repair that created it.
+	anStart attrib.NodeID
 }
 
 func newRepairManager(r *Runner) *repairManager {
@@ -203,6 +208,12 @@ func (m *repairManager) start(f string) {
 		return // every live worker already holds (or is fetching) the file
 	}
 	job := &repairJob{file: f, src: src, dst: dst}
+	if ab := r.cfg.Attrib; ab.Enabled() {
+		// Repairs are triggered by scans, not the scheduling chain; anchor
+		// the job at the run start so the walk terminates cleanly and the
+		// pre-trigger lead stays unattributed.
+		job.anStart = ab.After(r.anStart, attrib.Unattributed, "repair-start", f)
+	}
 	m.active[f] = job
 	if tr := r.cfg.Tracer; tr.Enabled() {
 		job.lane = claimLane(&dst.xferLanes)
@@ -227,6 +238,9 @@ func (m *repairManager) start(f string) {
 			return
 		}
 		m.endSpan(job, "ok")
+		if ab := r.cfg.Attrib; ab.Enabled() {
+			r.anCause = ab.After(job.anStart, attrib.Repair, "repair-copy", f)
+		}
 		r.chargeDiskWrite(dst, size, func() {
 			if m.stopped || m.active[f] != job {
 				return
@@ -238,6 +252,9 @@ func (m *repairManager) start(f string) {
 			}
 			dst.has[f] = true
 			r.replicas.Add(f, dst.name)
+			if r.repairNode != nil {
+				r.repairNode[f+"\x00"+dst.name] = r.anCause
+			}
 			r.res.RepairsCompleted++
 			r.mRepairsOK.Inc()
 			// Keep draining: the file may still be below target, and the

@@ -25,6 +25,7 @@ import (
 	"frieda/internal/fault"
 	"frieda/internal/netsim"
 	"frieda/internal/obs"
+	"frieda/internal/obs/attrib"
 	"frieda/internal/partition"
 	"frieda/internal/sim"
 	"frieda/internal/storage"
@@ -160,6 +161,15 @@ type Config struct {
 	// ride the heartbeat channel. Nil keeps the fail-stop-only model,
 	// byte-identical to the published behaviour.
 	Gray *GrayConfig
+	// Attrib, when non-nil, records the run's causal DAG for critical-path
+	// attribution: every completion (transfer attempt, disk write, compute
+	// finish, retry timer, detector verdict, repair landing, speculation
+	// launch) becomes a timestamped node with typed edges to the events it
+	// unblocked, and Result.Attribution carries the solved makespan blame.
+	// Recording never schedules events or consumes randomness, so an
+	// attributed run is event-for-event identical to a plain one; nil
+	// disables it at one branch per site.
+	Attrib *attrib.Recorder
 }
 
 // NetFaultConfig tunes transfer retry and resume behaviour.
@@ -292,6 +302,10 @@ type Result struct {
 	SpeculativeWastedSec float64
 	// HedgedTransfers counts transfers that launched a hedge flow.
 	HedgedTransfers int
+	// Attribution is the solved critical-path report (nil without
+	// Config.Attrib): per-category makespan blame summing to MakespanSec,
+	// the critical-path segments, and task/transfer latency percentiles.
+	Attribution *attrib.Report
 }
 
 // Runner drives one simulated run. Create with NewRunner, add workers, then
@@ -361,6 +375,19 @@ type Runner struct {
 	// xferEwmaBps is the running average goodput of completed transfers,
 	// the baseline a hedging decision compares against.
 	xferEwmaBps float64
+
+	// Attribution state (cfg.Attrib only). anStart is the run-start node.
+	// anCause is the ambient cause: every emission site sets it to the node
+	// it just recorded before invoking downstream callbacks, so the next
+	// site in the same causal chain — which runs synchronously or as the
+	// next event the chain schedules — picks up its true predecessor without
+	// threading node ids through every signature. anLastTerminal tracks the
+	// latest terminal completion, the run-end node's parent. repairNode maps
+	// file\x00worker to the node where that repair copy landed, so a
+	// transfer sourced from a repaired replica can record its dependency on
+	// the repair that made the source exist.
+	anStart, anCause, anLastTerminal attrib.NodeID
+	repairNode                       map[string]attrib.NodeID
 
 	// nameScratch recycles the per-dispatch missing-file name slices: a
 	// dispatch's slice returns to the free list once its transfer bookkeeping
@@ -438,6 +465,10 @@ type taskAttempt struct {
 	// claimed lists files this attempt marked resident at dispatch, so a
 	// cancelled attempt can release claims that never landed (gray only).
 	claimed []string
+	// anStart is the attempt's compute-start attribution node (cfg.Attrib
+	// only): the finish emission splits elapsed-vs-reference work from it,
+	// and a speculation launch chains its detection latency from it.
+	anStart attrib.NodeID
 }
 
 // stageIn is the handle of one logical transfer: the current flow plus any
@@ -459,6 +490,15 @@ type stageIn struct {
 	// pending goodput-check event that may launch it.
 	hedge      *netsim.Flow
 	hedgeCheck sim.EventRef
+	// Attribution state (cfg.Attrib only): anCause is the chain's current
+	// cause node — the ambient cause at transfer start, then each attempt
+	// outcome (interrupt, backoff expiry, corrupt arrival) in turn. anHedge
+	// is the hedge-launch node while a hedge races, so a hedge win chains
+	// the delivery from the launch decision. bnDetail names the bottleneck
+	// link of the flow that produced the pending arrival.
+	anCause  attrib.NodeID
+	anHedge  attrib.NodeID
+	bnDetail string
 }
 
 // NewRunner builds a runner for the cluster. The master VM hosts the data
@@ -555,6 +595,13 @@ func NewRunner(cluster *cloud.Cluster, master *cloud.VM, cfg Config, wl Workload
 		byVM:     make(map[*cloud.VM]*simWorker),
 		retries:  make(map[int]int),
 		replicas: catalog.NewReplicas(),
+
+		anStart:        attrib.None,
+		anCause:        attrib.None,
+		anLastTerminal: attrib.None,
+	}
+	if cfg.Attrib.Enabled() && cfg.Durability != nil {
+		r.repairNode = make(map[string]attrib.NodeID)
 	}
 	r.prefetchMult = 1
 	if cfg.Strategy.Kind == strategy.RealTime && cfg.Strategy.Prefetch > 1 {
@@ -714,6 +761,11 @@ func (r *Runner) AddWorker(vm *cloud.VM) *simWorker {
 		if tr := r.cfg.Tracer; tr.Enabled() {
 			tr.Instant(w.name, "sched", "worker-joined", nil)
 		}
+		if ab := r.cfg.Attrib; ab.Enabled() {
+			// An elastic join is an external decision; its staging chain
+			// starts here rather than inheriting an unrelated ambient cause.
+			r.anCause = ab.After(r.anStart, attrib.Unattributed, "worker-joined", w.name)
+		}
 		r.startDetection(w)
 		r.stageCommon(w, func() { r.kick(w) })
 	}
@@ -805,6 +857,10 @@ func (r *Runner) Start(done func(Result)) error {
 	r.started = true
 	r.startAt = r.eng.Now()
 	r.cfg.Metrics.StartSampling()
+	if ab := r.cfg.Attrib; ab.Enabled() {
+		r.anStart = ab.At("run-start")
+		r.anCause = r.anStart
+	}
 
 	if r.cfg.Detection != nil {
 		r.initDetector()
@@ -848,8 +904,9 @@ func (r *Runner) Start(done func(Result)) error {
 // workerDied. The fault-free path is event-for-event identical to a plain
 // cluster.Transfer.
 func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func(lost bool)) *stageIn {
-	s := &stageIn{w: w, startAt: r.eng.Now()}
+	s := &stageIn{w: w, startAt: r.eng.Now(), anCause: r.anCause, anHedge: attrib.None}
 	tr := r.cfg.Tracer
+	ab := r.cfg.Attrib
 	if tr.Enabled() {
 		s.lane = claimLane(&w.xferLanes)
 		s.track = fmt.Sprintf("%s/net%d", w.name, s.lane)
@@ -868,6 +925,7 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 					return
 				}
 				r.endStage(s, "lost")
+				r.anCause = ab.After(s.anCause, attrib.NetworkTransfer, "xfer-lost", "no-source")
 				done(true)
 			})
 			return
@@ -907,11 +965,13 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 						"refetch": refetches,
 					})
 				}
+				s.anCause = ab.After(s.anCause, attrib.NetworkTransfer, "xfer-corrupt", s.bnDetail)
 				if refetches <= d.MaxRefetch && !w.dead {
 					attempt(bytes, n+1)
 					return
 				}
 				r.endStage(s, "corrupt")
+				r.anCause = s.anCause
 				done(true)
 				return
 			}
@@ -924,6 +984,21 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 			}
 			r.hXferSec.Observe(float64(r.eng.Now() - s.startAt))
 			r.endStage(s, "ok")
+			if ab.Enabled() {
+				ab.ObserveTransferSec(float64(r.eng.Now() - s.startAt))
+				dn := ab.After(s.anCause, attrib.NetworkTransfer, "xfer-done", s.bnDetail)
+				if r.repairNode != nil {
+					// The payload came off a replica; if a background repair
+					// put that replica there, the delivery causally depends on
+					// the repair having landed first.
+					for _, f := range files {
+						if rn, okr := r.repairNode[f+"\x00"+from.Name()]; okr {
+							ab.Edge(rn, dn, attrib.Repair, f)
+						}
+					}
+				}
+				r.anCause = dn
+			}
 			done(false)
 		}
 		// retryAfter schedules attempt n+1 of `next` bytes, or declares the
@@ -932,6 +1007,7 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 			nf := r.cfg.NetFaults
 			if nf == nil || n >= nf.MaxAttempts || w.dead {
 				r.endStage(s, "lost")
+				r.anCause = ab.After(s.anCause, attrib.NetworkTransfer, "xfer-lost", "retries-exhausted")
 				done(true)
 				return
 			}
@@ -950,15 +1026,18 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 				}
 				if w.dead {
 					r.endStage(s, "lost")
+					r.anCause = ab.After(s.anCause, attrib.NetworkTransfer, "xfer-lost", "worker-dead")
 					done(true)
 					return
 				}
+				s.anCause = ab.After(s.anCause, attrib.RetryBackoff, "retry", "")
 				attempt(next, n+1)
 			})
 		}
 		r.flowStarted()
 		r.res.BytesMoved += remaining
-		s.flow = r.cluster.Transfer(src, w.vm, remaining, func(sim.Time) {
+		var fl *netsim.Flow
+		fl = r.cluster.Transfer(src, w.vm, remaining, func(sim.Time) {
 			r.flowEnded()
 			s.flow = nil
 			s.hedgeCheck.Cancel()
@@ -966,8 +1045,12 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 			if s.hedge != nil {
 				r.dropHedge(s)
 			}
+			if ab.Enabled() {
+				s.bnDetail = bottleneckName(fl)
+			}
 			arrive(src)
 		})
+		s.flow = fl
 		s.flow.OnInterrupt(func(delivered float64, _ sim.Time) {
 			r.flowEnded()
 			s.flow = nil
@@ -983,6 +1066,9 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 			}
 			r.res.TransferInterrupts++
 			r.mInterrupts.Inc()
+			if ab.Enabled() {
+				s.anCause = ab.After(s.anCause, attrib.NetworkTransfer, "xfer-interrupted", bottleneckName(fl))
+			}
 			if s.hedge != nil {
 				// The hedge twin is still streaming; let it finish the
 				// transfer (its interrupt handler resumes the retry ladder
@@ -992,6 +1078,7 @@ func (r *Runner) transfer(w *simWorker, files []string, bytes float64, done func
 			nf := r.cfg.NetFaults
 			if nf == nil || n >= nf.MaxAttempts || w.dead {
 				r.endStage(s, "lost")
+				r.anCause = ab.After(s.anCause, attrib.NetworkTransfer, "xfer-lost", "no-retry")
 				done(true)
 				return
 			}
@@ -1023,6 +1110,15 @@ func transferName(files []string) string {
 	default:
 		return fmt.Sprintf("xfer %d files", len(files))
 	}
+}
+
+// bottleneckName names the link that capped a finished or interrupted flow,
+// the detail string of attribution transfer segments.
+func bottleneckName(f *netsim.Flow) string {
+	if l := f.Bottleneck(); l != nil {
+		return l.Name()
+	}
+	return ""
 }
 
 // endStage closes the transfer's spans and frees its trace lane; safe to
@@ -1219,6 +1315,14 @@ func (r *Runner) chargeDiskWrite(w *simWorker, bytes float64, then func()) {
 	dur, err := w.disk.Write(bytes)
 	if err != nil {
 		panic(fmt.Sprintf("simrun: disk write on %s: %v", w.name, err))
+	}
+	if ab := r.cfg.Attrib; ab.Enabled() {
+		cause := r.anCause
+		r.eng.Schedule(dur, func() {
+			r.anCause = ab.After(cause, attrib.DiskIO, "disk-write", w.name)
+			then()
+		})
+		return
 	}
 	r.eng.Schedule(dur, then)
 }
@@ -1542,7 +1646,7 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) *taskAttempt {
 			delete(w.inflight, gi)
 			w.admitted--
 			r.taskDone(w, att, false)
-			r.eng.Schedule(sim.Duration(connectTimeoutSec), func() { r.kick(w) })
+			r.scheduleConnectTimeout(w)
 			return
 		}
 		r.chargeDiskWrite(w, missing, func() {
@@ -1554,6 +1658,23 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) *taskAttempt {
 		})
 	})
 	return att
+}
+
+// scheduleConnectTimeout re-kicks a worker after the master's
+// dispatch-failure observation delay. With attribution on, the delayed kick
+// re-establishes the ambient cause as a retry/backoff node chained from the
+// failure that started the timer, so work dispatched by the kick blames the
+// timeout, not whatever event happened to precede it.
+func (r *Runner) scheduleConnectTimeout(w *simWorker) {
+	if ab := r.cfg.Attrib; ab.Enabled() {
+		cause := r.anCause
+		r.eng.Schedule(sim.Duration(connectTimeoutSec), func() {
+			r.anCause = ab.After(cause, attrib.RetryBackoff, "connect-timeout", w.name)
+			r.kick(w)
+		})
+		return
+	}
+	r.eng.Schedule(sim.Duration(connectTimeoutSec), func() { r.kick(w) })
 }
 
 // takeNames pops a recycled name slice (len 0) from the scratch free list,
@@ -1589,7 +1710,7 @@ func (r *Runner) fetchChain(w *simWorker, att *taskAttempt, metas []catalog.File
 		delete(w.inflight, gi)
 		w.admitted--
 		r.taskDone(w, att, false)
-		r.eng.Schedule(sim.Duration(connectTimeoutSec), func() { r.kick(w) })
+		r.scheduleConnectTimeout(w)
 	}
 	var step func(i int)
 	step = func(i int) {
@@ -1649,6 +1770,10 @@ func (r *Runner) compute(w *simWorker, att *taskAttempt) {
 			return
 		}
 		att.started = r.eng.Now()
+		// The ambient cause here is whichever event made the compute
+		// runnable: this attempt's own staging chain when a core was free,
+		// or the completion that released the core after a queue wait.
+		att.anStart = r.cfg.Attrib.After(r.anCause, attrib.QueueWait, "task-start", w.name)
 		if tr := r.cfg.Tracer; tr.Enabled() {
 			cat := "task"
 			if att.clone {
@@ -1682,6 +1807,15 @@ func (r *Runner) compute(w *simWorker, att *taskAttempt) {
 			r.computeEnded()
 			att.compute = sim.EventRef{}
 			r.endTaskSpan(w, att, "ok")
+			if ab := r.cfg.Attrib; ab.Enabled() {
+				// Elapsed beyond the reference work is straggler inflation:
+				// time the span spent draining below provisioned speed.
+				inflate := float64(r.eng.Now()-att.started) - att.workTotal
+				if inflate < 1e-9 {
+					inflate = 0
+				}
+				r.anCause = ab.AfterSplit(att.anStart, attrib.Compute, inflate, "task-done", w.name)
+			}
 			delete(w.inflight, att.task)
 			w.admitted--
 			w.cores.Release()
@@ -1702,6 +1836,9 @@ func (r *Runner) readFailed(w *simWorker, att *taskAttempt) {
 	r.mCorruptions.Inc()
 	if tr := r.cfg.Tracer; tr.Enabled() {
 		tr.Instant(w.name, "fault", "read-error", obs.Args{"task": att.task})
+	}
+	if ab := r.cfg.Attrib; ab.Enabled() {
+		r.anCause = ab.After(r.anCause, attrib.DiskIO, "read-error", w.name)
 	}
 	for _, f := range task.Files {
 		if w.has[f.Name] {
@@ -1747,9 +1884,13 @@ func (r *Runner) taskDone(w *simWorker, att *taskAttempt, ok bool) {
 		r.mTasksOK.Inc()
 		r.hTaskSec.Observe(float64(r.eng.Now() - att.started))
 		r.hGrayTaskSec.Observe(float64(r.eng.Now() - att.started))
+		r.cfg.Attrib.ObserveTaskSec(float64(r.eng.Now() - att.started))
 	} else {
 		r.res.Abandoned++
 		r.mTasksFailed.Inc()
+	}
+	if r.cfg.Attrib.Enabled() {
+		r.anLastTerminal = r.anCause
 	}
 	r.checkDone()
 }
@@ -1763,6 +1904,25 @@ func (r *Runner) workerDied(w *simWorker) {
 	w.dead = true
 	if tr := r.cfg.Tracer; tr.Enabled() {
 		tr.Instant(w.name, "fault", "worker-died", nil)
+	}
+	if ab := r.cfg.Attrib; ab.Enabled() {
+		// Chain the death from the detector's suspicion when one exists —
+		// the suspect→declare gap is detection latency, the price of the K
+		// missed-deadline confirmation ladder. A death with no suspicion
+		// (cloud-level VM failure callback) has no in-model cause.
+		cause, cat, detail := r.anStart, attrib.Unattributed, ""
+		if r.detector != nil {
+			trs := r.detector.Transitions()
+			for i := len(trs) - 1; i >= 0; i-- {
+				if trs[i].Node == w.name && trs[i].State == fault.Suspect {
+					sus := ab.NodeAt(trs[i].At, "suspect")
+					ab.Edge(r.anStart, sus, attrib.Unattributed, w.name)
+					cause, cat, detail = sus, attrib.DetectionLatency, w.name
+					break
+				}
+			}
+		}
+		r.anCause = ab.After(cause, cat, "worker-died", detail)
 	}
 	lost := r.replicas.DropNode(w.name)
 	if r.cfg.Durability != nil {
@@ -1819,6 +1979,9 @@ func (r *Runner) reassign(w *simWorker) {
 		r.res.Completions = append(r.res.Completions, Completion{
 			Task: gi, Worker: w.name, End: r.eng.Now(), OK: false, Attempt: r.retries[gi],
 		})
+		if r.cfg.Attrib.Enabled() {
+			r.anLastTerminal = r.anCause
+		}
 	}
 	r.checkDone()
 }
@@ -1848,6 +2011,9 @@ func (r *Runner) checkDone() {
 					Task: gi, End: r.eng.Now(), OK: false, Attempt: r.retries[gi],
 				})
 			}
+			if r.cfg.Attrib.Enabled() {
+				r.anLastTerminal = r.anCause
+			}
 		}
 		if r.terminal < len(r.wl.Tasks) {
 			return
@@ -1870,6 +2036,10 @@ func (r *Runner) checkDone() {
 		r.res.Detections = r.detector.Transitions()
 	}
 	r.res.MakespanSec = float64(r.eng.Now() - r.startAt)
+	if ab := r.cfg.Attrib; ab.Enabled() {
+		end := ab.After(r.anLastTerminal, attrib.Unattributed, "run-end", "")
+		r.res.Attribution = ab.Solve(r.anStart, end)
+	}
 	r.cfg.Metrics.StopSampling()
 	done(r.res)
 }

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"frieda/internal/obs"
+	"frieda/internal/obs/attrib"
+	"frieda/internal/sim"
+)
+
+// AttributionReport renders a solved attribution as the operator-facing
+// blame table: category seconds sorted by share of the makespan, exact
+// task/transfer latency percentiles, and the ten longest critical-path
+// segments. Returns a note when attribution was disabled.
+func AttributionReport(rep *attrib.Report) string {
+	if rep == nil {
+		return "(no attribution recorded)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical-path attribution: makespan %.3fs (%d nodes, %d edges)\n",
+		rep.MakespanSec, rep.Nodes, rep.Edges)
+
+	type row struct {
+		cat attrib.Category
+		sec float64
+	}
+	rows := make([]row, 0, attrib.NumCategories)
+	for c := attrib.Category(0); c < attrib.NumCategories; c++ {
+		if rep.Blame[c] > 0 {
+			rows = append(rows, row{c, rep.Blame[c]})
+		}
+	}
+	// Largest blame first; category order breaks exact ties deterministically.
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].sec != rows[j].sec {
+			return rows[i].sec > rows[j].sec
+		}
+		return rows[i].cat < rows[j].cat
+	})
+	fmt.Fprintf(&b, "%-22s %12s %8s\n", "category", "seconds", "share")
+	for _, r := range rows {
+		share := 0.0
+		if rep.MakespanSec > 0 {
+			share = 100 * r.sec / rep.MakespanSec
+		}
+		fmt.Fprintf(&b, "%-22s %12.3f %7.1f%%\n", r.cat, r.sec, share)
+	}
+	fmt.Fprintf(&b, "%-22s %12.3f %7.1f%%\n", "total", rep.BlameTotalSec(), 100.0)
+
+	writeLatency := func(name string, ls attrib.LatencyStats) {
+		if ls.Count == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%-9s n=%-5d p50 %.3fs  p95 %.3fs  p99 %.3fs  max %.3fs\n",
+			name, ls.Count, ls.P50, ls.P95, ls.P99, ls.Max)
+	}
+	writeLatency("tasks", rep.TaskLatency)
+	writeLatency("transfers", rep.TransferLatency)
+
+	top := rep.TopSegments(10)
+	if len(top) > 0 {
+		fmt.Fprintf(&b, "top segments (of %d):\n", len(rep.Segments))
+		for _, s := range top {
+			line := fmt.Sprintf("  [%10.3f %10.3f] %8.3fs %-20s %s -> %s",
+				s.Start, s.End, s.End-s.Start, s.Cat, s.From, s.To)
+			if s.InflateSec > 0 {
+				line += fmt.Sprintf(" (+%.3fs inflation)", s.InflateSec)
+			}
+			if s.Detail != "" {
+				line += " via " + s.Detail
+			}
+			b.WriteString(line + "\n")
+		}
+	}
+	return b.String()
+}
+
+// AttributionDiff renders a two-run blame differential: per-category
+// seconds for each run and the delta, sorted by absolute delta — the view
+// that answers "where did the regression go". Labels name the runs in the
+// header.
+func AttributionDiff(labelA string, a *attrib.Report, labelB string, b *attrib.Report) string {
+	if a == nil || b == nil {
+		return "(attribution missing for one run)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "attribution diff: %s (%.3fs) vs %s (%.3fs), delta %+.3fs\n",
+		labelA, a.MakespanSec, labelB, b.MakespanSec, b.MakespanSec-a.MakespanSec)
+	type row struct {
+		cat    attrib.Category
+		av, bv float64
+	}
+	rows := make([]row, 0, attrib.NumCategories)
+	for c := attrib.Category(0); c < attrib.NumCategories; c++ {
+		if a.Blame[c] != 0 || b.Blame[c] != 0 {
+			rows = append(rows, row{c, a.Blame[c], b.Blame[c]})
+		}
+	}
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		di, dj := abs(rows[i].bv-rows[i].av), abs(rows[j].bv-rows[j].av)
+		if di != dj {
+			return di > dj
+		}
+		return rows[i].cat < rows[j].cat
+	})
+	fmt.Fprintf(&sb, "%-22s %12s %12s %12s\n", "category", labelShort(labelA), labelShort(labelB), "delta")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s %12.3f %12.3f %+12.3f\n", r.cat, r.av, r.bv, r.bv-r.av)
+	}
+	fmt.Fprintf(&sb, "%-22s %12.3f %12.3f %+12.3f\n", "total",
+		a.BlameTotalSec(), b.BlameTotalSec(), b.BlameTotalSec()-a.BlameTotalSec())
+	diffLatency := func(name string, la, lb attrib.LatencyStats) {
+		if la.Count == 0 && lb.Count == 0 {
+			return
+		}
+		fmt.Fprintf(&sb, "%-9s p50 %+.3fs  p95 %+.3fs  p99 %+.3fs  max %+.3fs\n",
+			name, lb.P50-la.P50, lb.P95-la.P95, lb.P99-la.P99, lb.Max-la.Max)
+	}
+	diffLatency("tasks", a.TaskLatency, b.TaskLatency)
+	diffLatency("transfers", a.TransferLatency, b.TransferLatency)
+	return sb.String()
+}
+
+// labelShort truncates a run label to its column width so diff headers stay
+// aligned.
+func labelShort(l string) string {
+	if len(l) > 12 {
+		return l[:12]
+	}
+	return l
+}
+
+// EmitCriticalPath decorates a tracer with the solved critical path as one
+// highlight lane ("critical-path" track): each segment becomes a span named
+// by its blame category, so the chain of binding waits reads as a single
+// contiguous ribbon above the per-worker lanes in Perfetto. Zero-width
+// segments (instantaneous hops) are skipped — they carry no blame. No-op
+// when either side is disabled.
+func EmitCriticalPath(tr *obs.Tracer, rep *attrib.Report) {
+	if !tr.Enabled() || rep == nil {
+		return
+	}
+	for _, s := range rep.Segments {
+		if s.End <= s.Start {
+			continue
+		}
+		args := obs.Args{"from": s.From, "to": s.To}
+		if s.Detail != "" {
+			args["via"] = s.Detail
+		}
+		if s.InflateSec > 0 {
+			args["inflate_sec"] = s.InflateSec
+		}
+		tr.SpanAt("critical-path", "attrib", s.Cat.String(),
+			sim.Time(s.Start), sim.Time(s.End), args)
+	}
+}

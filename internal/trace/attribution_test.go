@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"frieda/internal/obs"
+	"frieda/internal/obs/attrib"
+	"frieda/internal/sim"
+)
+
+// sampleReport builds a small solved report by hand: 10s makespan split
+// 6s compute / 3s network / 1s queue-wait across three segments.
+func sampleReport() *attrib.Report {
+	rep := &attrib.Report{
+		MakespanSec: 10,
+		Segments: []attrib.Segment{
+			{From: "run-start", To: "task-start", Start: 0, End: 1, Cat: attrib.QueueWait, Sec: 1},
+			{From: "task-start", To: "xfer-done", Start: 1, End: 4, Cat: attrib.NetworkTransfer, Sec: 3, Detail: "vm-0/up"},
+			{From: "xfer-done", To: "task-done", Start: 4, End: 10, Cat: attrib.Compute, Sec: 5, InflateSec: 1},
+		},
+		TaskLatency: attrib.LatencyStats{Count: 4, P50: 2, P95: 3, P99: 3, Max: 3},
+		Nodes:       4,
+		Edges:       3,
+	}
+	rep.Blame[attrib.QueueWait] = 1
+	rep.Blame[attrib.NetworkTransfer] = 3
+	rep.Blame[attrib.Compute] = 5
+	rep.Blame[attrib.StragglerInflation] = 1
+	return rep
+}
+
+func TestAttributionReportRendering(t *testing.T) {
+	out := AttributionReport(sampleReport())
+	for _, want := range []string{
+		"makespan 10.000s (4 nodes, 3 edges)",
+		"compute", "network-transfer", "queue-wait", "straggler-inflation",
+		"total                        10.000   100.0%",
+		"tasks     n=4",
+		"top segments (of 3):",
+		"via vm-0/up",
+		"(+1.000s inflation)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Largest blame renders first.
+	if strings.Index(out, "compute") > strings.Index(out, "queue-wait") {
+		t.Fatalf("blame rows not sorted by share:\n%s", out)
+	}
+	if got := AttributionReport(nil); got != "(no attribution recorded)\n" {
+		t.Fatalf("nil report rendered %q", got)
+	}
+}
+
+func TestAttributionDiffRendering(t *testing.T) {
+	a := sampleReport()
+	b := sampleReport()
+	b.MakespanSec = 13
+	b.Blame[attrib.NetworkTransfer] = 6
+	out := AttributionDiff("base", a, "faulty", b)
+	for _, want := range []string{
+		"attribution diff: base (10.000s) vs faulty (13.000s), delta +3.000s",
+		"network-transfer", "+3.000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff missing %q:\n%s", want, out)
+		}
+	}
+	// The changed category sorts above unchanged ones.
+	if strings.Index(out, "network-transfer") > strings.Index(out, "compute") {
+		t.Fatalf("diff rows not sorted by |delta|:\n%s", out)
+	}
+	if got := AttributionDiff("a", nil, "b", b); got != "(attribution missing for one run)\n" {
+		t.Fatalf("nil diff rendered %q", got)
+	}
+}
+
+func TestEmitCriticalPath(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := obs.NewTracer(eng, "run")
+	rep := sampleReport()
+	// A zero-width hop must be skipped.
+	rep.Segments = append([]attrib.Segment{{From: "a", To: "b", Start: 0, End: 0, Cat: attrib.Unattributed}}, rep.Segments...)
+	EmitCriticalPath(tr, rep)
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("emitted %d spans, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Track != "critical-path" || e.Cat != "attrib" || e.Phase != obs.PhaseSpan {
+			t.Fatalf("span %d on wrong lane: %+v", i, e)
+		}
+	}
+	if evs[1].Name != "network-transfer" || evs[1].Args["via"] != "vm-0/up" {
+		t.Fatalf("segment detail lost: %+v", evs[1])
+	}
+	if evs[2].Args["inflate_sec"] != 1.0 {
+		t.Fatalf("inflation annotation lost: %+v", evs[2])
+	}
+	// Nil tracer and nil report are no-ops.
+	EmitCriticalPath(nil, rep)
+	EmitCriticalPath(tr, nil)
+	if tr.Len() != 3 {
+		t.Fatalf("no-op paths recorded events: %d", tr.Len())
+	}
+}

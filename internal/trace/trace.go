@@ -207,9 +207,11 @@ func Summary(res simrun.Result) string {
 
 // SpanSummary aggregates a run's recorded spans into a phase breakdown: per
 // worker, real busy seconds from task spans and staging seconds from
-// transfer spans, plus counts of the run's instant events. Returns a note
-// when tracing was disabled.
-func SpanSummary(tr *obs.Tracer) string {
+// transfer spans, plus counts of the run's instant events. Any metrics
+// registries passed along contribute one bucket-interpolated percentile
+// line per populated histogram (task_sec, transfer_sec, ...). Returns a
+// note when tracing was disabled.
+func SpanSummary(tr *obs.Tracer, ms ...*obs.Metrics) string {
 	if !tr.Enabled() || tr.Len() == 0 {
 		return "(no trace recorded)\n"
 	}
@@ -323,6 +325,15 @@ func SpanSummary(tr *obs.Tracer) string {
 			parts[i] = fmt.Sprintf("%s %d", k, instants[k])
 		}
 		fmt.Fprintf(&b, "instants: %s\n", strings.Join(parts, ", "))
+	}
+	for _, m := range ms {
+		for _, h := range m.Histograms() {
+			if h.Count() == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%s: n=%d p50 %.3fs  p95 %.3fs  p99 %.3fs\n",
+				h.HistName(), h.Count(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+		}
 	}
 	return b.String()
 }

@@ -365,3 +365,86 @@ func TestSpanSummarySpecColumn(t *testing.T) {
 		t.Fatal("spec column printed for a speculation-free trace")
 	}
 }
+
+// TestSpanSummaryRepairAndSpecColumns: a chaos run with gray mitigation
+// records both repair and spec spans; both optional column groups must
+// render side by side on the same header, in that order, with each worker
+// row carrying its own aggregate.
+func TestSpanSummaryRepairAndSpecColumns(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := obs.NewTracer(eng, "chaos+gray")
+	var task, rep, clone *obs.Span
+	eng.Schedule(0, func() {
+		task = tr.Begin("vm-1/cpu0", "task", "task 0", nil)
+		rep = tr.Begin("vm-2/net0", "repair", "repair f0001", nil)
+		clone = tr.Begin("vm-3/cpu0", "spec", "task 0 (clone)", nil)
+	})
+	eng.Schedule(2, func() { rep.End(nil) })
+	eng.Schedule(3, func() { clone.End(nil) })
+	eng.Schedule(5, func() { task.End(nil) })
+	eng.Run()
+	out := SpanSummary(tr)
+	header := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "worker") {
+			header = line
+		}
+	}
+	if header == "" {
+		t.Fatalf("no header line:\n%s", out)
+	}
+	ri, si := strings.Index(header, "repair(s)"), strings.Index(header, "spec(s)")
+	if ri < 0 || si < 0 {
+		t.Fatalf("header missing a column group: %q", header)
+	}
+	if ri > si {
+		t.Fatalf("repair columns must precede spec columns: %q", header)
+	}
+	wantRow := map[string]string{"vm-2": "2.0", "vm-3": "3.0"}
+	for worker, sec := range wantRow {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, worker) && strings.Contains(line, sec) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s aggregate (%ss) missing:\n%s", worker, sec, out)
+		}
+	}
+	// Clone compute joins the wall: union of [0,5] task and [0,3] clone.
+	if !strings.Contains(out, "compute wall 5.0s") {
+		t.Fatalf("walls wrong:\n%s", out)
+	}
+}
+
+// TestSpanSummaryHistogramPercentiles: metrics registries passed to the
+// variadic SpanSummary contribute one interpolated-percentile line per
+// populated histogram; empty histograms and nil registries stay silent.
+func TestSpanSummaryHistogramPercentiles(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := obs.NewTracer(eng, "demo")
+	var task *obs.Span
+	eng.Schedule(0, func() { task = tr.Begin("vm-1/cpu0", "task", "task 0", nil) })
+	eng.Schedule(4, func() { task.End(nil) })
+	eng.Run()
+
+	m := obs.NewMetrics(eng, "demo", 10)
+	h := m.Histogram("task_sec", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3} {
+		h.Observe(v)
+	}
+	m.Histogram("transfer_sec", []float64{1}) // never observed: no line
+
+	out := SpanSummary(tr, m, nil)
+	if !strings.Contains(out, "task_sec: n=4 p50 1.500s") {
+		t.Fatalf("percentile line missing:\n%s", out)
+	}
+	if strings.Contains(out, "transfer_sec") {
+		t.Fatalf("empty histogram rendered:\n%s", out)
+	}
+	// Without registries the summary is unchanged from the legacy form.
+	if strings.Contains(SpanSummary(tr), "task_sec") {
+		t.Fatal("histogram line printed without a registry")
+	}
+}
