@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-netsim bench-exprun bench-scale bench-obs profile-scale vet fmt reproduce ablations examples clean
+.PHONY: all build test race bench bench-netsim bench-exprun bench-scale bench-obs bench-masterfail profile-scale vet fmt reproduce ablations examples clean
 
 all: build test
 
@@ -54,6 +54,15 @@ bench-scale:
 # merging recorder or solver changes, and update it with the new numbers.
 bench-obs:
 	BENCH_OBS_OUT=$(CURDIR)/BENCH_obs.json $(GO) test -run 'TestWriteBenchObs' -count=1 ./internal/obs/attrib/
+
+# Regenerate BENCH_masterfail.json: catalog journal append (the
+# per-mutation hot path on every control-plane state change, budget <=2
+# allocs/record) and recovery replay of a 10k-record journal (the restart
+# cost the master recovery model prices). Compare against the committed
+# file before merging catalog or journal changes, and update it with the
+# new numbers.
+bench-masterfail:
+	BENCH_MASTERFAIL_OUT=$(CURDIR)/BENCH_masterfail.json $(GO) test -run 'TestWriteBenchMasterfail' -count=1 ./internal/catalog/
 
 # CPU-profile the largest scale cell; inspect with `go tool pprof cpu.prof`.
 profile-scale:

@@ -10,6 +10,7 @@
 //	                                # failures / elasticity / netfail sweeps
 //	friedabench -exp netfail        # link faults: isolate vs retry vs resume
 //	friedabench -exp durability     # chaos: RF sweep under link+disk+worker faults
+//	friedabench -exp masterfail     # master crashes: crashfree vs journal vs amnesia
 //	friedabench -exp scale          # BLAST at 256/1024/4096 workers
 //
 // -scale shrinks the workloads for quick runs (1.0 = paper size; the full
@@ -438,6 +439,17 @@ func runExperiment(name string, scale float64, gantt bool, col *collector, scale
 			fmt.Print(experiments.RenderSweep(
 				fmt.Sprintf("Ablation: gray failures — %s (slow workers/disks/links; none=invisible, detect=+pause, spec=+clone, hedge=+race, both)", app),
 				"mtbs_sec", rows))
+			fmt.Println()
+			if err != nil {
+				return err
+			}
+		}
+	case "ablation-masterfail", "masterfail":
+		for _, app := range []string{"ALS", "BLAST"} {
+			rows, err := experiments.AblationMasterFail(app, scale)
+			fmt.Print(experiments.RenderSweep(
+				fmt.Sprintf("Ablation: master crashes — %s (mean outage 30s; crashfree=immortal, journal=WAL replay, amnesia=no persistent state)", app),
+				"mtbf_sec", rows))
 			fmt.Println()
 			if err != nil {
 				return err

@@ -5,7 +5,6 @@
 package catalog
 
 import (
-	"fmt"
 	"io"
 	"io/fs"
 	"os"
@@ -63,16 +62,17 @@ func New() *Catalog {
 	return &Catalog{byName: make(map[string]int)}
 }
 
-// Add appends a file. Duplicate names are rejected.
+// Add appends a file. Duplicate names are rejected. Failures are typed:
+// errors.Is against ErrEmptyName, ErrNegativeSize or ErrDuplicate.
 func (c *Catalog) Add(m FileMeta) error {
 	if m.Name == "" {
-		return fmt.Errorf("catalog: empty file name")
+		return newError(ErrEmptyName, "")
 	}
 	if m.Size < 0 {
-		return fmt.Errorf("catalog: negative size for %q", m.Name)
+		return newError(ErrNegativeSize, m.Name)
 	}
 	if _, dup := c.byName[m.Name]; dup {
-		return fmt.Errorf("catalog: duplicate file %q", m.Name)
+		return newError(ErrDuplicate, m.Name)
 	}
 	c.byName[m.Name] = len(c.files)
 	c.files = append(c.files, m)
@@ -151,7 +151,7 @@ func NewDirSource(root string) *DirSource { return &DirSource{root: root} }
 func (s *DirSource) Open(name string) (io.ReadCloser, error) {
 	clean := filepath.Clean(name)
 	if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
-		return nil, fmt.Errorf("catalog: path %q escapes source root", name)
+		return nil, newError(ErrPathEscape, name)
 	}
 	return os.Open(filepath.Join(s.root, clean))
 }
@@ -212,7 +212,7 @@ func (s *MemSource) Open(name string) (io.ReadCloser, error) {
 	data, ok := s.files[name]
 	s.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("catalog: no such file %q", name)
+		return nil, newError(ErrNotFound, name)
 	}
 	return io.NopCloser(strings.NewReader(string(data))), nil
 }
@@ -339,6 +339,16 @@ func (r *Replicas) Forget(file string) {
 	defer r.mu.Unlock()
 	delete(r.loc, file)
 	delete(r.known, file)
+}
+
+// Note marks file as known without recording a holder, so it shows up in
+// UnderReplicated scans. An amnesiac master uses it to re-derive "someone
+// must hold this" facts (evacuated files) it can no longer attribute to a
+// node.
+func (r *Replicas) Note(file string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.known[file] = struct{}{}
 }
 
 // UnderReplicated returns, sorted, every known file with fewer than rf live

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"frieda/internal/cloud"
+	"frieda/internal/obs/attrib"
+	"frieda/internal/simrun"
+)
+
+// TestJournalReplayAcrossAblations is the journal's acceptance property:
+// silently journal every cell of the ablation grid (via the same Instrument
+// hook friedabench uses for -trace) and let the runner's built-in replay
+// check — Replay(snapshot, journal) must reconstruct the live catalog
+// byte-for-byte, enforced with a panic at the end of every journaled run —
+// prove the WAL is sound on every schedule the suite can produce, not just
+// the crash scenarios that motivated it. Cells that already configure a
+// master, and gray-failure cells (gray and master chaos are mutually
+// exclusive by config validation), are left untouched. One sweep is also run
+// bare and compared row-for-row to show journaling never perturbs a
+// schedule.
+func TestJournalReplayAcrossAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full ablation grid")
+	}
+	bare, err := AblationBandwidth(0.25)
+	if err != nil {
+		t.Fatalf("bare bandwidth sweep: %v", err)
+	}
+
+	journaled := 0
+	Instrument = func(label string, cluster *cloud.Cluster, cfg *simrun.Config) {
+		if cfg.Gray != nil || cfg.Master != nil {
+			return
+		}
+		cfg.Master = &simrun.MasterConfig{Journal: true}
+		journaled++
+	}
+	defer func() { Instrument = nil }()
+
+	const scale = 0.25
+	var rows []SweepRow
+	suite := []struct {
+		name string
+		run  func() error
+	}{
+		{"prefetch", func() error { _, err := AblationPrefetch(scale); return err }},
+		{"bandwidth", func() error { var err error; rows, err = AblationBandwidth(scale); return err }},
+		{"variance", func() error { _, err := AblationVariance(scale); return err }},
+		{"failures", func() error { _, err := AblationFailures(scale); return err }},
+		{"elastic", func() error { _, err := AblationElastic(scale); return err }},
+		{"federated", func() error { _, err := AblationFederated(scale); return err }},
+		{"stripes", func() error { _, err := AblationStripes(scale); return err }},
+		{"storage", func() error { _, err := AblationStorage(scale); return err }},
+		{"netfail-ALS", func() error { _, err := AblationNetFail("ALS", scale); return err }},
+		{"partition", func() error { _, err := AblationPartition(scale); return err }},
+		{"durability-ALS", func() error { _, err := AblationDurability("ALS", scale); return err }},
+	}
+	for _, s := range suite {
+		if err := s.run(); err != nil {
+			// Sweeps report failed cells but still return surviving rows;
+			// every surviving journaled cell passed its replay check or the
+			// run would have panicked.
+			t.Logf("%s: %v (failed cells skipped)", s.name, err)
+		}
+	}
+	if journaled < 20 {
+		t.Fatalf("hook journaled only %d cells; expected the full grid", journaled)
+	}
+	if !reflect.DeepEqual(bare, rows) {
+		t.Errorf("journaling perturbed the bandwidth sweep:\nbare:      %+v\njournaled: %+v", bare, rows)
+	}
+	t.Logf("replay property held on %d journaled cells", journaled)
+}
+
+// TestMasterFailAttributionSums checks the acceptance bound for -attrib on
+// the masterfail ablation: on every solved cell — including the crashing
+// journal and amnesia cells, whose critical paths route through the new
+// master-outage and recovery-replay blame categories — the blame vector
+// sums to the makespan within 1e-6 s, and at least one journaled cell
+// actually charges time to the outage category.
+func TestMasterFailAttributionSums(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the masterfail grid for both apps")
+	}
+	type tagged struct {
+		label string
+		rec   *attrib.Recorder
+	}
+	var runs []tagged
+	Instrument = func(label string, cluster *cloud.Cluster, cfg *simrun.Config) {
+		rec := attrib.NewRecorder(cluster.Engine())
+		cfg.Attrib = rec
+		runs = append(runs, tagged{label, rec})
+	}
+	defer func() { Instrument = nil }()
+
+	for _, app := range []string{"ALS", "BLAST"} {
+		if _, err := AblationMasterFail(app, 0.25); err != nil {
+			t.Fatalf("masterfail %s: %v", app, err)
+		}
+	}
+
+	solved, outageBlamed := 0, 0
+	for _, r := range runs {
+		rep := r.rec.Report()
+		if rep == nil {
+			t.Errorf("%s: no attribution report", r.label)
+			continue
+		}
+		solved++
+		if diff := math.Abs(rep.BlameTotalSec() - rep.MakespanSec); diff > 1e-6 {
+			t.Errorf("%s: blame %.9fs vs makespan %.9fs (off by %g)",
+				r.label, rep.BlameTotalSec(), rep.MakespanSec, diff)
+		}
+		if rep.Blame[attrib.MasterOutage] > 0 || rep.Blame[attrib.RecoveryReplay] > 0 {
+			outageBlamed++
+		}
+	}
+	if solved != len(runs) || solved == 0 {
+		t.Fatalf("only %d/%d masterfail cells solved an attribution", solved, len(runs))
+	}
+	if outageBlamed == 0 {
+		t.Error("no cell charged critical-path time to master-outage/recovery-replay")
+	}
+	t.Logf("blame==makespan on %d/%d cells; %d charged outage time", solved, len(runs), outageBlamed)
+}
+
+// TestMasterFailSweepDeterministicAndHeadline runs the ALS masterfail sweep
+// twice and requires bit-identical rows (everything is virtual-time and
+// seeded), then checks the ablation's headline claims: the journaled master
+// completes 100% of tasks at every crash rate; on rows where crashes
+// actually fired, the amnesiac master re-executes finished work, loses
+// evacuated files, and is slower than the journaled one; and with crash
+// injection off (mtbf 0) all three modes produce the identical schedule.
+func TestMasterFailSweepDeterministicAndHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the ALS masterfail grid twice")
+	}
+	rows, err := AblationMasterFail("ALS", 0.25)
+	if err != nil {
+		t.Fatalf("masterfail ALS: %v", err)
+	}
+	again, err := AblationMasterFail("ALS", 0.25)
+	if err != nil {
+		t.Fatalf("masterfail ALS rerun: %v", err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Fatalf("masterfail sweep not deterministic:\nfirst:  %+v\nsecond: %+v", rows, again)
+	}
+
+	crashed := 0
+	for _, row := range rows {
+		s := row.Series
+		if s["journal_done_pct"] != 100 {
+			t.Errorf("mtbf=%g: journaled done_pct %.2f, want 100", row.Param, s["journal_done_pct"])
+		}
+		if row.Param == 0 {
+			if s["journal_makespan_s"] != s["crashfree_makespan_s"] || s["amnesia_makespan_s"] != s["crashfree_makespan_s"] {
+				t.Errorf("mtbf=0: modes diverge (crashfree %.6f, journal %.6f, amnesia %.6f)",
+					s["crashfree_makespan_s"], s["journal_makespan_s"], s["amnesia_makespan_s"])
+			}
+			continue
+		}
+		if s["journal_outages"] == 0 {
+			continue // the exponential draw outlived this run; nothing to compare
+		}
+		crashed++
+		if s["amnesia_reexec"] == 0 {
+			t.Errorf("mtbf=%g: amnesia re-executed nothing despite an outage", row.Param)
+		}
+		if s["amnesia_lost"] == 0 {
+			t.Errorf("mtbf=%g: amnesia lost no files despite an outage", row.Param)
+		}
+		if s["amnesia_makespan_s"] <= s["journal_makespan_s"] {
+			t.Errorf("mtbf=%g: amnesia makespan %.2f not slower than journaled %.2f",
+				row.Param, s["amnesia_makespan_s"], s["journal_makespan_s"])
+		}
+	}
+	if crashed == 0 {
+		t.Fatal("no sweep row saw a master crash; the ablation shows nothing")
+	}
+}

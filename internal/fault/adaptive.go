@@ -172,7 +172,7 @@ func (d *Detector) Phi(node string) float64 {
 // report clears the run. Reports for declared or unknown-to-adaptive
 // detectors are ignored.
 func (d *Detector) ReportProgress(node string, rate float64) {
-	if d.adaptive == nil || d.declared[node] {
+	if d.adaptive == nil || d.declared[node] || d.paused {
 		return
 	}
 	w := d.aw(node)

@@ -138,6 +138,10 @@ type Detector struct {
 
 	transitions []Transition
 	tracer      *obs.Tracer
+	// paused: the detector's owner (the master) is down. Deadline timers
+	// are stopped and heartbeats ignored — a dead master neither observes
+	// heartbeats nor declares failures.
+	paused bool
 
 	// Gray-failure detection (adaptive.go); nil until EnableAdaptive.
 	adaptive      *AdaptiveOptions
@@ -201,6 +205,9 @@ func (d *Detector) Watch(node string) {
 // Heartbeat records life from a node, pushing its deadline out and clearing
 // any suspicion. Heartbeats from declared or unknown nodes are ignored.
 func (d *Detector) Heartbeat(node string) {
+	if d.paused {
+		return
+	}
 	w, ok := d.nodes[node]
 	if !ok || d.declared[node] {
 		return
@@ -217,6 +224,48 @@ func (d *Detector) Heartbeat(node string) {
 	}
 	w.timer.Reset(d.timeout)
 }
+
+// Pause suspends monitoring during a master outage: every per-node
+// deadline timer stops and heartbeats are ignored. No suspicion or
+// declaration can happen while paused. Pausing twice is a no-op.
+func (d *Detector) Pause() {
+	if d.paused {
+		return
+	}
+	d.paused = true
+	for _, w := range d.nodes {
+		w.timer.Stop()
+	}
+}
+
+// Resume restarts monitoring after an outage with full fresh deadlines and
+// cleared suspicion counts — the restarted master has no memory of missed
+// beats, so no node can be declared dead merely because the master was.
+// Timers re-arm in sorted node order so the event schedule is
+// deterministic. Also wipes adaptive heartbeat history: the outage gap
+// must not read as a heartbeat-interarrival anomaly.
+func (d *Detector) Resume() {
+	if !d.paused {
+		return
+	}
+	d.paused = false
+	names := make([]string, 0, len(d.nodes))
+	for n := range d.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		w := d.nodes[n]
+		w.missed = 0
+		w.timer.Reset(d.timeout)
+		if aw, ok := d.awatch[n]; ok {
+			aw.hasBeat = false
+		}
+	}
+}
+
+// Paused reports whether monitoring is suspended.
+func (d *Detector) Paused() bool { return d.paused }
 
 // Stop stops monitoring (graceful departure; no failure declared).
 func (d *Detector) Stop(node string) {

@@ -57,6 +57,14 @@ const (
 	SpeculationOverhead
 	// DiskIO is time charged writing received payloads to local media.
 	DiskIO
+	// MasterOutage is time the critical path spent waiting for a crashed
+	// control plane: queued completions, paused dispatch/admission, repair
+	// scans held until the master process came back.
+	MasterOutage
+	// RecoveryReplay is time the restarted master spent reloading its
+	// snapshot and replaying the journal before resuming dispatch — the
+	// price of the configured recovery cost model.
+	RecoveryReplay
 	// Unattributed is the honest remainder: segments reaching a node the
 	// recorder saw no cause for (charged from run start), or explicit
 	// zero-information links. A large Unattributed bin means an emission
@@ -88,6 +96,10 @@ func (c Category) String() string {
 		return "speculation-overhead"
 	case DiskIO:
 		return "disk-io"
+	case MasterOutage:
+		return "master-outage"
+	case RecoveryReplay:
+		return "recovery-replay"
 	case Unattributed:
 		return "unattributed"
 	default:

@@ -223,7 +223,8 @@ func TestCategoryStrings(t *testing.T) {
 	want := []string{
 		"compute", "network-transfer", "queue-wait", "detection-latency",
 		"retry/backoff", "repair", "straggler-inflation",
-		"speculation-overhead", "disk-io", "unattributed",
+		"speculation-overhead", "disk-io", "master-outage",
+		"recovery-replay", "unattributed",
 	}
 	for c := Category(0); c < NumCategories; c++ {
 		if c.String() != want[c] {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"frieda/internal/catalog"
 	"frieda/internal/netsim"
 	"frieda/internal/obs"
 	"frieda/internal/obs/attrib"
@@ -150,6 +151,10 @@ func (m *repairManager) scan() {
 		return
 	}
 	r := m.r
+	if mf := r.mf; mf != nil && mf.deferring() {
+		// No control plane to command repairs; recovery rescans.
+		return
+	}
 	d := r.cfg.Durability
 	for _, f := range r.replicas.UnderReplicated(d.RF) {
 		if f == commonFile || r.lostFiles[f] {
@@ -251,15 +256,24 @@ func (m *repairManager) start(f string) {
 				return
 			}
 			dst.has[f] = true
-			r.replicas.Add(f, dst.name)
-			if r.repairNode != nil {
-				r.repairNode[f+"\x00"+dst.name] = r.anCause
+			landed := func() {
+				r.repAdd(f, dst.name)
+				if r.repairNode != nil {
+					r.repairNode[f+"\x00"+dst.name] = r.anCause
+				}
+				r.res.RepairsCompleted++
+				r.mRepairsOK.Inc()
+				// Keep draining: the file may still be below target, and the
+				// budget slot just freed.
+				m.scan()
 			}
-			r.res.RepairsCompleted++
-			r.mRepairsOK.Inc()
-			// Keep draining: the file may still be below target, and the
-			// budget slot just freed.
-			m.scan()
+			if mf := r.mf; mf != nil && mf.deferring() {
+				// The copy physically landed; the master learns of it on
+				// recovery.
+				mf.enqueue(landed)
+				return
+			}
+			landed()
 		})
 	})
 	job.flow.OnInterrupt(func(delivered float64, _ sim.Time) {
@@ -305,6 +319,7 @@ func (r *Runner) markFileLost(f string) {
 	r.res.FilesLost++
 	r.mFilesLost.Inc()
 	r.replicas.Forget(f)
+	r.mfRecord(catalog.Record{Op: catalog.OpLoss, File: f})
 	if tr := r.cfg.Tracer; tr.Enabled() {
 		tr.Instant("master", "fault", "file-lost", obs.Args{"file": f})
 	}
@@ -318,6 +333,7 @@ func (r *Runner) markStaged(f string) {
 		return
 	}
 	r.evacuated[f] = true
+	r.mfRecord(catalog.Record{Op: catalog.OpEvacuate, File: f})
 	if tr := r.cfg.Tracer; tr.Enabled() {
 		tr.Instant("master", "durability", "evacuated", obs.Args{"file": f})
 	}
@@ -349,20 +365,35 @@ func (r *Runner) diskDied(w *simWorker) {
 	sort.Strings(files)
 	for _, f := range files {
 		delete(w.has, f)
-		r.replicas.Remove(f, w.name)
+	}
+	if mf := r.mf; mf != nil && mf.deferring() {
+		// The bytes are physically gone now; the master reacts on recovery.
+		mf.enqueue(func() { r.diskDiedMaster(w, files) })
+		return
+	}
+	r.diskDiedMaster(w, files)
+}
+
+// diskDiedMaster is the control-plane half of a disk death: drop the
+// worker's replica entries, declare unreachable files lost, re-stage the
+// common dataset and rescan. Split from diskDied so a master outage can
+// defer it while the byte loss itself stays immediate.
+func (r *Runner) diskDiedMaster(w *simWorker, files []string) {
+	for _, f := range files {
+		r.repRemove(f, w.name)
 	}
 	// The common dataset lives in the replica map only (stageCommon marks
 	// readiness, not residence), so check it there.
 	lostCommon := r.replicas.Has(commonFile, w.name)
 	if lostCommon {
-		r.replicas.Remove(commonFile, w.name)
+		r.repRemove(commonFile, w.name)
 	}
 	for _, f := range files {
 		if f != commonFile && !r.sourceExists(f) && r.replicas.Count(f) == 0 {
 			r.markFileLost(f)
 		}
 	}
-	if lostCommon {
+	if lostCommon && !w.dead {
 		w.ready = false
 		r.stageCommon(w, func() { r.admit(w) })
 	}

@@ -170,6 +170,15 @@ type Config struct {
 	// attributed run is event-for-event identical to a plain one; nil
 	// disables it at one branch per site.
 	Attrib *attrib.Recorder
+	// Master, when non-nil, makes the control plane mortal: a seeded crash
+	// schedule takes the master process down for MTTR-distributed outages
+	// during which dispatch, admission, repair scans and failure detection
+	// pause while in-flight transfers and computes continue and worker
+	// messages queue. Recovery is journaled (write-ahead journal + snapshot,
+	// replayed and byte-asserted on restart) or amnesiac (Journal=false).
+	// Nil keeps the immortal-master model, byte-identical to all published
+	// behaviour.
+	Master *MasterConfig
 }
 
 // NetFaultConfig tunes transfer retry and resume behaviour.
@@ -306,6 +315,25 @@ type Result struct {
 	// Config.Attrib): per-category makespan blame summing to MakespanSec,
 	// the critical-path segments, and task/transfer latency percentiles.
 	Attribution *attrib.Report
+	// MasterOutages counts control-plane crash episodes (Config.Master).
+	MasterOutages int
+	// MasterDownSec sums crash→restart outage time across episodes.
+	MasterDownSec float64
+	// RecoveryReplaySec sums restart→recovered replay/startup time — the
+	// configured recovery cost model, plus any replay wasted by a re-crash.
+	RecoveryReplaySec float64
+	// OrphansReconciled counts tasks recovery reconciliation re-enqueued:
+	// work whose dispatch state did not survive the crash (journaled mode:
+	// worker-backlog assignments; amnesia: additionally every completed task
+	// the master forgot). Deliberately separate from the failure-retry
+	// counters — recovery re-dispatch is not a task failure.
+	OrphansReconciled int
+	// ReplayedRecords counts snapshot entries plus journal records replayed
+	// across all journaled recoveries.
+	ReplayedRecords int
+	// TasksReExecuted counts terminal re-executions of tasks an amnesiac
+	// master had forgotten were done — pure wasted work a journal prevents.
+	TasksReExecuted int
 }
 
 // Runner drives one simulated run. Create with NewRunner, add workers, then
@@ -388,6 +416,9 @@ type Runner struct {
 	// the repair that made the source exist.
 	anStart, anCause, anLastTerminal attrib.NodeID
 	repairNode                       map[string]attrib.NodeID
+
+	// Master-fault state (master.go); nil unless cfg.Master is set.
+	mf *masterState
 
 	// nameScratch recycles the per-dispatch missing-file name slices: a
 	// dispatch's slice returns to the free list once its transfer bookkeeping
@@ -586,6 +617,33 @@ func NewRunner(cluster *cloud.Cluster, master *cloud.VM, cfg Config, wl Workload
 		}
 		cfg.Gray = &gg
 	}
+	if mc := cfg.Master; mc != nil {
+		if cfg.Gray != nil {
+			return nil, fmt.Errorf("simrun: master faults and gray-failure handling are not modelled together")
+		}
+		m := *mc // don't mutate the caller's struct
+		if m.Faults != nil {
+			f := *m.Faults
+			if err := f.Validate(); err != nil {
+				return nil, err
+			}
+			m.Faults = &f
+		}
+		if m.RecoveryBaseSec < 0 || m.RecoverySecPerRecord < 0 {
+			return nil, fmt.Errorf("simrun: negative master recovery cost (%v base, %v/record)",
+				m.RecoveryBaseSec, m.RecoverySecPerRecord)
+		}
+		if m.RecoveryBaseSec == 0 {
+			m.RecoveryBaseSec = 5
+		}
+		if m.RecoverySecPerRecord == 0 {
+			m.RecoverySecPerRecord = 1e-4
+		}
+		if m.CompactEvery <= 0 {
+			m.CompactEvery = 4096
+		}
+		cfg.Master = &m
+	}
 	r := &Runner{
 		eng:      cluster.Engine(),
 		cluster:  cluster,
@@ -758,16 +816,28 @@ func (r *Runner) AddWorker(vm *cloud.VM) *simWorker {
 	r.workers = append(r.workers, w)
 	r.byVM[vm] = w
 	if r.started {
-		if tr := r.cfg.Tracer; tr.Enabled() {
-			tr.Instant(w.name, "sched", "worker-joined", nil)
+		register := func() {
+			if w.dead {
+				return
+			}
+			if tr := r.cfg.Tracer; tr.Enabled() {
+				tr.Instant(w.name, "sched", "worker-joined", nil)
+			}
+			if ab := r.cfg.Attrib; ab.Enabled() {
+				// An elastic join is an external decision; its staging chain
+				// starts here rather than inheriting an unrelated ambient cause.
+				r.anCause = ab.After(r.anStart, attrib.Unattributed, "worker-joined", w.name)
+			}
+			r.startDetection(w)
+			r.stageCommon(w, func() { r.kick(w) })
 		}
-		if ab := r.cfg.Attrib; ab.Enabled() {
-			// An elastic join is an external decision; its staging chain
-			// starts here rather than inheriting an unrelated ambient cause.
-			r.anCause = ab.After(r.anStart, attrib.Unattributed, "worker-joined", w.name)
+		if m := r.mf; m != nil && m.deferring() {
+			// Registration is a master-side handshake; the VM exists but
+			// joins the pool when the control plane is back.
+			m.enqueue(register)
+		} else {
+			register()
 		}
-		r.startDetection(w)
-		r.stageCommon(w, func() { r.kick(w) })
 	}
 	return w
 }
@@ -874,6 +944,7 @@ func (r *Runner) Start(done func(Result)) error {
 	if d := r.cfg.Durability; d != nil && d.RF > 1 {
 		r.repair = newRepairManager(r)
 	}
+	r.initMaster()
 
 	switch r.cfg.Strategy.Kind {
 	case strategy.PrePartition:
@@ -1298,7 +1369,7 @@ func (r *Runner) stageCommon(w *simWorker, then func()) {
 				return
 			}
 			w.ready = true
-			r.replicas.Add(commonFile, w.name)
+			r.noteReplica(commonFile, w.name)
 			then()
 		})
 	})
@@ -1406,8 +1477,7 @@ func (r *Runner) streamChain(w *simWorker, files []catalog.FileMeta, i int, then
 		}
 		r.chargeDiskWrite(w, float64(f.Size), func() {
 			w.has[f.Name] = true
-			r.replicas.Add(f.Name, w.name)
-			r.markStaged(f.Name)
+			r.noteStaged(f.Name, w.name)
 			r.streamChain(w, files, i+1, then)
 		})
 	})
@@ -1520,6 +1590,10 @@ func (r *Runner) drainAdmits() {
 // admit pulls tasks into the worker's pipeline up to slots × prefetch.
 func (r *Runner) admit(w *simWorker) {
 	if w.dead || w.draining || !w.ready {
+		return
+	}
+	if m := r.mf; m != nil && m.deferring() {
+		// No dispatcher to admit from; recovery ends with a kickAll.
 		return
 	}
 	if r.cfg.Gray != nil && r.detector != nil && r.detector.SlowSuspected(w.name) {
@@ -1650,9 +1724,7 @@ func (r *Runner) fetchAndRun(w *simWorker, gi int) *taskAttempt {
 			return
 		}
 		r.chargeDiskWrite(w, missing, func() {
-			for _, name := range names {
-				r.replicas.Add(name, w.name)
-			}
+			r.noteReplicas(names, w.name)
 			r.putNames(names)
 			start()
 		})
@@ -1742,8 +1814,7 @@ func (r *Runner) fetchChain(w *simWorker, att *taskAttempt, metas []catalog.File
 				// Re-assert the claim: a disk wipe mid-transfer cleared it,
 				// and the bytes just landed on the fresh media.
 				w.has[f.Name] = true
-				r.replicas.Add(f.Name, w.name)
-				r.markStaged(f.Name)
+				r.noteStaged(f.Name, w.name)
 				step(i + 1)
 			})
 		})
@@ -1832,6 +1903,26 @@ func (r *Runner) compute(w *simWorker, att *taskAttempt) {
 // and this attempt fails through the normal retry ladder.
 func (r *Runner) readFailed(w *simWorker, att *taskAttempt) {
 	task := r.wl.Tasks[att.task]
+	if m := r.mf; m != nil && m.deferring() {
+		// Physical half now: the media is suspect and the core frees. The
+		// master's reaction (replica invalidation, loss declarations, the
+		// failure verdict) queues until the control plane is back.
+		if tr := r.cfg.Tracer; tr.Enabled() {
+			tr.Instant(w.name, "fault", "read-error", obs.Args{"task": att.task})
+		}
+		var bad []string
+		for _, f := range task.Files {
+			if w.has[f.Name] {
+				delete(w.has, f.Name)
+				bad = append(bad, f.Name)
+			}
+		}
+		w.cores.Release()
+		delete(w.inflight, att.task)
+		w.admitted--
+		m.enqueue(func() { r.readFailedMaster(w, att, bad) })
+		return
+	}
 	r.res.CorruptionsDetected++
 	r.mCorruptions.Inc()
 	if tr := r.cfg.Tracer; tr.Enabled() {
@@ -1843,7 +1934,7 @@ func (r *Runner) readFailed(w *simWorker, att *taskAttempt) {
 	for _, f := range task.Files {
 		if w.has[f.Name] {
 			delete(w.has, f.Name)
-			r.replicas.Remove(f.Name, w.name)
+			r.repRemove(f.Name, w.name)
 		}
 	}
 	for _, f := range task.Files {
@@ -1861,10 +1952,54 @@ func (r *Runner) readFailed(w *simWorker, att *taskAttempt) {
 	r.kick(w)
 }
 
+// readFailedMaster is the deferred master half of a read error observed
+// during a control-plane outage.
+func (r *Runner) readFailedMaster(w *simWorker, att *taskAttempt, bad []string) {
+	task := r.wl.Tasks[att.task]
+	r.res.CorruptionsDetected++
+	r.mCorruptions.Inc()
+	if ab := r.cfg.Attrib; ab.Enabled() {
+		r.anCause = ab.After(r.anCause, attrib.DiskIO, "read-error", w.name)
+	}
+	for _, f := range bad {
+		r.repRemove(f, w.name)
+	}
+	for _, f := range task.Files {
+		if !r.sourceExists(f.Name) {
+			r.markFileLost(f.Name)
+		}
+	}
+	if r.repair != nil {
+		r.repair.scan()
+	}
+	r.taskDone(w, att, false)
+	r.kick(w)
+}
+
 // taskDone records a terminal (or requeued) outcome.
 func (r *Runner) taskDone(w *simWorker, att *taskAttempt, ok bool) {
+	if m := r.mf; m != nil && m.deferring() {
+		// A completion report with nobody to receive it: the worker holds it
+		// and re-delivers when the master is back.
+		m.enqueue(func() { r.taskDone(w, att, ok) })
+		return
+	}
 	if r.specs != nil && r.settleSpec(w, att, ok) {
 		return
+	}
+	if m := r.mf; m != nil && m.reQueuedDone[att.task] {
+		if ok || !(r.cfg.Recover && r.retries[att.task]+1 <= r.cfg.MaxRetries) {
+			// An amnesia re-execution settled: restore the belief the wipe
+			// destroyed and book the wasted work. The task's historical
+			// completion stands — no second Completion, no double count.
+			delete(m.reQueuedDone, att.task)
+			r.retries[att.task]++
+			r.terminal++
+			r.res.TasksReExecuted++
+			r.checkDone()
+			return
+		}
+		// Failed re-execution with retry budget: falls through to requeue.
 	}
 	r.retries[att.task]++
 	if !ok && r.cfg.Recover && r.retries[att.task] <= r.cfg.MaxRetries {
@@ -1874,6 +2009,9 @@ func (r *Runner) taskDone(w *simWorker, att *taskAttempt, ok bool) {
 		return
 	}
 	r.terminal++
+	if r.mf != nil {
+		r.mf.taskTerminal(att.task, ok)
+	}
 	r.res.Completions = append(r.res.Completions, Completion{
 		Task: att.task, Worker: w.name, Start: att.started, End: r.eng.Now(),
 		OK: ok, Attempt: r.retries[att.task], Speculative: att.clone,
@@ -1901,6 +2039,29 @@ func (r *Runner) workerDied(w *simWorker) {
 	if w.dead {
 		return
 	}
+	if m := r.mf; m != nil && m.deferring() {
+		// Physical half now: the machine is gone, so its flows and computes
+		// die with it. The master's reaction — dropping replicas, settling
+		// the attempts, reassigning — waits for the control plane.
+		w.dead = true
+		if tr := r.cfg.Tracer; tr.Enabled() {
+			tr.Instant(w.name, "fault", "worker-died", nil)
+		}
+		attempts := sortedInflight(w)
+		for _, att := range attempts {
+			if att.stage != nil {
+				r.abandonStage(att.stage)
+				att.stage = nil
+			}
+			if att.compute.Pending() {
+				att.compute.Cancel()
+				r.computeEnded()
+			}
+			r.endTaskSpan(w, att, "killed")
+		}
+		m.enqueue(func() { r.workerDiedMaster(w, attempts) })
+		return
+	}
 	w.dead = true
 	if tr := r.cfg.Tracer; tr.Enabled() {
 		tr.Instant(w.name, "fault", "worker-died", nil)
@@ -1924,7 +2085,7 @@ func (r *Runner) workerDied(w *simWorker) {
 		}
 		r.anCause = ab.After(cause, cat, "worker-died", detail)
 	}
-	lost := r.replicas.DropNode(w.name)
+	lost := r.repDropNode(w.name)
 	if r.cfg.Durability != nil {
 		for _, f := range lost {
 			if f != commonFile && !r.sourceExists(f) {
@@ -1938,11 +2099,7 @@ func (r *Runner) workerDied(w *simWorker) {
 	if r.repair != nil {
 		r.repair.onWorkerDied(w)
 	}
-	attempts := make([]*taskAttempt, 0, len(w.inflight))
-	for _, att := range w.inflight {
-		attempts = append(attempts, att)
-	}
-	sort.Slice(attempts, func(i, j int) bool { return attempts[i].task < attempts[j].task })
+	attempts := sortedInflight(w)
 	for _, att := range attempts {
 		if att.stage != nil {
 			r.abandonStage(att.stage)
@@ -1962,8 +2119,65 @@ func (r *Runner) workerDied(w *simWorker) {
 	r.checkDone()
 }
 
+// workerDiedMaster is the deferred master half of a worker death that
+// happened during a control-plane outage: the physical teardown already ran,
+// so only the bookkeeping and the rescheduling remain.
+func (r *Runner) workerDiedMaster(w *simWorker, attempts []*taskAttempt) {
+	if ab := r.cfg.Attrib; ab.Enabled() {
+		cause, cat, detail := r.anStart, attrib.Unattributed, ""
+		if r.detector != nil {
+			trs := r.detector.Transitions()
+			for i := len(trs) - 1; i >= 0; i-- {
+				if trs[i].Node == w.name && trs[i].State == fault.Suspect {
+					sus := ab.NodeAt(trs[i].At, "suspect")
+					ab.Edge(r.anStart, sus, attrib.Unattributed, w.name)
+					cause, cat, detail = sus, attrib.DetectionLatency, w.name
+					break
+				}
+			}
+		}
+		r.anCause = ab.After(cause, cat, "worker-died", detail)
+	}
+	lost := r.repDropNode(w.name)
+	if r.cfg.Durability != nil {
+		for _, f := range lost {
+			if f != commonFile && !r.sourceExists(f) {
+				r.markFileLost(f)
+			}
+		}
+	}
+	if r.detector != nil {
+		r.detector.Stop(w.name)
+	}
+	if r.repair != nil {
+		r.repair.onWorkerDied(w)
+	}
+	for _, att := range attempts {
+		delete(w.inflight, att.task)
+		w.admitted--
+		r.taskDone(w, att, false)
+	}
+	r.reassign(w)
+	r.kickAll()
+	r.checkDone()
+}
+
+// sortedInflight snapshots a worker's in-flight attempts in task order.
+func sortedInflight(w *simWorker) []*taskAttempt {
+	attempts := make([]*taskAttempt, 0, len(w.inflight))
+	for _, att := range w.inflight {
+		attempts = append(attempts, att)
+	}
+	sort.Slice(attempts, func(i, j int) bool { return attempts[i].task < attempts[j].task })
+	return attempts
+}
+
 // reassign handles a dead worker's unstarted backlog.
 func (r *Runner) reassign(w *simWorker) {
+	if m := r.mf; m != nil && m.deferring() {
+		m.enqueue(func() { r.reassign(w) })
+		return
+	}
 	backlog := w.backlog
 	w.backlog = nil
 	for _, gi := range backlog {
@@ -1974,6 +2188,9 @@ func (r *Runner) reassign(w *simWorker) {
 			continue
 		}
 		r.terminal++
+		if r.mf != nil {
+			r.mf.taskTerminal(gi, false)
+		}
 		r.res.Abandoned++
 		r.mTasksFailed.Inc()
 		r.res.Completions = append(r.res.Completions, Completion{
@@ -1992,6 +2209,10 @@ func (r *Runner) checkDone() {
 	if r.done == nil {
 		return
 	}
+	if m := r.mf; m != nil && m.deferring() {
+		// Nobody is watching the ledger; recovery re-checks.
+		return
+	}
 	if r.terminal < len(r.wl.Tasks) {
 		live := false
 		for _, w := range r.workers {
@@ -2004,7 +2225,17 @@ func (r *Runner) checkDone() {
 			queue := r.queue
 			r.queue = nil
 			for _, gi := range queue {
+				if m := r.mf; m != nil && m.reQueuedDone[gi] {
+					// An amnesia re-queue with no worker left to re-run it:
+					// restore the belief, keep the historical completion.
+					delete(m.reQueuedDone, gi)
+					r.terminal++
+					continue
+				}
 				r.terminal++
+				if r.mf != nil {
+					r.mf.taskTerminal(gi, false)
+				}
 				r.res.Abandoned++
 				r.mTasksFailed.Inc()
 				r.res.Completions = append(r.res.Completions, Completion{
@@ -2022,6 +2253,19 @@ func (r *Runner) checkDone() {
 	done := r.done
 	r.done = nil
 	r.finished = true
+	if r.mf != nil {
+		// Disarm the crash schedule and any pending recovery event so an
+		// idle engine can drain.
+		r.mf.stop()
+		if r.mf.journaling() {
+			// Every journaled run ends with a replay property check: the
+			// reconstructed state must match both the shadow view and the
+			// live replica map, whether or not a crash ever fired.
+			if err := r.JournalCheck(); err != nil {
+				panic(fmt.Sprintf("simrun: %v", err))
+			}
+		}
+	}
 	if r.repair != nil {
 		// Disarm the repair ticker and cancel in-flight repairs so an idle
 		// engine can drain.
