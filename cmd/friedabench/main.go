@@ -11,7 +11,9 @@
 //	friedabench -exp netfail        # link faults: isolate vs retry vs resume
 //	friedabench -exp durability     # chaos: RF sweep under link+disk+worker faults
 //	friedabench -exp masterfail     # master crashes: crashfree vs journal vs amnesia
+//	friedabench -exp ctrlplane      # execution templates vs per-task decision cost
 //	friedabench -exp scale          # BLAST at 256/1024/4096 workers
+//	friedabench -exp list           # every experiment with a one-line description
 //
 // -scale shrinks the workloads for quick runs (1.0 = paper size; the full
 // sweep takes well under a second of real time — virtual time does the
@@ -212,7 +214,7 @@ func main() {
 // process exits (os.Exit in main would skip them).
 func run() int {
 	fs := flag.NewFlagSet("friedabench", flag.ExitOnError)
-	exp := fs.String("exp", "all", "experiment: table1 | fig6a | fig6b | fig7a | fig7b | ablations | durability | scale | all")
+	exp := fs.String("exp", "all", "experiment to run (see -exp list)")
 	scale := fs.Float64("scale", 1.0, "workload scale (1.0 = paper size)")
 	gantt := fs.Bool("gantt", false, "print a worker timeline for figure experiments")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of every run to this file (Perfetto-loadable)")
@@ -222,7 +224,7 @@ func run() int {
 	attribDiff := fs.String("attribdiff", "", "with -attrib: diff two runs' blame tables by sequence number, e.g. 1,2")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "sweep cells run on this many goroutines (1 = sequential; output is byte-identical at any width)")
 	workers := fs.String("workers", "", "override the -exp scale worker counts (comma-separated, e.g. 4096,16384,65536)")
-	benchOut := fs.String("bench-out", "", "write the -exp scale rows as a benchmark JSON record to this file")
+	benchOut := fs.String("bench-out", "", "write the -exp scale/ctrlplane rows as a benchmark JSON record to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(os.Args[1:])
@@ -305,6 +307,9 @@ func run() int {
 		log.Fatalf("friedabench: %s: %v", name, err)
 	}
 	switch *exp {
+	case "list":
+		fmt.Print(experimentList())
+		return 0
 	case "all":
 		for _, name := range []string{"table1", "fig6a", "fig6b", "fig7a", "fig7b"} {
 			run(name)
@@ -487,9 +492,113 @@ func runExperiment(name string, scale float64, gantt bool, col *collector, scale
 		if err != nil {
 			return err
 		}
+	case "ablation-ctrlplane", "ctrlplane":
+		byApp := map[string][]experiments.SweepRow{}
+		for _, app := range []string{"ALS", "BLAST"} {
+			rows, err := experiments.AblationCtrlPlane(app, scale)
+			fmt.Print(experiments.RenderSweep(
+				fmt.Sprintf("Ablation: execution-template control plane — %s (chunk = micro-tasks per task; off=priced slow path, on=template replay+check)", app),
+				"chunk", rows))
+			fmt.Println()
+			if err != nil {
+				return err
+			}
+			byApp[app] = rows
+		}
+		if benchOut != "" {
+			if err := writeCtrlPlaneBench(benchOut, byApp); err != nil {
+				return err
+			}
+		}
 	default:
-		return fmt.Errorf("unknown experiment %q", name)
+		return fmt.Errorf("unknown experiment %q\n%s", name, experimentList())
 	}
+	return nil
+}
+
+// experimentList names every experiment with a one-line description, for
+// -exp list and the unknown-experiment error.
+func experimentList() string {
+	entries := []struct{ name, desc string }{
+		{"all", "Table I and Figures 6a/6b/7a/7b (the paper's evaluation)"},
+		{"table1", "Table I: effect of data parallelization vs the sequential baseline"},
+		{"fig6a", "Figure 6a: partitioning strategies on ALS (transfer-bound)"},
+		{"fig6b", "Figure 6b: partitioning strategies on BLAST (compute-bound)"},
+		{"fig7a", "Figure 7a: data movement / placement on ALS"},
+		{"fig7b", "Figure 7b: data movement / placement on BLAST"},
+		{"ablations", "every quick ablation sweep below, in sequence"},
+		{"ablation-prefetch", "real-time prefetch window depth on ALS"},
+		{"ablation-bandwidth", "provisioned link bandwidth sweep on ALS"},
+		{"ablation-variance", "task-cost drift vs pre-partition imbalance on BLAST"},
+		{"ablation-failures", "VM failures: isolate (paper) vs recover vs replace"},
+		{"ablation-elastic", "elastic worker additions mid-run on BLAST"},
+		{"ablation-federated", "two-site placement over a 50 Mbps WAN on ALS"},
+		{"ablation-stripes", "GridFTP-style transfer striping on a contended fabric"},
+		{"ablation-storage", "worker storage tier (local / block / networked) on ALS"},
+		{"netfail", "link faults: isolate vs retry vs resume, plus partition duration"},
+		{"stragglers", "gray failures: detection, speculation and hedged transfers"},
+		{"masterfail", "master crashes: crashfree vs journaled vs amnesiac recovery"},
+		{"durability", "RF sweep under combined link+disk+worker chaos"},
+		{"ctrlplane", "execution-template control plane: decision cost off/on vs task granularity"},
+		{"scale", "BLAST real-time on fat-tree testbeds beyond the paper's 4 VMs"},
+		{"list", "print this list"},
+	}
+	var b strings.Builder
+	b.WriteString("experiments:\n")
+	for _, e := range entries {
+		fmt.Fprintf(&b, "  %-20s %s\n", e.name, e.desc)
+	}
+	return b.String()
+}
+
+// writeCtrlPlaneBench records the ctrlplane sweep as a benchmark JSON file
+// (BENCH_ctrlplane.json): one entry per (app, granularity) with the
+// control-plane decision throughput of both modes and the template speedup.
+func writeCtrlPlaneBench(path string, byApp map[string][]experiments.SweepRow) error {
+	type benchRow struct {
+		App                string  `json:"app"`
+		Chunk              int     `json:"chunk"`
+		OffCtrlSec         float64 `json:"off_ctrl_sec"`
+		OnCtrlSec          float64 `json:"on_ctrl_sec"`
+		OffCtrlTasksPerSec float64 `json:"off_ctrl_tasks_per_sec"`
+		OnCtrlTasksPerSec  float64 `json:"on_ctrl_tasks_per_sec"`
+		TemplateHits       float64 `json:"template_hits"`
+		TemplateMisses     float64 `json:"template_misses"`
+		CtrlSpeedup        float64 `json:"ctrl_speedup"`
+	}
+	out := struct {
+		Description string     `json:"description"`
+		Go          string     `json:"go"`
+		CPU         string     `json:"cpu"`
+		Rows        []benchRow `json:"rows"`
+	}{
+		Description: "execution-template control plane: scheduling decisions per second of control-plane time, slow path vs template replay (Check mode on), on micro-task-chunked ALS/BLAST; ctrl_speedup >= 10 is the acceptance bar",
+		Go:          runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		CPU:         cpuModel(),
+	}
+	for _, app := range []string{"ALS", "BLAST"} {
+		for _, r := range byApp[app] {
+			out.Rows = append(out.Rows, benchRow{
+				App:                app,
+				Chunk:              int(r.Param),
+				OffCtrlSec:         r.Series["tmpl_off_ctrl_s"],
+				OnCtrlSec:          r.Series["tmpl_on_ctrl_s"],
+				OffCtrlTasksPerSec: r.Series["tmpl_off_ctrl_tasks_per_s"],
+				OnCtrlTasksPerSec:  r.Series["tmpl_on_ctrl_tasks_per_s"],
+				TemplateHits:       r.Series["tmpl_on_hits"],
+				TemplateMisses:     r.Series["tmpl_on_misses"],
+				CtrlSpeedup:        r.Series["ctrl_speedup"],
+			})
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d rows\n", path, len(out.Rows))
 	return nil
 }
 

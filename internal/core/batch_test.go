@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"frieda/internal/strategy"
+	"frieda/internal/transport"
+)
+
+// TestBatchedDispatchMatchesUnbatched runs the same workload with the
+// per-task protocol and the batched control plane and checks the outcomes
+// are equivalent: every group completes exactly once with the same output.
+func TestBatchedDispatchMatchesUnbatched(t *testing.T) {
+	outputs := func(batch bool) map[int]string {
+		h := &testHarness{
+			source:   sourceWithFiles(40, 25),
+			strategy: strategy.Config{Kind: strategy.RealTime, Multicore: true, Prefetch: 4},
+			program:  echoProgram(),
+			workers:  3,
+			batch:    batch,
+		}
+		r := h.run(t)
+		if r.Succeeded != 40 || r.Failed != 0 {
+			t.Fatalf("batch=%v report = %+v (errors %v)", batch, r, r.WorkerErrors)
+		}
+		got := make(map[int]string, len(r.Results))
+		for _, res := range r.Results {
+			if _, dup := got[res.GroupIndex]; dup {
+				t.Fatalf("batch=%v group %d completed twice", batch, res.GroupIndex)
+			}
+			got[res.GroupIndex] = res.Output
+		}
+		return got
+	}
+	plain := outputs(false)
+	batched := outputs(true)
+	if len(plain) != len(batched) {
+		t.Fatalf("plain completed %d groups, batched %d", len(plain), len(batched))
+	}
+	for gi, out := range plain {
+		if batched[gi] != out {
+			t.Fatalf("group %d: plain output %q, batched %q", gi, out, batched[gi])
+		}
+	}
+}
+
+// TestBatchedDispatchRecoversFailures exercises recordResult's requeue path
+// under the batched control plane: coalesced statuses carrying failures must
+// still trigger retries.
+func TestBatchedDispatchRecoversFailures(t *testing.T) {
+	var mu sync.Mutex
+	attempts := map[int]int{}
+	flaky := FuncProgram(func(ctx context.Context, task Task) (string, error) {
+		mu.Lock()
+		attempts[task.GroupIndex]++
+		n := attempts[task.GroupIndex]
+		mu.Unlock()
+		if task.GroupIndex%3 == 0 && n == 1 {
+			return "", fmt.Errorf("first attempt fails")
+		}
+		return "ok", nil
+	})
+	h := &testHarness{
+		source:   sourceWithFiles(18, 10),
+		strategy: strategy.Config{Kind: strategy.RealTime, Multicore: true},
+		program:  flaky,
+		workers:  2,
+		recover:  true,
+		batch:    true,
+	}
+	r := h.run(t)
+	if r.Succeeded != 18 || r.Failed != 0 {
+		t.Fatalf("batched recover incomplete: %+v (errors %v)", r, r.WorkerErrors)
+	}
+}
+
+// TestBatchedDispatchPrePartition covers the backlog-driven dispatch path:
+// pre-partitioned assignments must arrive as EXECUTE_BATCH refills too.
+func TestBatchedDispatchPrePartition(t *testing.T) {
+	h := &testHarness{
+		source:   sourceWithFiles(24, 50),
+		strategy: strategy.Config{Kind: strategy.PrePartition, Locality: strategy.Remote, Multicore: true},
+		program:  echoProgram(),
+		workers:  4,
+		batch:    true,
+	}
+	r := h.run(t)
+	if r.Succeeded != 24 {
+		t.Fatalf("report = %+v (errors %v)", r, r.WorkerErrors)
+	}
+	byWorker := map[string]int{}
+	for _, res := range r.Results {
+		byWorker[res.Worker]++
+	}
+	if len(byWorker) != 4 {
+		t.Fatalf("work on %d workers, want 4: %v", len(byWorker), byWorker)
+	}
+}
+
+// BenchmarkMasterDispatchBatch measures end-to-end control-plane throughput
+// (tasks/sec through a real master + workers over the in-memory transport)
+// with the per-task protocol versus the batched control plane. The program
+// is a no-op so messaging dominates.
+func BenchmarkMasterDispatchBatch(b *testing.B) {
+	for _, batch := range []bool{false, true} {
+		name := "per-task"
+		if batch {
+			name = "batched"
+		}
+		b.Run(name, func(b *testing.B) {
+			noop := FuncProgram(func(ctx context.Context, task Task) (string, error) {
+				return "ok", nil
+			})
+			const groups = 512
+			src := sourceWithFiles(groups, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				tr := transport.NewMem(nil)
+				ctl, err := NewController(ControllerConfig{
+					Strategy:        strategy.Config{Kind: strategy.RealTime, Multicore: true, Prefetch: 8},
+					Transport:       tr,
+					MasterAddr:      "master",
+					InProcessMaster: true,
+					Master:          MasterConfig{Source: src, Batch: batch},
+					Workers:         4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ctl.Start(ctx); err != nil {
+					b.Fatal(err)
+				}
+				for w := 0; w < 4; w++ {
+					if _, err := ctl.SpawnWorker(ctx, WorkerConfig{
+						Name: fmt.Sprintf("w%d", w), Cores: 2, Store: NewMemStore(), Program: noop,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				r, err := ctl.Wait(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctl.Shutdown()
+				cancel()
+				if r.Succeeded != groups {
+					b.Fatalf("report = %+v", r)
+				}
+			}
+			b.StopTimer()
+			tasksPerSec := float64(groups) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(tasksPerSec, "tasks/sec")
+		})
+	}
+}

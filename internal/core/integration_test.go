@@ -24,6 +24,7 @@ type testHarness struct {
 	workers  int
 	cores    int
 	recover  bool
+	batch    bool
 	limiter  *transport.Limiter
 	// preload populates each worker's store before the run (local data).
 	preload map[string]string
@@ -45,6 +46,7 @@ func (h *testHarness) run(t *testing.T) Report {
 		Master: MasterConfig{
 			Source:  h.source,
 			Recover: h.recover,
+			Batch:   h.batch,
 		},
 		Workers: h.workers,
 	})

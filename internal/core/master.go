@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"frieda/internal/catalog"
+	"frieda/internal/ctrlplane"
 	"frieda/internal/partition"
 	"frieda/internal/protocol"
 	"frieda/internal/strategy"
@@ -47,6 +48,12 @@ type MasterConfig struct {
 	Recover bool
 	// MaxRetries bounds per-group retries under Recover (default 2).
 	MaxRetries int
+	// Batch coalesces control-plane messages per worker round-trip: each
+	// dispatch pass sends one EXECUTE_BATCH carrying every refill instead
+	// of one EXECUTE per group, and workers coalesce completion reports
+	// into one TASK_STATUS carrying Results. Off, the per-task protocol of
+	// the paper-era master is kept message-for-message.
+	Batch bool
 	// OutputSink, when set, collects result files the programs register
 	// via Task.AddOutput — the paper's "results transferred to the master"
 	// option. Nil leaves outputs on the workers (the evaluated setup).
@@ -96,6 +103,14 @@ type Master struct {
 	bytesMoved  int64
 	outputBytes int64
 
+	// tmpl caches the compute-to-data "nothing resident for this worker"
+	// scan verdict per worker (ctrlplane.Cache, generation-stamped): while
+	// no replica lands and no group joins the queue, nextGroupLocked skips
+	// the full queue scan and replays FIFO-head. Any event that could
+	// change a verdict — a streamed replica, a death, a requeue, a join, a
+	// strategy change — bumps the generation.
+	tmpl *ctrlplane.Cache
+
 	listener transport.Listener
 	ctx      context.Context
 	done     chan struct{}
@@ -137,6 +152,7 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		inflight:   make(map[int]string),
 		retries:    make(map[int]int),
 		replicas:   catalog.NewReplicas(),
+		tmpl:       ctrlplane.NewCache(),
 		done:       make(chan struct{}),
 		configured: make(chan struct{}),
 	}
@@ -280,6 +296,7 @@ func (m *Master) handleController(conn transport.Conn, start *protocol.Message) 
 				errStr = err.Error()
 			} else {
 				m.strat = s
+				m.tmpl.Invalidate() // strategy change voids cached decisions
 			}
 			m.mu.Unlock()
 			conn.Send(&protocol.Message{Type: protocol.TAck, Error: errStr, Seq: msg.Seq})
@@ -344,13 +361,14 @@ func (m *Master) handleWorker(conn transport.Conn, reg *protocol.Message) {
 	}
 	m.workers[w.name] = w
 	m.order = append(m.order, w.name)
+	m.tmpl.Invalidate() // worker set changed
 	template := m.cfg.Template
 	common := m.strat.CommonFiles
 	m.mu.Unlock()
 
 	if err := conn.Send(&protocol.Message{
 		Type: protocol.TAck, Cores: slots, Template: template,
-		ReturnOutputs: m.cfg.OutputSink != nil,
+		ReturnOutputs: m.cfg.OutputSink != nil, Batch: m.cfg.Batch,
 	}); err != nil {
 		m.workerDied(w, err)
 		return
@@ -381,7 +399,11 @@ func (m *Master) handleWorker(conn transport.Conn, reg *protocol.Message) {
 		case protocol.TRequestData:
 			m.dispatch(w)
 		case protocol.TTaskStatus:
-			m.completeTask(w, msg.Result)
+			if len(msg.Results) > 0 {
+				m.completeBatch(w, msg.Results)
+			} else {
+				m.completeTask(w, msg.Result)
+			}
 		case protocol.TFileData:
 			if m.cfg.OutputSink == nil {
 				m.logf("worker %s returned output %s but no sink is configured", w.name, msg.FileName)
@@ -631,6 +653,31 @@ func (m *Master) dispatch(w *masterWorker) {
 		return
 	}
 	go func() {
+		if m.cfg.Batch {
+			// Batched control plane: stage every group's files, then one
+			// EXECUTE_BATCH carries the whole refill — one round-trip
+			// instead of one message per group.
+			specs := make([]protocol.ExecuteSpec, 0, len(actions))
+			for _, a := range actions {
+				if a.send {
+					for _, f := range a.group.Files {
+						if err := m.streamFile(w, f.Name); err != nil {
+							m.workerDied(w, err)
+							return
+						}
+					}
+				}
+				infos := make([]protocol.FileInfo, len(a.group.Files))
+				for i, f := range a.group.Files {
+					infos[i] = protocol.FileInfo{Name: f.Name, Size: f.Size}
+				}
+				specs = append(specs, protocol.ExecuteSpec{GroupIndex: a.group.Index, Files: infos})
+			}
+			if err := conn.Send(&protocol.Message{Type: protocol.TExecuteBatch, Executes: specs}); err != nil {
+				m.workerDied(w, err)
+			}
+			return
+		}
 		for _, a := range actions {
 			if a.send {
 				for _, f := range a.group.Files {
@@ -667,17 +714,30 @@ func (m *Master) nextGroupLocked(w *masterWorker) (int, bool) {
 	}
 	pick := 0
 	if m.strat.Placement == strategy.ComputeToData {
-		for qi, gi := range m.queue {
-			all := true
-			for _, f := range m.groups[gi].Files {
-				if !m.replicas.Has(f.Name, w.name) {
-					all = false
+		// The residency scan is O(queue × files) per dispatch — the
+		// control-plane cost templates exist to kill. A cached verdict
+		// ("nothing resident for this worker") replays as FIFO-head until
+		// a replica lands, a group rejoins the queue, or the worker set
+		// changes — each of which bumps the cache generation.
+		key := ctrlplane.Key{Worker: w.name, Class: "c2d-scan"}
+		if _, hit := m.tmpl.Lookup(key); !hit {
+			found := false
+			for qi, gi := range m.queue {
+				all := true
+				for _, f := range m.groups[gi].Files {
+					if !m.replicas.Has(f.Name, w.name) {
+						all = false
+						break
+					}
+				}
+				if all {
+					pick = qi
+					found = true
 					break
 				}
 			}
-			if all {
-				pick = qi
-				break
+			if !found {
+				m.tmpl.Install(key, ctrlplane.Decision{PickHead: true})
 			}
 		}
 	}
@@ -697,6 +757,7 @@ func (m *Master) streamFile(w *masterWorker, name string) error {
 	// Claim before streaming so a concurrent dispatch does not double-send;
 	// the worker-side readiness gate orders execution after arrival.
 	m.replicas.Add(name, w.name)
+	m.tmpl.Invalidate() // a new replica can change a residency verdict
 	chunk := m.cfg.ChunkSize
 	m.mu.Unlock()
 
@@ -753,18 +814,43 @@ func (m *Master) streamFile(w *masterWorker, name string) error {
 
 // completeTask records a task outcome and re-dispatches.
 func (m *Master) completeTask(w *masterWorker, res protocol.TaskResult) {
+	if m.recordResult(w, res) {
+		m.dispatch(w)
+		m.checkDone()
+	}
+}
+
+// completeBatch books a coalesced status report: every result is recorded
+// first, then the freed slots are refilled with a single dispatch pass and a
+// single completion check instead of one round per task.
+func (m *Master) completeBatch(w *masterWorker, results []protocol.TaskResult) {
+	settled := false
+	for _, res := range results {
+		if m.recordResult(w, res) {
+			settled = true
+		}
+	}
+	if settled {
+		m.dispatch(w)
+		m.checkDone()
+	}
+}
+
+// recordResult books one task outcome and reports whether it settled a
+// dispatched group (and thus may have freed a slot worth refilling).
+func (m *Master) recordResult(w *masterWorker, res protocol.TaskResult) bool {
 	if res.GroupIndex < 0 {
 		m.mu.Lock()
 		m.workerErrs = append(m.workerErrs, fmt.Sprintf("%s: %s", w.name, res.Error))
 		m.mu.Unlock()
 		m.notifyController(res.Error, w.name)
-		return
+		return false
 	}
 	m.mu.Lock()
 	if owner, ok := m.inflight[res.GroupIndex]; !ok || owner != w.name {
 		// Stale or duplicate status (e.g. after a drain or reassignment).
 		m.mu.Unlock()
-		return
+		return false
 	}
 	delete(w.outstanding, res.GroupIndex)
 	delete(m.inflight, res.GroupIndex)
@@ -775,6 +861,7 @@ func (m *Master) completeTask(w *masterWorker, res protocol.TaskResult) {
 		m.retries[res.GroupIndex]++
 		if m.cfg.Recover && m.retries[res.GroupIndex] <= m.cfg.MaxRetries {
 			m.queue = append(m.queue, res.GroupIndex)
+			m.tmpl.Invalidate() // a requeued group can change a residency verdict
 			m.logf("group %d failed on %s (attempt %d), requeued: %s",
 				res.GroupIndex, w.name, m.retries[res.GroupIndex], res.Error)
 		} else {
@@ -783,8 +870,7 @@ func (m *Master) completeTask(w *masterWorker, res protocol.TaskResult) {
 		}
 	}
 	m.mu.Unlock()
-	m.dispatch(w)
-	m.checkDone()
+	return true
 }
 
 // workerDied isolates a dead worker: it receives no further data or tasks
@@ -816,6 +902,7 @@ func (m *Master) workerDied(w *masterWorker, cause error) {
 	w.backlog = nil
 	m.reassignLocked(w, lost)
 	m.replicas.DropNode(w.name)
+	m.tmpl.Invalidate() // worker set and replica map changed
 	m.workerErrs = append(m.workerErrs, fmt.Sprintf("%s: %v", w.name, cause))
 	others := m.liveWorkersLocked()
 	m.mu.Unlock()
@@ -831,6 +918,9 @@ func (m *Master) workerDied(w *masterWorker, cause error) {
 // reassignLocked requeues or abandons the given groups of a dead/draining
 // worker. Caller holds m.mu.
 func (m *Master) reassignLocked(w *masterWorker, groups []int) {
+	if len(groups) > 0 {
+		m.tmpl.Invalidate() // requeued groups can change residency verdicts
+	}
 	for _, gi := range groups {
 		delete(m.inflight, gi)
 		if m.cfg.Recover {
@@ -864,6 +954,7 @@ func (m *Master) RemoveWorker(name string) error {
 	for _, gi := range backlog {
 		m.queue = append(m.queue, gi)
 	}
+	m.tmpl.Invalidate() // worker set shrank; queue may have grown
 	others := m.liveWorkersLocked()
 	m.mu.Unlock()
 	for _, o := range others {

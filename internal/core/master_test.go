@@ -42,13 +42,64 @@ func TestStrategyInfoRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStrategyInfoRoundTripGrid sweeps the full Kind × Locality × Placement
+// × Multicore × Prefetch space: every configuration the strategy layer
+// validates must survive the wire encoding unchanged.
+func TestStrategyInfoRoundTripGrid(t *testing.T) {
+	kinds := []strategy.Kind{strategy.NoPartition, strategy.PrePartition, strategy.RealTime}
+	locs := []strategy.Locality{strategy.Remote, strategy.Local}
+	places := []strategy.Placement{strategy.DataToCompute, strategy.ComputeToData}
+	valid, skipped := 0, 0
+	for _, k := range kinds {
+		for _, l := range locs {
+			for _, p := range places {
+				for _, mc := range []bool{false, true} {
+					for _, pf := range []int{0, 1, 8} {
+						cfg := strategy.Config{Kind: k, Locality: l, Placement: p, Multicore: mc, Prefetch: pf}
+						if err := cfg.Validate(); err != nil {
+							// Invalid combination (e.g. no-partition +
+							// compute-to-data): the wire layer must reject
+							// it too, not smuggle it through.
+							if _, ferr := strategyFromInfo(strategyToInfo(cfg)); ferr == nil {
+								t.Errorf("%s: Validate rejects (%v) but strategyFromInfo accepts", cfg, err)
+							}
+							skipped++
+							continue
+						}
+						valid++
+						out, err := strategyFromInfo(strategyToInfo(cfg))
+						if err != nil {
+							t.Fatalf("%s: %v", cfg, err)
+						}
+						if out.Kind != cfg.Kind || out.Locality != cfg.Locality || out.Placement != cfg.Placement {
+							t.Fatalf("round trip mangled %s -> %s", cfg, out)
+						}
+						if out.Multicore != cfg.Multicore || out.Prefetch != cfg.Prefetch {
+							t.Fatalf("round trip mangled fields: %+v vs %+v", out, cfg)
+						}
+						if out.Grouping != cfg.Grouping || out.Assigner != cfg.Assigner {
+							t.Fatalf("round trip mangled defaults: %+v vs %+v", out, cfg)
+						}
+					}
+				}
+			}
+		}
+	}
+	if valid == 0 || skipped == 0 {
+		t.Fatalf("grid degenerate: %d valid, %d skipped", valid, skipped)
+	}
+}
+
 func TestStrategyFromInfoRejections(t *testing.T) {
 	bad := []protocol.StrategyInfo{
 		{Kind: "bogus"},
 		{Kind: "real-time", Locality: "bogus"},
 		{Kind: "real-time", Placement: "bogus"},
 		{Kind: "real-time", Grouping: "bogus"},
-		{Kind: "real-time", Locality: "local"}, // contradiction
+		{Kind: "real-time", Locality: "local"},               // contradiction
+		{Kind: "no-partition", Placement: "compute-to-data"}, // contradiction
+		{Kind: "real-time", Prefetch: -1},                    // negative depth
+		{Kind: "real-time", Assigner: "bogus"},               // unknown assigner
 	}
 	for i, info := range bad {
 		if _, err := strategyFromInfo(info); err == nil {

@@ -47,6 +47,7 @@ type Worker struct {
 	readyC        *sync.Cond
 	program       Program
 	tasks         chan Task
+	results       chan protocol.TaskResult // batch mode: executor -> reporter
 	slots         int
 	executed      int
 	closed        bool
@@ -139,6 +140,17 @@ func (w *Worker) Run(ctx context.Context) error {
 			w.executor(execCtx)
 		}()
 	}
+	// Batched control plane: executors hand results to a reporter that
+	// coalesces everything pending into one TTaskStatus per send.
+	var repWg sync.WaitGroup
+	if ack.Batch {
+		w.results = make(chan protocol.TaskResult, 4*w.slots)
+		repWg.Add(1)
+		go func() {
+			defer repWg.Done()
+			w.reporter()
+		}()
+	}
 	// Each idle slot asks for work once; further requests follow each
 	// completed task. In pre-partition mode the master ignores these.
 	for i := 0; i < w.slots; i++ {
@@ -165,6 +177,10 @@ func (w *Worker) Run(ctx context.Context) error {
 	w.mu.Unlock()
 	close(w.tasks)
 	wg.Wait()
+	if w.results != nil {
+		close(w.results)
+		repWg.Wait()
+	}
 	return err
 }
 
@@ -208,6 +224,14 @@ func (w *Worker) messageLoop(ctx context.Context) error {
 				inputs[i] = f.Name
 			}
 			w.tasks <- Task{GroupIndex: m.GroupIndex, Inputs: inputs, Store: w.cfg.Store}
+		case protocol.TExecuteBatch:
+			for _, spec := range m.Executes {
+				inputs := make([]string, len(spec.Files))
+				for i, f := range spec.Files {
+					inputs[i] = f.Name
+				}
+				w.tasks <- Task{GroupIndex: spec.GroupIndex, Inputs: inputs, Store: w.cfg.Store}
+			}
 		case protocol.TNoMoreData, protocol.TShutdown:
 			return nil
 		default:
@@ -226,10 +250,44 @@ func (w *Worker) executor(ctx context.Context) {
 		w.mu.Lock()
 		w.executed++
 		w.mu.Unlock()
+		if w.results != nil {
+			// Batch mode: the reporter coalesces statuses, and the master
+			// refills slots from the batched status — no per-task pull.
+			w.results <- res
+			continue
+		}
 		if w.conn.Send(&protocol.Message{Type: protocol.TTaskStatus, Result: res}) != nil {
 			return
 		}
 		if w.conn.Send(&protocol.Message{Type: protocol.TRequestData, Worker: w.cfg.Name}) != nil {
+			return
+		}
+	}
+}
+
+// reporter coalesces completion reports: each send carries every result that
+// accumulated while the previous send was in flight, so a busy worker costs
+// one status round-trip per burst instead of one per task.
+func (w *Worker) reporter() {
+	for res := range w.results {
+		batch := []protocol.TaskResult{res}
+	drain:
+		for {
+			select {
+			case more, ok := <-w.results:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		if w.conn.Send(&protocol.Message{Type: protocol.TTaskStatus, Worker: w.cfg.Name, Results: batch}) != nil {
+			// The connection is gone; keep draining so executors never
+			// block on a full channel during shutdown.
+			for range w.results {
+			}
 			return
 		}
 	}

@@ -65,6 +65,11 @@ const (
 	// snapshot and replaying the journal before resuming dispatch — the
 	// price of the configured recovery cost model.
 	RecoveryReplay
+	// CtrlPlane is time the critical path spent waiting in the master's
+	// per-task decision queue: the modeled cost of scheduling decisions
+	// (full scans on template misses, O(1) instantiations on hits)
+	// serialised through the single control-plane server.
+	CtrlPlane
 	// Unattributed is the honest remainder: segments reaching a node the
 	// recorder saw no cause for (charged from run start), or explicit
 	// zero-information links. A large Unattributed bin means an emission
@@ -100,6 +105,8 @@ func (c Category) String() string {
 		return "master-outage"
 	case RecoveryReplay:
 		return "recovery-replay"
+	case CtrlPlane:
+		return "ctrl-plane"
 	case Unattributed:
 		return "unattributed"
 	default:

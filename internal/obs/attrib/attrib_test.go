@@ -224,7 +224,7 @@ func TestCategoryStrings(t *testing.T) {
 		"compute", "network-transfer", "queue-wait", "detection-latency",
 		"retry/backoff", "repair", "straggler-inflation",
 		"speculation-overhead", "disk-io", "master-outage",
-		"recovery-replay", "unattributed",
+		"recovery-replay", "ctrl-plane", "unattributed",
 	}
 	for c := Category(0); c < NumCategories; c++ {
 		if c.String() != want[c] {

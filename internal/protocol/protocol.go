@@ -69,6 +69,10 @@ const (
 	TNoMoreData
 	// TMasterDone tells the controller all groups completed.
 	TMasterDone
+	// TExecuteBatch carries one round-trip's worth of execute orders
+	// (batched control plane): every group in Executes is resident and
+	// ready to run. One message replaces len(Executes) TExecute sends.
+	TExecuteBatch
 )
 
 // String names the type.
@@ -93,6 +97,7 @@ func (t Type) String() string {
 		TTaskStatus:    "TASK_STATUS",
 		TNoMoreData:    "NO_MORE_DATA",
 		TMasterDone:    "MASTER_DONE",
+		TExecuteBatch:  "EXECUTE_BATCH",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -104,6 +109,12 @@ func (t Type) String() string {
 type FileInfo struct {
 	Name string
 	Size int64
+}
+
+// ExecuteSpec is one execute order inside a TExecuteBatch.
+type ExecuteSpec struct {
+	GroupIndex int
+	Files      []FileInfo
 }
 
 // TaskResult is the payload of TTaskStatus.
@@ -144,6 +155,10 @@ type Message struct {
 	// ReturnOutputs (in a registration TAck) asks the worker to stream
 	// registered result files back to the master after each task.
 	ReturnOutputs bool
+	// Batch (in a registration TAck) announces the batched control plane:
+	// the master dispatches with TExecuteBatch and the worker coalesces
+	// completion reports into one TTaskStatus carrying Results.
+	Batch bool
 
 	// Strategy configures the master (TStartMaster, TPartitionType).
 	Strategy StrategyInfo
@@ -170,8 +185,12 @@ type Message struct {
 
 	// Result carries task completion (TTaskStatus).
 	Result TaskResult
-	// Results carries the full outcome list (TMasterDone).
+	// Results carries the full outcome list (TMasterDone) or a coalesced
+	// completion batch (TTaskStatus under the batched control plane; a
+	// non-empty Results takes precedence over Result).
 	Results []TaskResult
+	// Executes carries a dispatch batch (TExecuteBatch).
+	Executes []ExecuteSpec
 	// BytesMoved and MakespanSec summarise the run (TMasterDone).
 	BytesMoved  int64
 	MakespanSec float64
@@ -192,6 +211,12 @@ func (m *Message) WireSize() int {
 		n += len(f.Name) + 16
 	}
 	n += 16 * len(m.Groups)
+	for _, e := range m.Executes {
+		n += 16
+		for _, f := range e.Files {
+			n += len(f.Name) + 16
+		}
+	}
 	return n
 }
 

@@ -33,6 +33,7 @@ func (r *Runner) DrainWorker() error {
 		return fmt.Errorf("simrun: refusing to drain the last worker")
 	}
 	victim.draining = true
+	r.ctrlInvalidate() // worker set changed: templates re-derive
 	// Undispatched backlog returns to the shared pool.
 	backlog := victim.backlog
 	victim.backlog = nil

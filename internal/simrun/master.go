@@ -354,6 +354,9 @@ func (m *masterState) recovered() {
 		return
 	}
 	m.reconcile()
+	// A rebuilt (or amnesiac) catalog is a fresh derivation base: templates
+	// cached before the crash must not survive it.
+	r.ctrlInvalidate()
 	if r.detector != nil {
 		r.detector.Resume()
 	}

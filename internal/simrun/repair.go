@@ -333,6 +333,7 @@ func (r *Runner) markStaged(f string) {
 		return
 	}
 	r.evacuated[f] = true
+	r.ctrlInvalidate() // source set changed: templates re-derive
 	r.mfRecord(catalog.Record{Op: catalog.OpEvacuate, File: f})
 	if tr := r.cfg.Tracer; tr.Enabled() {
 		tr.Instant("master", "durability", "evacuated", obs.Args{"file": f})

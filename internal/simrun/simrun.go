@@ -22,6 +22,7 @@ import (
 
 	"frieda/internal/catalog"
 	"frieda/internal/cloud"
+	"frieda/internal/ctrlplane"
 	"frieda/internal/fault"
 	"frieda/internal/netsim"
 	"frieda/internal/obs"
@@ -179,6 +180,13 @@ type Config struct {
 	// Nil keeps the immortal-master model, byte-identical to all published
 	// behaviour.
 	Master *MasterConfig
+	// CtrlPlane, when non-nil, prices the master's per-task scheduling
+	// decisions on the virtual clock: each dispatch queues behind a single
+	// decision server charging DecisionSec per full decision, and the
+	// execution-template cache (Templates) collapses repeated decisions to
+	// TemplateHitSec — see ctrlplane.go. Nil keeps decisions free and
+	// instantaneous, byte-identical to the published behaviour.
+	CtrlPlane *CtrlPlaneConfig
 }
 
 // NetFaultConfig tunes transfer retry and resume behaviour.
@@ -334,6 +342,15 @@ type Result struct {
 	// TasksReExecuted counts terminal re-executions of tasks an amnesiac
 	// master had forgotten were done — pure wasted work a journal prevents.
 	TasksReExecuted int
+	// TemplateHits and TemplateMisses count control-plane scheduling
+	// decisions served by the execution-template cache vs derived by the
+	// full slow path (Config.CtrlPlane with Templates on; misses include
+	// cold classes, invalidated generations, and untemplatable classes).
+	TemplateHits, TemplateMisses int
+	// CtrlPlaneDecisionSec sums the modeled busy time of the master's
+	// decision server across all dispatches (Config.CtrlPlane only) —
+	// tasks ÷ this is the control plane's tasks/sec.
+	CtrlPlaneDecisionSec float64
 }
 
 // Runner drives one simulated run. Create with NewRunner, add workers, then
@@ -419,6 +436,10 @@ type Runner struct {
 
 	// Master-fault state (master.go); nil unless cfg.Master is set.
 	mf *masterState
+
+	// Control-plane decision model (ctrlplane.go); nil unless cfg.CtrlPlane
+	// is set.
+	ctrl *ctrlState
 
 	// nameScratch recycles the per-dispatch missing-file name slices: a
 	// dispatch's slice returns to the free list once its transfer bookkeeping
@@ -644,6 +665,24 @@ func NewRunner(cluster *cloud.Cluster, master *cloud.VM, cfg Config, wl Workload
 		}
 		cfg.Master = &m
 	}
+	if cc := cfg.CtrlPlane; cc != nil {
+		c := *cc // don't mutate the caller's struct
+		if c.DecisionSec < 0 || c.TemplateHitSec < 0 {
+			return nil, fmt.Errorf("simrun: negative control-plane decision cost (%v full, %v hit)",
+				c.DecisionSec, c.TemplateHitSec)
+		}
+		if c.DecisionSec == 0 {
+			c.DecisionSec = 2e-3
+		}
+		if c.TemplateHitSec == 0 {
+			c.TemplateHitSec = c.DecisionSec / 50
+		}
+		if c.TemplateHitSec > c.DecisionSec {
+			return nil, fmt.Errorf("simrun: template hit cost %v above full decision cost %v",
+				c.TemplateHitSec, c.DecisionSec)
+		}
+		cfg.CtrlPlane = &c
+	}
 	r := &Runner{
 		eng:      cluster.Engine(),
 		cluster:  cluster,
@@ -666,6 +705,9 @@ func NewRunner(cluster *cloud.Cluster, master *cloud.VM, cfg Config, wl Workload
 		r.prefetchMult = cfg.Strategy.Prefetch
 	}
 	r.drainFn = r.drainAdmits // bound once; kicks never allocate
+	if cc := cfg.CtrlPlane; cc != nil {
+		r.ctrl = &ctrlState{cfg: *cc, cache: ctrlplane.NewCache()}
+	}
 	if cfg.NetFaults != nil {
 		r.rng = rand.New(rand.NewSource(cfg.NetFaults.JitterSeed))
 	}
@@ -760,9 +802,20 @@ func NewRunner(cluster *cloud.Cluster, master *cloud.VM, cfg Config, wl Workload
 	return r, nil
 }
 
-// QueueLen reports tasks awaiting dispatch (shared queue only; worker
-// backlogs are already assigned).
-func (r *Runner) QueueLen() int { return len(r.queue) }
+// QueueLen reports tasks awaiting dispatch: the shared queue plus every
+// live worker's assigned-but-undispatched backlog. Pre-partitioned work
+// parked on a backlog is still queued load — counting only the shared queue
+// made the queue_depth gauge (and the autoscaler's QueuedTasks signal) read
+// zero while thousands of backlog tasks waited.
+func (r *Runner) QueueLen() int {
+	n := len(r.queue)
+	for _, w := range r.workers {
+		if !w.dead {
+			n += len(w.backlog)
+		}
+	}
+	return n
+}
 
 // SlotStats reports currently busy and total compute slots over live
 // workers — the autoscaler's load signal.
@@ -828,6 +881,7 @@ func (r *Runner) AddWorker(vm *cloud.VM) *simWorker {
 				// starts here rather than inheriting an unrelated ambient cause.
 				r.anCause = ab.After(r.anStart, attrib.Unattributed, "worker-joined", w.name)
 			}
+			r.ctrlInvalidate() // worker set changed: templates re-derive
 			r.startDetection(w)
 			r.stageCommon(w, func() { r.kick(w) })
 		}
@@ -1215,6 +1269,20 @@ func (r *Runner) endStage(s *stageIn, outcome string) {
 // out, and nil means every copy is gone — the caller declares the transfer
 // lost without touching the network.
 func (r *Runner) sourceFor(w *simWorker, files []string, n int) *cloud.VM {
+	if c := r.ctrl; c != nil && c.tmplSrc != nil && n == 1 {
+		// Template-instantiated dispatch: the source was decided when the
+		// template was derived and re-validated by the generation check.
+		src := c.tmplSrc
+		c.tmplSrc = nil
+		return src
+	}
+	return r.sourceForSlow(w, files, n)
+}
+
+// sourceForSlow is the full source-selection scan — the path every decision
+// took before the execution-template cache, and the oracle checkTemplate
+// re-derives against.
+func (r *Runner) sourceForSlow(w *simWorker, files []string, n int) *cloud.VM {
 	if r.cfg.Durability == nil {
 		if n > 1 {
 			return r.bestSource(w, files)
@@ -1603,6 +1671,14 @@ func (r *Runner) admit(w *simWorker) {
 	}
 	limit := w.slots * r.prefetchMult
 	for w.admitted < limit {
+		if r.ctrl != nil {
+			// Priced control plane: the decision server picks, charges and
+			// schedules the dispatch (ctrlplane.go).
+			if !r.dispatchCtrl(w) {
+				return
+			}
+			continue
+		}
 		gi, ok := r.nextTask(w)
 		if !ok {
 			return
@@ -2063,6 +2139,7 @@ func (r *Runner) workerDied(w *simWorker) {
 		return
 	}
 	w.dead = true
+	r.ctrlInvalidate() // worker set changed: templates re-derive
 	if tr := r.cfg.Tracer; tr.Enabled() {
 		tr.Instant(w.name, "fault", "worker-died", nil)
 	}
@@ -2123,6 +2200,7 @@ func (r *Runner) workerDied(w *simWorker) {
 // happened during a control-plane outage: the physical teardown already ran,
 // so only the bookkeeping and the rescheduling remain.
 func (r *Runner) workerDiedMaster(w *simWorker, attempts []*taskAttempt) {
+	r.ctrlInvalidate() // the master only now learns the worker set changed
 	if ab := r.cfg.Attrib; ab.Enabled() {
 		cause, cat, detail := r.anStart, attrib.Unattributed, ""
 		if r.detector != nil {
@@ -2280,6 +2358,11 @@ func (r *Runner) checkDone() {
 		r.res.Detections = r.detector.Transitions()
 	}
 	r.res.MakespanSec = float64(r.eng.Now() - r.startAt)
+	if r.ctrl != nil {
+		s := r.ctrl.cache.Stats()
+		r.res.TemplateHits = s.Hits
+		r.res.TemplateMisses = s.Misses
+	}
 	if ab := r.cfg.Attrib; ab.Enabled() {
 		end := ab.After(r.anLastTerminal, attrib.Unattributed, "run-end", "")
 		r.res.Attribution = ab.Solve(r.anStart, end)
